@@ -1,0 +1,95 @@
+// Ablation: sKokkos-style transparent device selection (authors' companion
+// work, paper ref. [20]).  For DOT across sizes on an MI100 node, compare
+// always-CPU, always-GPU, and the auto selector: auto must track the lower
+// envelope of the two fixed policies through the crossover the paper
+// describes in Sec. V-A1.
+#include <cstdio>
+
+#include "core/auto_backend.hpp"
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+
+constexpr index_t sizes[] = {1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18,
+                             1 << 20, 1 << 22};
+
+const arch& rome() { return all_archs[0]; }
+const arch& mi100() { return all_archs[1]; }
+
+double policy_dot_us(int policy, index_t n) {
+  jacc::workload w{.indices = n, .bytes_per_index = 16.0,
+                   .flops_per_index = 2.0, .is_reduce = true};
+  switch (policy) {
+  case 0: return blas1_1d_us(rome(), true, true, n);  // always CPU
+  case 1: return blas1_1d_us(mi100(), true, true, n); // always GPU
+  default: {
+    const jacc::backend pick =
+        jacc::auto_select_node(jacc::backend::hip_mi100, w);
+    return blas1_1d_us(pick == jacc::backend::cpu_rome ? rome() : mi100(),
+                       true, true, n);
+  }
+  }
+}
+
+constexpr const char* policy_names[] = {"always_cpu", "always_gpu", "auto"};
+
+void register_all() {
+  for (int policy = 0; policy < 3; ++policy) {
+    for (index_t n : sizes) {
+      const std::string name = std::string("abl_auto/dot/") +
+                               policy_names[policy] + "/" +
+                               std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [policy, n](benchmark::State& st) {
+            double us = 0.0;
+            for (auto _ : st) {
+              us = policy_dot_us(policy, n);
+              st.SetIterationTime(us * 1e-6);
+            }
+            st.counters["sim_us"] = us;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== transparent device selection summary (sKokkos, ref [20]) "
+            "===");
+  double auto_total = 0.0;
+  double best_total = 0.0;
+  double cpu_total = 0.0;
+  double gpu_total = 0.0;
+  for (index_t n : sizes) {
+    const double cpu = policy_dot_us(0, n);
+    const double gpu = policy_dot_us(1, n);
+    const double aut = policy_dot_us(2, n);
+    cpu_total += cpu;
+    gpu_total += gpu;
+    auto_total += aut;
+    best_total += std::min(cpu, gpu);
+    std::printf("DOT n=%-9lld cpu %9.1f us, mi100 %9.1f us, auto %9.1f us "
+                "(%s)\n",
+                static_cast<long long>(n), cpu, gpu, aut,
+                aut <= std::min(cpu, gpu) * 1.001 ? "optimal" : "suboptimal");
+  }
+  std::printf("sweep totals: always_cpu %.0f us, always_gpu %.0f us, "
+              "auto %.0f us, oracle %.0f us (auto within %.1f%% of oracle)\n",
+              cpu_total, gpu_total, auto_total, best_total,
+              (auto_total / best_total - 1.0) * 100.0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation: real (wall-clock) host-side cost of the JACC portable layer.
+//
+// The paper's central overhead question (Sec. V) is whether the high-level
+// front end costs anything beyond the device-specific code.  The simulated
+// backends answer it in model time; this bench answers it for the two REAL
+// backends by timing, at several sizes:
+//
+//   raw_serial    hand-written sequential loop
+//   jacc_serial   the same kernel through jacc::parallel_for (serial)
+//   raw_threads   hand-written pool code (blas::threads_axpy)
+//   jacc_threads  jacc::parallel_for on the threads backend
+//
+// plus the reductions.  The delta between raw and jacc rows IS the
+// dispatch + instrumentation overhead of this implementation.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "blas/jacc_blas.hpp"
+#include "blas/native_cpu.hpp"
+#include "core/jacc.hpp"
+
+namespace {
+
+using jacc::backend;
+using jacc::index_t;
+
+void raw_serial_axpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 2.0);
+  for (auto _ : state) {
+    double* xp = x.data();
+    const double* yp = y.data();
+    for (index_t i = 0; i < n; ++i) {
+      xp[i] += 2.0 * yp[i];
+    }
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(raw_serial_axpy)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void jacc_serial_axpy(benchmark::State& state) {
+  jacc::scoped_backend sb(backend::serial);
+  const index_t n = state.range(0);
+  jacc::array<double> x(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  jacc::array<double> y(std::vector<double>(static_cast<std::size_t>(n), 2.0));
+  for (auto _ : state) {
+    jaccx::blas::jacc_axpy(n, 2.0, x, y);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(jacc_serial_axpy)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void raw_threads_axpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 2.0);
+  for (auto _ : state) {
+    jaccx::blas::threads_axpy(n, 2.0, x.data(), y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(raw_threads_axpy)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void jacc_threads_axpy(benchmark::State& state) {
+  jacc::scoped_backend sb(backend::threads);
+  const index_t n = state.range(0);
+  jacc::array<double> x(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  jacc::array<double> y(std::vector<double>(static_cast<std::size_t>(n), 2.0));
+  for (auto _ : state) {
+    jaccx::blas::jacc_axpy(n, 2.0, x, y);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(jacc_threads_axpy)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void raw_serial_dot(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 2.0);
+  for (auto _ : state) {
+    double acc = 0.0;
+    const double* xp = x.data();
+    const double* yp = y.data();
+    for (index_t i = 0; i < n; ++i) {
+      acc += xp[i] * yp[i];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(raw_serial_dot)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void jacc_serial_dot(benchmark::State& state) {
+  jacc::scoped_backend sb(backend::serial);
+  const index_t n = state.range(0);
+  jacc::array<double> x(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  jacc::array<double> y(std::vector<double>(static_cast<std::size_t>(n), 2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jaccx::blas::jacc_dot(n, x, y));
+  }
+}
+BENCHMARK(jacc_serial_dot)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+void jacc_threads_dot(benchmark::State& state) {
+  jacc::scoped_backend sb(backend::threads);
+  const index_t n = state.range(0);
+  jacc::array<double> x(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  jacc::array<double> y(std::vector<double>(static_cast<std::size_t>(n), 2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jaccx::blas::jacc_dot(n, x, y));
+  }
+}
+BENCHMARK(jacc_threads_dot)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+// Pure launch cost: an empty kernel at n = 1 isolates the fork/join and
+// dispatch machinery with no useful work to hide it.
+void jacc_threads_empty_launch(benchmark::State& state) {
+  jacc::scoped_backend sb(backend::threads);
+  for (auto _ : state) {
+    jacc::parallel_for(1, [](index_t) {});
+  }
+}
+BENCHMARK(jacc_threads_empty_launch);
+
+void raw_threads_empty_launch(benchmark::State& state) {
+  for (auto _ : state) {
+    jaccx::pool::default_pool().parallel_for_index(1, [](index_t) {});
+  }
+}
+BENCHMARK(raw_threads_empty_launch);
+
+} // namespace
+
+BENCHMARK_MAIN();

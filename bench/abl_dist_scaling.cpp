@@ -1,0 +1,86 @@
+// Extension bench: distributed CG scaling on the communicator substrate
+// (paper Sec. II/VII: MPI.jl-style distributed configurations).
+//
+// Sweeps rank counts for one CG iteration at fixed global size (strong
+// scaling) and fixed per-rank size (weak scaling), on InfiniBand-like and
+// Ethernet-like fabrics.  The story: matvec/axpy shard perfectly, but the
+// three allreduces and the halo exchange per iteration set a latency floor
+// that the slow fabric multiplies.
+#include <cstdio>
+
+#include "dist/dist_cg.hpp"
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::dist::communicator;
+using jaccx::dist::nic_model;
+using jaccx::dist::tridiag_cg;
+
+double cg_iter_us(int ranks, index_t n, const nic_model& nic) {
+  communicator comm(ranks, "a100", nic);
+  comm.reset();
+  tridiag_cg solver(comm, n);
+  solver.bench_reset();
+  solver.bench_iteration(); // warm-up
+  const double t0 = comm.barrier();
+  solver.bench_iteration();
+  return comm.barrier() - t0;
+}
+
+void register_all() {
+  for (bool ethernet : {false, true}) {
+    const nic_model nic =
+        ethernet ? nic_model::ethernet_like() : nic_model::infiniband_like();
+    const char* fabric = ethernet ? "ethernet" : "infiniband";
+    for (int ranks : {1, 2, 4, 8, 16, 32}) {
+      for (bool weak : {false, true}) {
+        const index_t n =
+            weak ? (index_t{1} << 18) * ranks : index_t{1} << 22;
+        const std::string name = std::string("abl_dist/") + fabric + "/" +
+                                 (weak ? "weak" : "strong") + "/cg_iter/" +
+                                 "ranks_" + std::to_string(ranks);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [ranks, n, nic](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = cg_iter_us(ranks, n, nic);
+                st.SetIterationTime(us * 1e-6);
+              }
+              st.counters["sim_us"] = us;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== distributed CG scaling summary ===");
+  const index_t n = 1 << 22;
+  for (bool ethernet : {false, true}) {
+    const nic_model nic =
+        ethernet ? nic_model::ethernet_like() : nic_model::infiniband_like();
+    const double t1 = cg_iter_us(1, n, nic);
+    const double t8 = cg_iter_us(8, n, nic);
+    const double t32 = cg_iter_us(32, n, nic);
+    std::printf("%-11s n=%lld: 1 rank %9.1f us, 8 ranks %9.1f us (%.2fx), "
+                "32 ranks %9.1f us (%.2fx)\n",
+                ethernet ? "ethernet" : "infiniband",
+                static_cast<long long>(n), t1, t8, t1 / t8, t32, t1 / t32);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

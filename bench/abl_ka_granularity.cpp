@@ -1,0 +1,105 @@
+// Ablation for Sec. III-A: what the KernelAbstractions-style manual group
+// size costs when chosen badly, versus JACC's automatic granularity.
+//
+// KA (paper Fig. 4) makes the user pick a group size per backend kind; JACC
+// derives it from the device (Fig. 6/7).  This bench sweeps the KA group
+// size for the same AXPY on a simulated GPU and the simulated Rome CPU and
+// reports the JACC automatic choice alongside.
+#include <cstdio>
+
+#include "fig_common.hpp"
+#include "ka/ka.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::sim::device_buffer;
+
+constexpr index_t n = 1 << 20;
+constexpr index_t groupsizes[] = {8, 32, 128, 256, 1024};
+
+double ka_axpy_us(const arch& a, index_t groupsize) {
+  auto& dev = dev_of(a);
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  auto sx = dx.span();
+  auto sy = dy.span();
+  const auto be = jaccx::ka::get_backend(a.be);
+  return timed_us(a, [&] {
+    jaccx::ka::run(be, groupsize, n, [sx, sy](index_t i) {
+      sx[i] += 2.0 * static_cast<double>(sy[i]);
+    });
+  });
+}
+
+void bench_ka(benchmark::State& state, arch a, index_t groupsize) {
+  double us = 0.0;
+  for (auto _ : state) {
+    us = ka_axpy_us(a, groupsize);
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+
+void bench_jacc(benchmark::State& state, arch a) {
+  double us = 0.0;
+  for (auto _ : state) {
+    us = blas1_1d_us(a, true, false, n);
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+
+void register_all() {
+  for (const auto& a : {all_archs[0], all_archs[2]}) { // rome64 and a100
+    for (index_t g : groupsizes) {
+      const std::string name = std::string("abl_ka/") + a.name +
+                               "/ka_groupsize_" + std::to_string(g);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [a, g](benchmark::State& st) {
+                                     bench_ka(st, a, g);
+                                   })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+    const std::string jname = std::string("abl_ka/") + a.name + "/jacc_auto";
+    benchmark::RegisterBenchmark(jname.c_str(), [a](benchmark::State& st) {
+      bench_jacc(st, a);
+    })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== Sec. III-A ablation summary: granularity selection ===");
+  for (const auto& a : {all_archs[0], all_archs[2]}) {
+    double best = 1e300;
+    double worst = 0.0;
+    for (index_t g : groupsizes) {
+      const double us = ka_axpy_us(a, g);
+      best = std::min(best, us);
+      worst = std::max(worst, us);
+    }
+    const double jacc_us = blas1_1d_us(a, true, false, n);
+    std::printf("%-8s AXPY n=%lld: KA best %.1f us, KA worst %.1f us "
+                "(%.1fx spread), JACC auto %.1f us (within %.0f%% of best)\n",
+                a.name, static_cast<long long>(n), best, worst, worst / best,
+                jacc_us, (jacc_us / best - 1.0) * 100.0);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: the Fig. 10 LBM formulation vs a register-fused variant.
+//
+// The paper's kernel stages the nine pulled distributions in a scratch
+// lattice `f` (write), then re-reads them for the moments and again for the
+// collision — roughly 27 global accesses per site where 18 would do.  The
+// fused variant keeps the pulled values in registers.  Both produce
+// bit-identical lattices (tests/extensions cover that); this bench measures
+// the traffic difference per architecture.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::sim::device_buffer;
+
+double lbm_variant_us(const arch& a, bool fused, index_t edge) {
+  auto& dev = dev_of(a);
+  const index_t total = jaccx::lbm::q * edge * edge;
+  std::vector<double> init(static_cast<std::size_t>(total));
+  const index_t plane = edge * edge;
+  for (int k = 0; k < jaccx::lbm::q; ++k) {
+    for (index_t s = 0; s < plane; ++s) {
+      init[static_cast<std::size_t>(k * plane + s)] =
+          jaccx::lbm::weights[static_cast<std::size_t>(k)];
+    }
+  }
+  device_buffer<double> df(dev, total), df1(dev, total), df2(dev, total),
+      dw(dev, jaccx::lbm::q), dcx(dev, jaccx::lbm::q),
+      dcy(dev, jaccx::lbm::q);
+  df1.copy_from_host(init.data());
+  dw.copy_from_host(jaccx::lbm::weights.data());
+  dcx.copy_from_host(jaccx::lbm::vel_x.data());
+  dcy.copy_from_host(jaccx::lbm::vel_y.data());
+  auto f = df.span();
+  auto f1 = df1.span();
+  auto f2 = df2.span();
+  auto w = dw.span();
+  auto cx = dcx.span();
+  auto cy = dcy.span();
+
+  const auto step = [&] {
+    if (a.be == jacc::backend::cpu_rome) {
+      jaccx::sim::cpu_region_config cfg;
+      cfg.name = fused ? "lbm.fused" : "lbm.paper";
+      cfg.flops_per_index = jaccx::lbm::site_flops;
+      jaccx::sim::cpu_parallel_range_2d(
+          dev, cfg, edge, edge, [&](index_t inner, index_t outer) {
+            if (fused) {
+              jaccx::lbm::site_update_fused(outer, inner, f1, f2, 0.8, w, cx,
+                                            cy, edge);
+            } else {
+              jaccx::lbm::site_update(outer, inner, f, f1, f2, 0.8, w, cx,
+                                      cy, edge);
+            }
+          });
+      return;
+    }
+    jaccx::sim::launch_config cfg;
+    const std::int64_t tile = 16;
+    cfg.block = jaccx::sim::dim3{tile, tile};
+    cfg.grid = jaccx::sim::dim3{jaccx::sim::ceil_div(edge, tile),
+                                jaccx::sim::ceil_div(edge, tile)};
+    cfg.name = fused ? "lbm.fused" : "lbm.paper";
+    cfg.flops_per_index = jaccx::lbm::site_flops;
+    jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
+      const index_t y = ctx.global_x();
+      const index_t x = ctx.global_y();
+      if (x < edge && y < edge) {
+        if (fused) {
+          jaccx::lbm::site_update_fused(x, y, f1, f2, 0.8, w, cx, cy, edge);
+        } else {
+          jaccx::lbm::site_update(x, y, f, f1, f2, 0.8, w, cx, cy, edge);
+        }
+      }
+    });
+  };
+  return timed_us(a, step);
+}
+
+void register_all() {
+  for (const auto& a : all_archs) {
+    for (bool fused : {false, true}) {
+      for (index_t edge : {index_t{128}, index_t{512}}) {
+        const std::string name = std::string("abl_lbm_fusion/") + a.name +
+                                 "/" + (fused ? "fused" : "paper_fig10") +
+                                 "/" + std::to_string(edge) + "x" +
+                                 std::to_string(edge);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [a, fused, edge](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = lbm_variant_us(a, fused, edge);
+                st.SetIterationTime(us * 1e-6);
+              }
+              st.counters["sim_us"] = us;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== LBM formulation ablation: Fig. 10 scratch lattice vs "
+            "register fusion ===");
+  for (const auto& a : all_archs) {
+    const double paper = lbm_variant_us(a, false, 512);
+    const double fused = lbm_variant_us(a, true, 512);
+    std::printf("%-8s 512x512: paper %9.1f us, fused %9.1f us -> fusion "
+                "saves %.1f%%\n",
+                a.name, paper, fused, (1.0 - fused / paper) * 100.0);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

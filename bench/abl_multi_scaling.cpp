@@ -1,0 +1,122 @@
+// Ablation / extension bench: multi-device scaling (paper Sec. VII future
+// work).  Strong scaling (fixed n, 1..8 simulated A100s) and weak scaling
+// (n per device fixed) for AXPY, DOT, and a halo-exchanged 3-point
+// smoother.  Shows where sharding pays (bandwidth-bound large arrays) and
+// where it cannot (launch/transfer-latency-bound reductions).
+#include <cstdio>
+
+#include "fig_common.hpp"
+#include "multi/multi.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::multi::context;
+using jaccx::multi::marray;
+
+enum class op { axpy, dot, smoother };
+constexpr const char* op_names[] = {"axpy", "dot", "smoother"};
+
+double multi_op_us(int ndev, op which, index_t n) {
+  context ctx(jacc::backend::cuda_a100, ndev);
+  ctx.reset_clocks();
+  marray<double> x(ctx, std::vector<double>(static_cast<std::size_t>(n), 1.0),
+                   which == op::smoother ? 1 : 0);
+  marray<double> y(ctx, std::vector<double>(static_cast<std::size_t>(n), 2.0),
+                   which == op::smoother ? 1 : 0);
+  const auto run = [&] {
+    switch (which) {
+    case op::axpy:
+      jaccx::multi::parallel_for(
+          ctx, n,
+          [](index_t i, jaccx::sim::device_span<double> xs,
+             jaccx::sim::device_span<double> ys) {
+            xs[i] += 2.0 * static_cast<double>(ys[i]);
+          },
+          x, y);
+      break;
+    case op::dot:
+      benchmark::DoNotOptimize(jaccx::multi::parallel_reduce(
+          ctx, n,
+          [](index_t i, jaccx::sim::device_span<double> xs,
+             jaccx::sim::device_span<double> ys) {
+            return static_cast<double>(xs[i]) * static_cast<double>(ys[i]);
+          },
+          x, y));
+      break;
+    case op::smoother:
+      x.exchange_halos();
+      jaccx::multi::parallel_for(
+          ctx, n,
+          [n](index_t i, jaccx::sim::device_span<double> xs,
+              jaccx::sim::device_span<double> ys, index_t base) {
+            const index_t g = base + i;
+            if (g > 0 && g < n - 1) {
+              ys[i + 1] = (static_cast<double>(xs[i]) +
+                           static_cast<double>(xs[i + 1]) +
+                           static_cast<double>(xs[i + 2])) /
+                          3.0;
+            }
+          },
+          x, y, jaccx::multi::with_base);
+      break;
+    }
+    return ctx.sync();
+  };
+  run(); // warm-up (cache population per device)
+  const double t0 = ctx.now_us();
+  run();
+  return ctx.now_us() - t0;
+}
+
+void register_all() {
+  for (op which : {op::axpy, op::dot, op::smoother}) {
+    for (int ndev : {1, 2, 4, 8}) {
+      // Strong scaling at 4M; weak scaling at 1M per device.
+      for (bool weak : {false, true}) {
+        const index_t n = weak ? (index_t{1} << 20) * ndev : index_t{1} << 22;
+        const std::string name =
+            std::string("abl_multi/") + (weak ? "weak/" : "strong/") +
+            op_names[static_cast<int>(which)] + "/devices_" +
+            std::to_string(ndev);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [ndev, which, n](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = multi_op_us(ndev, which, n);
+                st.SetIterationTime(us * 1e-6);
+              }
+              st.counters["sim_us"] = us;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== multi-device scaling summary (Sec. VII future work) ===");
+  const index_t n = 1 << 22;
+  for (op which : {op::axpy, op::dot, op::smoother}) {
+    const double t1 = multi_op_us(1, which, n);
+    const double t4 = multi_op_us(4, which, n);
+    const double t8 = multi_op_us(8, which, n);
+    std::printf("%-9s n=%lld: 1 dev %9.1f us, 4 dev %9.1f us (%.2fx), "
+                "8 dev %9.1f us (%.2fx)\n",
+                op_names[static_cast<int>(which)], static_cast<long long>(n),
+                t1, t4, t1 / t4, t8, t1 / t8);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

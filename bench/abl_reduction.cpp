@@ -1,0 +1,168 @@
+// Ablation for the Sec. IV design choice: how reductions are structured on
+// GPUs.  Three strategies for the same DOT on each simulated GPU:
+//
+//   native_fused   the paper's Fig. 3 hand-written two-kernel shared-memory
+//                  tree (512-thread blocks) + scalar D2H
+//   jacc_generic   JACC's generic parallel_reduce (256-thread blocks,
+//                  allocation per call) + scalar D2H
+//   naive_d2h      an elementwise product kernel + full-array D2H + host
+//                  sum: what a user writes without a reduction construct
+//   atomic_single  one kernel; every lane atomic-adds its product into a
+//                  single device scalar (charged per-atomic serialization)
+//
+// The naive strategy shows why the two-kernel scheme exists (the full-array
+// transfer dwarfs everything at size); the atomic strategy shows what the
+// shared-memory tree buys over device-wide atomics.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::sim::device_buffer;
+
+constexpr index_t sizes[] = {1 << 12, 1 << 16, 1 << 20};
+
+template <class Api>
+double naive_d2h_dot_us(const arch& a, index_t n) {
+  auto& dev = dev_of(a);
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  device_buffer<double> dx(dev, n), dy(dev, n), dprod(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  auto sx = dx.span();
+  auto sy = dy.span();
+  auto sp = dprod.span();
+  std::vector<double> out(static_cast<std::size_t>(n));
+  return timed_us(a, [&] {
+    const std::int64_t maxt = Api::max_threads();
+    const std::int64_t threads = n < maxt ? n : maxt;
+    Api::launch1d(
+        jaccx::sim::ceil_div(n, threads), threads,
+        [=](jaccx::sim::kernel_ctx& ctx) {
+          const index_t i = ctx.global_x();
+          if (i < n) {
+            sp[i] = static_cast<double>(sx[i]) * static_cast<double>(sy[i]);
+          }
+        },
+        "naive.prod", 1.0);
+    dprod.copy_to_host(out.data());
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      acc += out[static_cast<std::size_t>(i)];
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+}
+
+template <class Api>
+double atomic_dot_us(const arch& a, index_t n) {
+  auto& dev = dev_of(a);
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  device_buffer<double> dx(dev, n), dy(dev, n), dres(dev, 1);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  auto sx = dx.span();
+  auto sy = dy.span();
+  double* res = dres.data();
+  double out = 0.0;
+  return timed_us(a, [&] {
+    dres.fill_untracked(0.0);
+    const std::int64_t maxt = Api::max_threads();
+    const std::int64_t threads = n < maxt ? n : maxt;
+    Api::launch_shared(
+        jaccx::sim::ceil_div(n, threads), threads, 0,
+        [=](jaccx::sim::kernel_ctx& ctx) {
+          const index_t i = ctx.global_x();
+          if (i < n) {
+            ctx.atomic_add(res, static_cast<double>(sx[i]) *
+                                    static_cast<double>(sy[i]));
+          }
+        },
+        "atomic.dot", /*is_reduce=*/true, 1.0);
+    dres.copy_to_host(&out);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+template <class Fn>
+double vendor_dispatch(const arch& a, Fn&& fn) {
+  if (a.be == jacc::backend::cuda_a100) {
+    return fn.template operator()<jaccx::vendor::cuda_api>();
+  }
+  if (a.be == jacc::backend::hip_mi100) {
+    return fn.template operator()<jaccx::vendor::hip_api>();
+  }
+  return fn.template operator()<jaccx::vendor::oneapi_api>();
+}
+
+double strategy_us(const arch& a, int strategy, index_t n) {
+  switch (strategy) {
+  case 0: return blas1_1d_us(a, false, true, n); // native fused (Fig. 3)
+  case 1: return blas1_1d_us(a, true, true, n);  // jacc generic
+  case 2:
+    return vendor_dispatch(a, [&]<class Api>() {
+      return naive_d2h_dot_us<Api>(a, n);
+    });
+  default:
+    return vendor_dispatch(a, [&]<class Api>() {
+      return atomic_dot_us<Api>(a, n);
+    });
+  }
+}
+
+constexpr const char* strategy_names[] = {"native_fused", "jacc_generic",
+                                          "naive_d2h", "atomic_single"};
+
+void register_all() {
+  for (std::size_t k = 1; k < 4; ++k) { // the three GPUs
+    const arch a = all_archs[k];
+    for (int s = 0; s < 4; ++s) {
+      for (index_t n : sizes) {
+        const std::string name = std::string("abl_reduce/") + a.name + "/" +
+                                 strategy_names[s] + "/" + std::to_string(n);
+        benchmark::RegisterBenchmark(name.c_str(), [a, s, n](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = strategy_us(a, s, n);
+                st.SetIterationTime(us * 1e-6);
+              }
+              st.counters["sim_us"] = us;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== Sec. IV ablation summary: reduction structure ===");
+  const index_t n = 1 << 20;
+  for (std::size_t k = 1; k < 4; ++k) {
+    const arch a = all_archs[k];
+    const double fused = strategy_us(a, 0, n);
+    const double generic = strategy_us(a, 1, n);
+    const double naive = strategy_us(a, 2, n);
+    const double atomic = strategy_us(a, 3, n);
+    std::printf("%-8s DOT n=%lld: fused %9.1f us, jacc %9.1f us "
+                "(%+5.1f%%), naive+D2H %9.1f us (%.0fx), atomic %9.1f us "
+                "(%.1fx)\n",
+                a.name, static_cast<long long>(n), fused, generic,
+                (generic / fused - 1.0) * 100.0, naive, naive / fused,
+                atomic, atomic / fused);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 13 reproduction: conjugate-gradient time per iteration (the paper's
+// Fig. 12 operation sequence on a diagonally dominant tridiagonal system),
+// device-specific vs JACC, four architectures.
+//
+// The paper times one iteration at N = 100M; the simulator sweeps to 2^22
+// and the cost model is linear in N beyond cache sizes, so the ratios at
+// the largest size stand in for the 100M point (EXPERIMENTS.md discusses
+// the extrapolation).  Summary checks the Sec. V-C speedups: ~17x (MI100),
+// ~68x (A100), ~4x (Max 1550).
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+
+constexpr index_t sizes[] = {1 << 14, 1 << 17, 1 << 20, 1 << 22};
+
+void bench_point(benchmark::State& state, arch a, bool via_jacc, index_t n) {
+  double us = 0.0;
+  for (auto _ : state) {
+    us = cg_iteration_us(a, via_jacc, n);
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+
+void register_all() {
+  for (const auto& a : all_archs) {
+    for (bool via_jacc : {false, true}) {
+      for (index_t n : sizes) {
+        const std::string name = std::string("fig13/cg/") + a.name + "/" +
+                                 (via_jacc ? "jacc" : "native") + "/" +
+                                 std::to_string(n);
+        benchmark::RegisterBenchmark(name.c_str(), [a, via_jacc, n](benchmark::State& st) {
+              bench_point(st, a, via_jacc, n);
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== Fig. 13 paper-parity summary (Sec. V-C) ===");
+  const index_t n = 1 << 22;
+  const double cpu = cg_iteration_us(all_archs[0], true, n);
+  const double paper_speedup[] = {1.0, 17.0, 68.0, 4.0};
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto& a = all_archs[k];
+    const double native_us = cg_iteration_us(a, false, n);
+    const double jacc_us = cg_iteration_us(a, true, n);
+    std::printf("%-8s n=%lld: native %10.1f us, JACC %10.1f us "
+                "(overhead %+5.1f%%), JACC speedup vs CPU %5.1fx "
+                "(paper: %.0fx)\n",
+                a.name, static_cast<long long>(n), native_us, jacc_us,
+                (jacc_us / native_us - 1.0) * 100.0, cpu / jacc_us,
+                paper_speedup[k]);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,247 @@
+#include "fig_common.hpp"
+
+#include <cstdio>
+
+namespace jaccx::bench {
+namespace {
+
+/// Dispatches a native (device-specific) operation to the right vendor API.
+template <class CudaFn, class HipFn, class OneFn, class RomeFn>
+double native_dispatch(const arch& a, CudaFn cuda, HipFn hip, OneFn one,
+                       RomeFn rome) {
+  if (a.be == backend::cuda_a100) {
+    return cuda();
+  }
+  if (a.be == backend::hip_mi100) {
+    return hip();
+  }
+  if (a.be == backend::oneapi_max1550) {
+    return one();
+  }
+  return rome();
+}
+
+} // namespace
+
+double blas1_1d_us(const arch& a, bool via_jacc, bool is_dot, index_t n) {
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  if (via_jacc) {
+    jacc::scoped_backend sb(a.be);
+    blas::darray x(host), y(host);
+    return timed_us(a, [&] {
+      if (is_dot) {
+        benchmark::DoNotOptimize(blas::jacc_dot(n, x, y));
+      } else {
+        blas::jacc_axpy(n, 2.0, x, y);
+      }
+    });
+  }
+  auto& dev = dev_of(a);
+  sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  auto sx = dx.span();
+  auto sy = dy.span();
+  return native_dispatch(
+      a,
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot<vendor::cuda_api>(n, sx, sy));
+          } else {
+            blas::native_gpu_axpy<vendor::cuda_api>(n, 2.0, sx, sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot<vendor::hip_api>(n, sx, sy));
+          } else {
+            blas::native_gpu_axpy<vendor::hip_api>(n, 2.0, sx, sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot<vendor::oneapi_api>(n, sx, sy));
+          } else {
+            blas::native_gpu_axpy<vendor::oneapi_api>(n, 2.0, sx, sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(blas::rome_dot(dev_of(a), n, sx, sy));
+          } else {
+            blas::rome_axpy(dev_of(a), n, 2.0, sx, sy);
+          }
+        });
+      });
+}
+
+double blas1_2d_us(const arch& a, bool via_jacc, bool is_dot, index_t edge) {
+  const index_t n = edge * edge;
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  if (via_jacc) {
+    jacc::scoped_backend sb(a.be);
+    blas::darray2d x(host, edge, edge), y(host, edge, edge);
+    return timed_us(a, [&] {
+      if (is_dot) {
+        benchmark::DoNotOptimize(blas::jacc_dot2d(edge, edge, x, y));
+      } else {
+        blas::jacc_axpy2d(edge, edge, 2.0, x, y);
+      }
+    });
+  }
+  auto& dev = dev_of(a);
+  sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  auto sx = dx.span2d(edge, edge);
+  auto sy = dy.span2d(edge, edge);
+  return native_dispatch(
+      a,
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot2d<vendor::cuda_api>(edge, edge, sx, sy));
+          } else {
+            blas::native_gpu_axpy2d<vendor::cuda_api>(edge, edge, 2.0, sx,
+                                                      sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot2d<vendor::hip_api>(edge, edge, sx, sy));
+          } else {
+            blas::native_gpu_axpy2d<vendor::hip_api>(edge, edge, 2.0, sx, sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::native_gpu_dot2d<vendor::oneapi_api>(edge, edge, sx,
+                                                           sy));
+          } else {
+            blas::native_gpu_axpy2d<vendor::oneapi_api>(edge, edge, 2.0, sx,
+                                                        sy);
+          }
+        });
+      },
+      [&] {
+        return timed_us(a, [&] {
+          if (is_dot) {
+            benchmark::DoNotOptimize(
+                blas::rome_dot2d(dev_of(a), edge, edge, sx, sy));
+          } else {
+            blas::rome_axpy2d(dev_of(a), edge, edge, 2.0, sx, sy);
+          }
+        });
+      });
+}
+
+double lbm_step_us(const arch& a, bool via_jacc, index_t edge) {
+  if (via_jacc) {
+    jacc::scoped_backend sb(a.be);
+    lbm::simulation sim(lbm::params{.size = edge, .tau = 0.8});
+    sim.init_pulse();
+    return timed_us(a, [&] { sim.step(); });
+  }
+  auto& dev = dev_of(a);
+  const index_t total = lbm::q * edge * edge;
+  std::vector<double> init(static_cast<std::size_t>(total));
+  const index_t plane = edge * edge;
+  for (int k = 0; k < lbm::q; ++k) {
+    for (index_t s = 0; s < plane; ++s) {
+      init[static_cast<std::size_t>(k * plane + s)] =
+          lbm::weights[static_cast<std::size_t>(k)];
+    }
+  }
+  sim::device_buffer<double> df(dev, total), df1(dev, total),
+      df2(dev, total), dw(dev, lbm::q), dcx(dev, lbm::q), dcy(dev, lbm::q);
+  df1.copy_from_host(init.data());
+  df2.copy_from_host(init.data());
+  dw.copy_from_host(lbm::weights.data());
+  dcx.copy_from_host(lbm::vel_x.data());
+  dcy.copy_from_host(lbm::vel_y.data());
+  lbm::native_state st{df.span(), df1.span(), df2.span(), dw.span(),
+                       dcx.span(), dcy.span(), edge, 0.8};
+  return native_dispatch(
+      a,
+      [&] {
+        return timed_us(a, [&] { lbm::native_gpu_step<vendor::cuda_api>(st); });
+      },
+      [&] {
+        return timed_us(a, [&] { lbm::native_gpu_step<vendor::hip_api>(st); });
+      },
+      [&] {
+        return timed_us(a,
+                        [&] { lbm::native_gpu_step<vendor::oneapi_api>(st); });
+      },
+      [&] { return timed_us(a, [&] { lbm::rome_step(dev_of(a), st); }); });
+}
+
+double cg_iteration_us(const arch& a, bool via_jacc, index_t n) {
+  if (via_jacc) {
+    jacc::scoped_backend sb(a.be);
+    cg::paper_state st(n);
+    return timed_us(a, [&] { cg::paper_iteration(st); });
+  }
+  auto& dev = dev_of(a);
+  const std::vector<double> half(static_cast<std::size_t>(n), 0.5);
+  const std::vector<double> zero(static_cast<std::size_t>(n), 0.0);
+  const std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
+  const std::vector<double> fours(static_cast<std::size_t>(n), 4.0);
+  sim::device_buffer<double> sub(dev, n), diag(dev, n), super(dev, n),
+      r(dev, n), p(dev, n), s(dev, n), x(dev, n), r_old(dev, n),
+      r_aux(dev, n);
+  sub.copy_from_host(ones.data());
+  diag.copy_from_host(fours.data());
+  super.copy_from_host(ones.data());
+  r.copy_from_host(half.data());
+  p.copy_from_host(half.data());
+  s.copy_from_host(zero.data());
+  x.copy_from_host(zero.data());
+  r_old.copy_from_host(zero.data());
+  r_aux.copy_from_host(zero.data());
+  cg::native_workset st{sub.span(), diag.span(), super.span(), r.span(),
+                        p.span(),   s.span(),    x.span(),     r_old.span(),
+                        r_aux.span(), n};
+  return native_dispatch(
+      a,
+      [&] {
+        return timed_us(
+            a, [&] { cg::native_gpu_iteration<vendor::cuda_api>(st); });
+      },
+      [&] {
+        return timed_us(a,
+                        [&] { cg::native_gpu_iteration<vendor::hip_api>(st); });
+      },
+      [&] {
+        return timed_us(
+            a, [&] { cg::native_gpu_iteration<vendor::oneapi_api>(st); });
+      },
+      [&] { return timed_us(a, [&] { cg::rome_iteration(dev_of(a), st); }); });
+}
+
+std::string row(const char* figure, const char* device, const char* model,
+                const char* op, index_t n, double us) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-6s %-8s %-7s %-6s n=%-10lld %12.2f us",
+                figure, device, model, op, static_cast<long long>(n), us);
+  return buf;
+}
+
+} // namespace jaccx::bench

@@ -1,0 +1,86 @@
+// Shared measurement runners for the figure-reproduction benchmarks.
+//
+// Every figure in the paper's evaluation compares, per architecture, the
+// device-specific code against the JACC code.  A runner here performs one
+// such measurement and returns *simulated* microseconds from the device
+// timeline; the bench binaries feed that into google-benchmark's
+// manual-time mode and print paper-parity summaries.
+//
+// Measurement protocol: allocate fresh state, run the operation once to
+// warm the modeled cache (the paper reports steady-state times), then time
+// the second run.  Event logging is disabled during sweeps.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "blas/jacc_blas.hpp"
+#include "blas/native_cpu.hpp"
+#include "blas/native_gpu.hpp"
+#include "cg/native.hpp"
+#include "cg/solver.hpp"
+#include "core/jacc.hpp"
+#include "lbm/native.hpp"
+#include "lbm/simulation.hpp"
+
+namespace jaccx::bench {
+
+using jacc::backend;
+using jacc::index_t;
+
+/// One of the paper's four testbeds.
+struct arch {
+  const char* name;    ///< row label, e.g. "rome64"
+  backend be;          ///< JACC backend targeting it
+};
+
+inline constexpr arch all_archs[] = {
+    {"rome64", backend::cpu_rome},
+    {"mi100", backend::hip_mi100},
+    {"a100", backend::cuda_a100},
+    {"max1550", backend::oneapi_max1550},
+};
+
+inline sim::device& dev_of(const arch& a) {
+  return *jacc::backend_device(a.be);
+}
+
+/// Runs op() twice (warm-up + timed) on the arch's device and returns the
+/// simulated duration of the second run in microseconds.
+template <class Op>
+double timed_us(const arch& a, const Op& op) {
+  auto& dev = dev_of(a);
+  dev.tl().set_logging(false);
+  dev.cache().reset();
+  op(); // warm-up: populates the modeled cache
+  const double t0 = dev.tl().now_us();
+  op();
+  const double t1 = dev.tl().now_us();
+  dev.tl().set_logging(true);
+  dev.reset_clock();
+  return t1 - t0;
+}
+
+// --- Fig. 8: 1D AXPY / DOT --------------------------------------------------
+
+double blas1_1d_us(const arch& a, bool via_jacc, bool is_dot, index_t n);
+
+// --- Fig. 9: 2D AXPY / DOT --------------------------------------------------
+
+double blas1_2d_us(const arch& a, bool via_jacc, bool is_dot, index_t edge);
+
+// --- Fig. 11: LBM D2Q9 pull, time per step ----------------------------------
+
+double lbm_step_us(const arch& a, bool via_jacc, index_t edge);
+
+// --- Fig. 13: CG, time per iteration ----------------------------------------
+
+double cg_iteration_us(const arch& a, bool via_jacc, index_t n);
+
+/// Pretty one-line summary row: "fig08  a100  jacc  axpy  n=1048576  42.1us".
+std::string row(const char* figure, const char* device, const char* model,
+                const char* op, index_t n, double us);
+
+} // namespace jaccx::bench

@@ -1,0 +1,64 @@
+// Backend tour: the paper's portability claim made concrete — one kernel
+// source, executed on all six back ends in one process, with identical
+// results and a per-device account of where the simulated time went.
+//
+//   ./backend_tour [n=1000000]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blas/jacc_blas.hpp"
+#include "core/jacc.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using jacc::index_t;
+  const index_t n = argc > 1 ? std::atoll(argv[1]) : 1'000'000;
+
+  std::vector<double> xs(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> ys(static_cast<std::size_t>(n), 2.0);
+
+  std::printf("%-16s %14s %14s %14s  %s\n", "backend", "dot result",
+              "wall ms", "device us", "notes");
+  for (jacc::backend b : jacc::all_backends) {
+    jacc::scoped_backend sb(b);
+    if (auto* dev = jacc::backend_device(b)) {
+      dev->reset_clock();
+      dev->cache().reset();
+    }
+    jaccx::stopwatch sw;
+    jacc::array<double> x(xs), y(ys);
+    jaccx::blas::jacc_axpy(n, 2.5, x, y);
+    const double dot = jaccx::blas::jacc_dot(n, x, y);
+    const double wall_ms = sw.elapsed_ms();
+
+    std::string notes;
+    double device_us = 0.0;
+    if (auto* dev = jacc::backend_device(b)) {
+      device_us = dev->tl().now_us();
+      // Break the account down by event kind.
+      double kern = 0.0;
+      double xfer = 0.0;
+      for (const auto& e : dev->tl().events()) {
+        if (e.kind == jaccx::sim::event_kind::kernel) {
+          kern += e.duration_us;
+        } else if (e.kind != jaccx::sim::event_kind::alloc) {
+          xfer += e.duration_us;
+        }
+      }
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "kernels %.0fus, transfers %.0fus",
+                    kern, xfer);
+      notes = buf;
+    } else {
+      notes = "real execution (host wall clock is the measurement)";
+    }
+    std::printf("%-16s %14.1f %14.2f %14.1f  %s\n",
+                std::string(jacc::to_string(b)).c_str(), dot, wall_ms,
+                device_us, notes.c_str());
+  }
+  std::puts("\nSame source, same results; only the configured backend "
+            "changed (paper Sec. III).");
+  return 0;
+}

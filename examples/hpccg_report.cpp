@@ -1,0 +1,107 @@
+// HPCCG-style benchmark report (the supercomputing benchmark the paper's
+// CG study stands in for): generates the 27-point problem, runs CG to
+// convergence through the JACC front end, and prints the classic breakdown
+// — time and MFLOP/s for DDOT / WAXPBY / SPARSEMV — using the simulated
+// device timeline (or wall clock on real back ends).
+//
+//   ./hpccg_report [nx=32] [ny=32] [nz=32]
+//   JACC_BACKEND=cuda ./hpccg_report 48 48 48
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "cg/solver.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using jacc::index_t;
+  jacc::initialize();
+  const index_t nx = argc > 1 ? std::atoll(argv[1]) : 32;
+  const index_t ny = argc > 2 ? std::atoll(argv[2]) : 32;
+  const index_t nz = argc > 3 ? std::atoll(argv[3]) : 32;
+
+  const auto host = jaccx::cg::make_hpccg_27pt(nx, ny, nz);
+  jaccx::cg::csr_system A(host);
+  jaccx::cg::darray b(host.rhs_for_ones());
+  jaccx::cg::darray x(A.rows);
+
+  auto* dev = jacc::backend_device(jacc::current_backend());
+  if (dev != nullptr) {
+    dev->reset_clock();
+    dev->cache().reset();
+  }
+
+  jaccx::stopwatch wall;
+  const auto res =
+      jaccx::cg::cg_solve(A, b, x, {.max_iterations = 500,
+                                    .tolerance = 1e-10});
+  const double wall_ms = wall.elapsed_ms();
+
+  std::printf("HPCCG-style report (backend %s)\n",
+              std::string(jacc::to_string(jacc::current_backend())).c_str());
+  std::printf("  dimensions         : %lld x %lld x %lld (%lld rows, %lld "
+              "nonzeros)\n",
+              static_cast<long long>(nx), static_cast<long long>(ny),
+              static_cast<long long>(nz), static_cast<long long>(A.rows),
+              static_cast<long long>(host.nnz()));
+  std::printf("  iterations         : %d (%s)\n", res.iterations,
+              res.converged ? "converged" : "NOT converged");
+  std::printf("  final rel residual : %.3e\n", res.relative_residual);
+  std::printf("  wall time          : %.2f ms (host, includes simulation "
+              "overhead)\n",
+              wall_ms);
+
+  // Flop accounting per iteration, HPCCG-style.
+  const double n = static_cast<double>(A.rows);
+  const double ddot_flops = 2.0 * n * 2.0;    // two dots per iteration
+  const double waxpby_flops = 2.0 * n * 3.0;  // two axpys + one xpay
+  const double spmv_flops = 2.0 * static_cast<double>(host.nnz());
+  const double iters = res.iterations;
+
+  if (dev != nullptr) {
+    // Aggregate simulated time by kernel-name family.
+    std::map<std::string, double> by_family;
+    for (const auto& e : dev->tl().events()) {
+      std::string family = e.name;
+      if (family.find("dot") != std::string::npos ||
+          family.find("zeros") != std::string::npos ||
+          family.find("reduce") != std::string::npos) {
+        family = "DDOT";
+      } else if (family.find("axpy") != std::string::npos ||
+                 family.find("xpay") != std::string::npos ||
+                 family.find("copy") != std::string::npos ||
+                 family.find("residual") != std::string::npos) {
+        family = "WAXPBY";
+      } else if (family.find("spmv") != std::string::npos) {
+        family = "SPARSEMV";
+      } else {
+        family = "other";
+      }
+      by_family[family] += e.duration_us;
+    }
+    const double total = dev->tl().now_us();
+    std::printf("  device time        : %.1f us simulated on %s\n", total,
+                dev->model().name.c_str());
+    const auto line = [&](const char* name, double flops_per_iter) {
+      const double us = by_family.count(name) != 0u ? by_family[name] : 0.0;
+      const double mflops =
+          us > 0.0 ? iters * flops_per_iter / us : 0.0; // flops/us == MFLOP/s
+      std::printf("  %-9s: %10.1f us (%4.1f%%)  %10.0f MFLOP/s\n", name, us,
+                  100.0 * us / total, mflops);
+    };
+    line("DDOT", ddot_flops);
+    line("WAXPBY", waxpby_flops);
+    line("SPARSEMV", spmv_flops);
+    if (by_family.count("other") != 0u) {
+      std::printf("  %-9s: %10.1f us (%4.1f%%)\n", "other",
+                  by_family["other"], 100.0 * by_family["other"] / total);
+    }
+  } else {
+    const double total_flops =
+        iters * (ddot_flops + waxpby_flops + spmv_flops);
+    std::printf("  aggregate          : %.0f MFLOP/s (wall clock)\n",
+                total_flops / (wall_ms * 1000.0));
+  }
+  return res.converged ? 0 : 1;
+}

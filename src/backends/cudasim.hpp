@@ -1,0 +1,103 @@
+// CUDA.jl-flavoured native API over the SIMT simulator.
+//
+// Device-specific comparator codes in the paper (Fig. 3, Fig. 6) are written
+// directly against CUDA.jl: CuArray, CUDA.zeros, @cuda threads=.. blocks=..,
+// attribute(device(), MAX_BLOCK_DIM_X), @cuDynamicSharedMem, sync_threads.
+// This header provides the same vocabulary so the benchmark sources read
+// like the paper's listings.  All launches are synchronous (CUDA.@sync).
+#pragma once
+
+#include <string_view>
+
+#include "sim/launch.hpp"
+
+namespace jaccx::cudasim {
+
+using sim::dim3;
+using sim::kernel_ctx;
+
+template <class T>
+using cu_array = sim::device_buffer<T>;
+
+/// The simulated NVIDIA A100 this process talks to.
+sim::device& device();
+
+/// CUDA.DEVICE_ATTRIBUTE_MAX_BLOCK_DIM_X analogue.
+int max_block_dim_x();
+
+/// CuArray(host_data): allocate + H2D, as `dx = CuArray(x)`.
+template <class T>
+cu_array<T> to_device(const T* host, index_t n,
+                      std::string_view name = "CuArray") {
+  cu_array<T> buf(device(), n, name);
+  buf.copy_from_host(host, name);
+  return buf;
+}
+
+/// CUDA.zeros(Float64, n): allocates and runs a fill kernel (real work on
+/// real hardware, so it is charged as a kernel here too).
+template <class T>
+cu_array<T> zeros(index_t n, std::string_view name = "CUDA.zeros") {
+  cu_array<T> buf(device(), n, name);
+  auto s = buf.span();
+  sim::launch_config cfg;
+  const std::int64_t threads =
+      n < max_block_dim_x() ? (n > 0 ? n : 1) : max_block_dim_x();
+  cfg.block = dim3{threads};
+  cfg.grid = dim3{sim::ceil_div(n > 0 ? n : 1, threads)};
+  cfg.name = name;
+  sim::launch(device(), cfg, [s, n](kernel_ctx& ctx) {
+    const auto i = ctx.global_x();
+    if (i < n) {
+      s[i] = T{};
+    }
+  });
+  return buf;
+}
+
+/// `CUDA.@sync @cuda threads=.. blocks=.. shmem=..` for kernels without
+/// barriers.
+template <class K>
+void launch(std::int64_t blocks, std::int64_t threads, const K& kernel,
+            std::string_view name = "cuda_kernel",
+            std::size_t shmem_bytes = 0, double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{blocks};
+  cfg.block = dim3{threads};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// 2D variant: threads/blocks given per dimension (paper Fig. 6 uses 16x16).
+template <class K>
+void launch2d(dim3 blocks, dim3 threads, const K& kernel,
+              std::string_view name = "cuda_kernel2d",
+              double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = blocks;
+  cfg.block = threads;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// Cooperative variant for kernels that use @cuDynamicSharedMem +
+/// sync_threads (the Fig. 3 DOT reduction).
+template <class K>
+void launch_shared(std::int64_t blocks, std::int64_t threads,
+                   std::size_t shmem_bytes, const K& kernel,
+                   std::string_view name = "cuda_kernel_shared",
+                   bool is_reduce = false, double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{blocks};
+  cfg.block = dim3{threads};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flavor.is_reduce = is_reduce;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch_cooperative(device(), cfg, kernel);
+}
+
+} // namespace jaccx::cudasim

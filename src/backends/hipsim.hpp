@@ -1,0 +1,99 @@
+// AMDGPU.jl-flavoured native API over the SIMT simulator (MI100 model).
+//
+// AMDGPU.jl speaks in workgroups/groupsize (@roc groupsize=.. gridsize=..)
+// and ROCArray; semantics mirror the CUDA wrapper but run against the MI100
+// device model, whose higher launch/transfer latencies reproduce the AMD
+// results of the paper's Sec. V.
+#pragma once
+
+#include <string_view>
+
+#include "sim/launch.hpp"
+
+namespace jaccx::hipsim {
+
+using sim::dim3;
+using sim::kernel_ctx;
+
+template <class T>
+using roc_array = sim::device_buffer<T>;
+
+/// The simulated AMD MI100 this process talks to.
+sim::device& device();
+
+/// Maximum workgroup size on the x dimension.
+int max_workgroup_dim_x();
+
+/// ROCArray(host_data): allocate + H2D.
+template <class T>
+roc_array<T> to_device(const T* host, index_t n,
+                       std::string_view name = "ROCArray") {
+  roc_array<T> buf(device(), n, name);
+  buf.copy_from_host(host, name);
+  return buf;
+}
+
+/// AMDGPU.zeros(Float64, n): allocate + fill kernel.
+template <class T>
+roc_array<T> zeros(index_t n, std::string_view name = "AMDGPU.zeros") {
+  roc_array<T> buf(device(), n, name);
+  auto s = buf.span();
+  sim::launch_config cfg;
+  const std::int64_t groupsize =
+      n < max_workgroup_dim_x() ? (n > 0 ? n : 1) : max_workgroup_dim_x();
+  cfg.block = dim3{groupsize};
+  cfg.grid = dim3{sim::ceil_div(n > 0 ? n : 1, groupsize)};
+  cfg.name = name;
+  sim::launch(device(), cfg, [s, n](kernel_ctx& ctx) {
+    const auto i = ctx.global_x();
+    if (i < n) {
+      s[i] = T{};
+    }
+  });
+  return buf;
+}
+
+/// `AMDGPU.@sync @roc groupsize=.. gridsize=..` for barrier-free kernels.
+template <class K>
+void launch(std::int64_t gridsize, std::int64_t groupsize, const K& kernel,
+            std::string_view name = "roc_kernel", std::size_t shmem_bytes = 0,
+            double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{gridsize};
+  cfg.block = dim3{groupsize};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// 2D variant (16x16 workgroups in the paper's multidimensional mapping).
+template <class K>
+void launch2d(dim3 gridsize, dim3 groupsize, const K& kernel,
+              std::string_view name = "roc_kernel2d",
+              double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = gridsize;
+  cfg.block = groupsize;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// Cooperative variant for LDS + sync_workgroup kernels (shared-memory DOT).
+template <class K>
+void launch_shared(std::int64_t gridsize, std::int64_t groupsize,
+                   std::size_t shmem_bytes, const K& kernel,
+                   std::string_view name = "roc_kernel_shared",
+                   bool is_reduce = false, double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{gridsize};
+  cfg.block = dim3{groupsize};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flavor.is_reduce = is_reduce;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch_cooperative(device(), cfg, kernel);
+}
+
+} // namespace jaccx::hipsim

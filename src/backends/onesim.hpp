@@ -1,0 +1,99 @@
+// oneAPI.jl-flavoured native API over the SIMT simulator (Max 1550 model).
+//
+// oneAPI.jl speaks in items/groups (@oneapi items=.. groups=..) with
+// get_global_id(); note the paper's Fig. 7 maps dimension 0 to the SECOND
+// loop index (j) and dimension 1 to the first (i) — the wrapper preserves
+// that convention in launch2d.
+#pragma once
+
+#include <string_view>
+
+#include "sim/launch.hpp"
+
+namespace jaccx::onesim {
+
+using sim::dim3;
+using sim::kernel_ctx;
+
+template <class T>
+using one_array = sim::device_buffer<T>;
+
+/// The simulated Intel Data Center Max 1550 this process talks to.
+sim::device& device();
+
+/// oneL0 compute_properties maxTotalGroupSize analogue.
+int max_total_group_size();
+
+/// oneArray(host_data): allocate + H2D.
+template <class T>
+one_array<T> to_device(const T* host, index_t n,
+                       std::string_view name = "oneArray") {
+  one_array<T> buf(device(), n, name);
+  buf.copy_from_host(host, name);
+  return buf;
+}
+
+/// oneAPI.zeros(Float64, n): allocate + fill kernel.
+template <class T>
+one_array<T> zeros(index_t n, std::string_view name = "oneAPI.zeros") {
+  one_array<T> buf(device(), n, name);
+  auto s = buf.span();
+  sim::launch_config cfg;
+  const std::int64_t items =
+      n < max_total_group_size() ? (n > 0 ? n : 1) : max_total_group_size();
+  cfg.block = dim3{items};
+  cfg.grid = dim3{sim::ceil_div(n > 0 ? n : 1, items)};
+  cfg.name = name;
+  sim::launch(device(), cfg, [s, n](kernel_ctx& ctx) {
+    const auto i = ctx.global_x();
+    if (i < n) {
+      s[i] = T{};
+    }
+  });
+  return buf;
+}
+
+/// `oneAPI.@sync @oneapi items=.. groups=..` for barrier-free kernels.
+template <class K>
+void launch(std::int64_t groups, std::int64_t items, const K& kernel,
+            std::string_view name = "oneapi_kernel",
+            std::size_t shmem_bytes = 0, double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{groups};
+  cfg.block = dim3{items};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// 2D variant.
+template <class K>
+void launch2d(dim3 groups, dim3 items, const K& kernel,
+              std::string_view name = "oneapi_kernel2d",
+              double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = groups;
+  cfg.block = items;
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(device(), cfg, kernel);
+}
+
+/// Cooperative variant for SLM + barrier kernels.
+template <class K>
+void launch_shared(std::int64_t groups, std::int64_t items,
+                   std::size_t shmem_bytes, const K& kernel,
+                   std::string_view name = "oneapi_kernel_shared",
+                   bool is_reduce = false, double flops_per_index = 0.0) {
+  sim::launch_config cfg;
+  cfg.grid = dim3{groups};
+  cfg.block = dim3{items};
+  cfg.shmem_bytes = shmem_bytes;
+  cfg.name = name;
+  cfg.flavor.is_reduce = is_reduce;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch_cooperative(device(), cfg, kernel);
+}
+
+} // namespace jaccx::onesim

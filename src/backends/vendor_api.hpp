@@ -1,0 +1,116 @@
+// Uniform policy types over the three vendor-style wrappers, so the native
+// device-specific algorithms (the paper's comparator codes) can be written
+// once and instantiated per vendor — the way the paper's Julia listings are
+// structurally identical across CUDA.jl/AMDGPU.jl/oneAPI.jl and differ only
+// in vocabulary.
+#pragma once
+
+#include "backends/cudasim.hpp"
+#include "backends/hipsim.hpp"
+#include "backends/onesim.hpp"
+
+namespace jaccx::vendor {
+
+struct cuda_api {
+  static constexpr std::string_view name() { return "cuda"; }
+  static sim::device& device() { return cudasim::device(); }
+  static int max_threads() { return cudasim::max_block_dim_x(); }
+
+  template <class T>
+  static sim::device_buffer<T> to_device(const T* host, index_t n) {
+    return cudasim::to_device<T>(host, n);
+  }
+  template <class T>
+  static sim::device_buffer<T> zeros(index_t n) {
+    return cudasim::zeros<T>(n);
+  }
+  template <class K>
+  static void launch1d(std::int64_t blocks, std::int64_t threads,
+                       const K& kernel, std::string_view kname,
+                       double flops_per_index = 0.0) {
+    cudasim::launch(blocks, threads, kernel, kname, 0, flops_per_index);
+  }
+  template <class K>
+  static void launch2d(sim::dim3 blocks, sim::dim3 threads, const K& kernel,
+                       std::string_view kname, double flops_per_index = 0.0) {
+    cudasim::launch2d(blocks, threads, kernel, kname, flops_per_index);
+  }
+  template <class K>
+  static void launch_shared(std::int64_t blocks, std::int64_t threads,
+                            std::size_t shmem_bytes, const K& kernel,
+                            std::string_view kname, bool is_reduce,
+                            double flops_per_index = 0.0) {
+    cudasim::launch_shared(blocks, threads, shmem_bytes, kernel, kname,
+                           is_reduce, flops_per_index);
+  }
+};
+
+struct hip_api {
+  static constexpr std::string_view name() { return "amdgpu"; }
+  static sim::device& device() { return hipsim::device(); }
+  static int max_threads() { return hipsim::max_workgroup_dim_x(); }
+
+  template <class T>
+  static sim::device_buffer<T> to_device(const T* host, index_t n) {
+    return hipsim::to_device<T>(host, n);
+  }
+  template <class T>
+  static sim::device_buffer<T> zeros(index_t n) {
+    return hipsim::zeros<T>(n);
+  }
+  template <class K>
+  static void launch1d(std::int64_t blocks, std::int64_t threads,
+                       const K& kernel, std::string_view kname,
+                       double flops_per_index = 0.0) {
+    hipsim::launch(blocks, threads, kernel, kname, 0, flops_per_index);
+  }
+  template <class K>
+  static void launch2d(sim::dim3 blocks, sim::dim3 threads, const K& kernel,
+                       std::string_view kname, double flops_per_index = 0.0) {
+    hipsim::launch2d(blocks, threads, kernel, kname, flops_per_index);
+  }
+  template <class K>
+  static void launch_shared(std::int64_t blocks, std::int64_t threads,
+                            std::size_t shmem_bytes, const K& kernel,
+                            std::string_view kname, bool is_reduce,
+                            double flops_per_index = 0.0) {
+    hipsim::launch_shared(blocks, threads, shmem_bytes, kernel, kname,
+                          is_reduce, flops_per_index);
+  }
+};
+
+struct oneapi_api {
+  static constexpr std::string_view name() { return "oneapi"; }
+  static sim::device& device() { return onesim::device(); }
+  static int max_threads() { return onesim::max_total_group_size(); }
+
+  template <class T>
+  static sim::device_buffer<T> to_device(const T* host, index_t n) {
+    return onesim::to_device<T>(host, n);
+  }
+  template <class T>
+  static sim::device_buffer<T> zeros(index_t n) {
+    return onesim::zeros<T>(n);
+  }
+  template <class K>
+  static void launch1d(std::int64_t blocks, std::int64_t threads,
+                       const K& kernel, std::string_view kname,
+                       double flops_per_index = 0.0) {
+    onesim::launch(blocks, threads, kernel, kname, 0, flops_per_index);
+  }
+  template <class K>
+  static void launch2d(sim::dim3 blocks, sim::dim3 threads, const K& kernel,
+                       std::string_view kname, double flops_per_index = 0.0) {
+    onesim::launch2d(blocks, threads, kernel, kname, flops_per_index);
+  }
+  template <class K>
+  static void launch_shared(std::int64_t blocks, std::int64_t threads,
+                            std::size_t shmem_bytes, const K& kernel,
+                            std::string_view kname, bool is_reduce,
+                            double flops_per_index = 0.0) {
+    onesim::launch_shared(blocks, threads, shmem_bytes, kernel, kname,
+                          is_reduce, flops_per_index);
+  }
+};
+
+} // namespace jaccx::vendor

@@ -1,0 +1,27 @@
+#include "backends/cudasim.hpp"
+#include "backends/hipsim.hpp"
+#include "backends/onesim.hpp"
+
+namespace jaccx::cudasim {
+
+sim::device& device() { return sim::get_device("a100"); }
+
+int max_block_dim_x() { return device().model().max_threads_per_block; }
+
+} // namespace jaccx::cudasim
+
+namespace jaccx::hipsim {
+
+sim::device& device() { return sim::get_device("mi100"); }
+
+int max_workgroup_dim_x() { return device().model().max_threads_per_block; }
+
+} // namespace jaccx::hipsim
+
+namespace jaccx::onesim {
+
+sim::device& device() { return sim::get_device("max1550"); }
+
+int max_total_group_size() { return device().model().max_threads_per_block; }
+
+} // namespace jaccx::onesim

@@ -1,0 +1,48 @@
+// Portable BLAS-1 drivers over the JACC front end: the code measured as
+// "JACC" in every figure of the paper.  One source; the backend is whatever
+// jacc::current_backend() says.
+#pragma once
+
+#include "blas/kernels.hpp"
+
+namespace jaccx::blas {
+
+/// AXPY via jacc::parallel_for (paper Fig. 2, 1D).
+void jacc_axpy(index_t n, double alpha, darray& x, const darray& y);
+
+/// DOT via jacc::parallel_reduce (paper Fig. 2, 1D).
+double jacc_dot(index_t n, const darray& x, const darray& y);
+
+/// AXPY via the multidimensional API (paper Fig. 2, 2D).
+void jacc_axpy2d(index_t rows, index_t cols, double alpha, darray2d& x,
+                 const darray2d& y);
+
+/// DOT via the multidimensional API (paper Fig. 2, 2D).
+double jacc_dot2d(index_t rows, index_t cols, const darray2d& x,
+                  const darray2d& y);
+
+// --- extended level-1 drivers ------------------------------------------------
+
+/// x *= alpha
+void jacc_scal(index_t n, double alpha, darray& x);
+
+/// y = x
+void jacc_copy(index_t n, const darray& x, darray& y);
+
+/// x <-> y
+void jacc_swap(index_t n, darray& x, darray& y);
+
+/// sum_i |x[i]|
+double jacc_asum(index_t n, const darray& x);
+
+/// sqrt(sum_i x[i]^2)
+double jacc_nrm2(index_t n, const darray& x);
+
+/// max_i |x[i]| (the value, not the index — reducers are value-typed)
+double jacc_amax(index_t n, const darray& x);
+
+/// Dense y = beta*y + alpha*A*x with column-major A (level-2 extension).
+void jacc_gemv(index_t rows, index_t cols, double alpha, const darray2d& a,
+               const darray& x, double beta, darray& y);
+
+} // namespace jaccx::blas

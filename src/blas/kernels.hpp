@@ -1,0 +1,80 @@
+// BLAS level-1 kernel functions in the paper's style (Fig. 2): free
+// functions defined separately from — and in advance of — the parallel_for /
+// parallel_reduce call that runs them, taking the loop index first and the
+// operation parameters after.
+#pragma once
+
+#include "core/array.hpp"
+
+namespace jaccx::blas {
+
+using jacc::index_t;
+using darray = jacc::array<double>;
+using darray2d = jacc::array2d<double>;
+
+/// x[i] += alpha * y[i]
+inline void axpy(index_t i, double alpha, darray& x, const darray& y) {
+  x[i] += alpha * static_cast<double>(y[i]);
+}
+
+/// Contribution of element i to x . y
+inline double dot(index_t i, const darray& x, const darray& y) {
+  return static_cast<double>(x[i]) * static_cast<double>(y[i]);
+}
+
+/// x[i,j] += alpha * y[i,j]
+inline void axpy2d(index_t i, index_t j, double alpha, darray2d& x,
+                   const darray2d& y) {
+  x(i, j) += alpha * static_cast<double>(y(i, j));
+}
+
+/// Contribution of element (i,j) to <x, y>
+inline double dot2d(index_t i, index_t j, const darray2d& x,
+                    const darray2d& y) {
+  return static_cast<double>(x(i, j)) * static_cast<double>(y(i, j));
+}
+
+// --- extended level-1 set (beyond the paper's AXPY/DOT) ---------------------
+
+/// x[i] *= alpha
+inline void scal(index_t i, double alpha, darray& x) { x[i] *= alpha; }
+
+/// y[i] = x[i]
+inline void copy(index_t i, const darray& x, darray& y) {
+  y[i] = static_cast<double>(x[i]);
+}
+
+/// x[i] <-> y[i]
+inline void swap(index_t i, darray& x, darray& y) {
+  const double t = x[i];
+  x[i] = static_cast<double>(y[i]);
+  y[i] = t;
+}
+
+/// |x[i]| (asum term)
+inline double abs_term(index_t i, const darray& x) {
+  const double v = x[i];
+  return v < 0 ? -v : v;
+}
+
+/// x[i]^2 (nrm2 term)
+inline double square_term(index_t i, const darray& x) {
+  const double v = x[i];
+  return v * v;
+}
+
+/// One GEMV row: y[i] = beta*y[i] + alpha * sum_j A(i,j) * x[j].
+/// A is column-major; the row walk is strided, which is exactly the access
+/// pattern a column-major dense matrix imposes on a row-parallel kernel —
+/// the cache model charges it accordingly.
+inline void gemv_row(index_t i, double alpha, const darray2d& a,
+                     const darray& x, double beta, darray& y,
+                     index_t cols) {
+  double acc = 0.0;
+  for (index_t j = 0; j < cols; ++j) {
+    acc += static_cast<double>(a(i, j)) * static_cast<double>(x[j]);
+  }
+  y[i] = beta * static_cast<double>(y[i]) + alpha * acc;
+}
+
+} // namespace jaccx::blas

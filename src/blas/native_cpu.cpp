@@ -1,0 +1,117 @@
+#include "blas/native_cpu.hpp"
+
+#include <vector>
+
+#include "support/aligned_buffer.hpp"
+#include "threadpool/thread_pool.hpp"
+
+namespace jaccx::blas {
+
+void threads_axpy(index_t n, double alpha, double* x, const double* y) {
+  pool::default_pool().parallel_for_index(
+      n, [&](index_t i) { x[i] += alpha * y[i]; });
+}
+
+double threads_dot(index_t n, const double* x, const double* y) {
+  auto& p = pool::default_pool();
+  struct alignas(cache_line_bytes) slot {
+    double v = 0.0;
+  };
+  std::vector<slot> partials(p.size());
+  p.parallel_chunks(n, [&](unsigned worker, pool::range chunk) {
+    double acc = 0.0;
+    for (index_t i = chunk.begin; i < chunk.end; ++i) {
+      acc += x[i] * y[i];
+    }
+    partials[worker].v = acc;
+  });
+  double out = 0.0;
+  for (const auto& s : partials) {
+    out += s.v;
+  }
+  return out;
+}
+
+void threads_axpy2d(index_t rows, index_t cols, double alpha, double* x,
+                    const double* y) {
+  pool::default_pool().parallel_for_index(cols, [&](index_t j) {
+    double* xc = x + j * rows;
+    const double* yc = y + j * rows;
+    for (index_t i = 0; i < rows; ++i) {
+      xc[i] += alpha * yc[i];
+    }
+  });
+}
+
+double threads_dot2d(index_t rows, index_t cols, const double* x,
+                     const double* y) {
+  auto& p = pool::default_pool();
+  struct alignas(cache_line_bytes) slot {
+    double v = 0.0;
+  };
+  std::vector<slot> partials(p.size());
+  p.parallel_chunks(cols, [&](unsigned worker, pool::range chunk) {
+    double acc = 0.0;
+    for (index_t j = chunk.begin; j < chunk.end; ++j) {
+      const double* xc = x + j * rows;
+      const double* yc = y + j * rows;
+      for (index_t i = 0; i < rows; ++i) {
+        acc += xc[i] * yc[i];
+      }
+    }
+    partials[worker].v = acc;
+  });
+  double out = 0.0;
+  for (const auto& s : partials) {
+    out += s.v;
+  }
+  return out;
+}
+
+void rome_axpy(sim::device& dev, index_t n, double alpha,
+               sim::device_span<double> x, sim::device_span<double> y) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.axpy";
+  cfg.flops_per_index = 2.0;
+  sim::cpu_parallel_range(dev, cfg, n, [&](index_t i) {
+    x[i] += alpha * static_cast<double>(y[i]);
+  });
+}
+
+double rome_dot(sim::device& dev, index_t n, sim::device_span<double> x,
+                sim::device_span<double> y) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.dot";
+  cfg.flops_per_index = 2.0;
+  cfg.flavor.is_reduce = true;
+  double acc = 0.0;
+  sim::cpu_parallel_range(dev, cfg, n, [&](index_t i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  });
+  return acc;
+}
+
+void rome_axpy2d(sim::device& dev, index_t rows, index_t cols, double alpha,
+                 sim::device_span2d<double> x, sim::device_span2d<double> y) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.axpy2d";
+  cfg.flops_per_index = 2.0;
+  sim::cpu_parallel_range_2d(dev, cfg, rows, cols, [&](index_t i, index_t j) {
+    x(i, j) += alpha * static_cast<double>(y(i, j));
+  });
+}
+
+double rome_dot2d(sim::device& dev, index_t rows, index_t cols,
+                  sim::device_span2d<double> x, sim::device_span2d<double> y) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.dot2d";
+  cfg.flops_per_index = 2.0;
+  cfg.flavor.is_reduce = true;
+  double acc = 0.0;
+  sim::cpu_parallel_range_2d(dev, cfg, rows, cols, [&](index_t i, index_t j) {
+    acc += static_cast<double>(x(i, j)) * static_cast<double>(y(i, j));
+  });
+  return acc;
+}
+
+} // namespace jaccx::blas

@@ -1,0 +1,46 @@
+// Device-specific CPU comparators.
+//
+// Two flavours:
+//   * threads_* — real Base.Threads-style code on the live thread pool
+//     (used by tests and the wall-clock dispatch-overhead benchmark);
+//   * rome_*    — the same structure on the simulated Rome cost model, with
+//     via_jacc = false.  These are the "device-specific" CPU series of the
+//     paper's figures.
+#pragma once
+
+#include "sim/launch.hpp"
+#include "sim/memspace.hpp"
+
+namespace jaccx::blas {
+
+// --- real execution (wall clock) -------------------------------------------
+
+/// x[i] += alpha * y[i] on the live pool.
+void threads_axpy(index_t n, double alpha, double* x, const double* y);
+
+/// x . y on the live pool (per-worker padded partials).
+double threads_dot(index_t n, const double* x, const double* y);
+
+/// 2D column-major AXPY, coarse column-wise decomposition.
+void threads_axpy2d(index_t rows, index_t cols, double alpha, double* x,
+                    const double* y);
+
+/// 2D column-major DOT.
+double threads_dot2d(index_t rows, index_t cols, const double* x,
+                     const double* y);
+
+// --- simulated Rome (figure series) -----------------------------------------
+
+void rome_axpy(sim::device& dev, index_t n, double alpha,
+               sim::device_span<double> x, sim::device_span<double> y);
+
+double rome_dot(sim::device& dev, index_t n, sim::device_span<double> x,
+                sim::device_span<double> y);
+
+void rome_axpy2d(sim::device& dev, index_t rows, index_t cols, double alpha,
+                 sim::device_span2d<double> x, sim::device_span2d<double> y);
+
+double rome_dot2d(sim::device& dev, index_t rows, index_t cols,
+                  sim::device_span2d<double> x, sim::device_span2d<double> y);
+
+} // namespace jaccx::blas

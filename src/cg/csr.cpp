@@ -1,0 +1,86 @@
+#include "cg/csr.hpp"
+
+namespace jaccx::cg {
+
+void csr_host::apply_host(const double* x, double* y) const {
+  for (index_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i + 1)]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[col_idx[static_cast<std::size_t>(k)]];
+    }
+    y[i] = acc;
+  }
+}
+
+std::vector<double> csr_host::rhs_for_ones() const {
+  std::vector<double> ones(static_cast<std::size_t>(rows), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(rows), 0.0);
+  apply_host(ones.data(), b.data());
+  return b;
+}
+
+csr_host make_hpccg_27pt(index_t nx, index_t ny, index_t nz) {
+  JACCX_ASSERT(nx > 0 && ny > 0 && nz > 0);
+  csr_host m;
+  m.rows = nx * ny * nz;
+  m.row_ptr.reserve(static_cast<std::size_t>(m.rows) + 1);
+  m.row_ptr.push_back(0);
+  m.col_idx.reserve(static_cast<std::size_t>(m.rows) * 27);
+  m.values.reserve(static_cast<std::size_t>(m.rows) * 27);
+
+  const auto node = [&](index_t ix, index_t iy, index_t iz) {
+    return ix + nx * (iy + ny * iz);
+  };
+
+  for (index_t iz = 0; iz < nz; ++iz) {
+    for (index_t iy = 0; iy < ny; ++iy) {
+      for (index_t ix = 0; ix < nx; ++ix) {
+        const index_t row = node(ix, iy, iz);
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              const index_t jx = ix + dx;
+              const index_t jy = iy + dy;
+              const index_t jz = iz + dz;
+              if (jx < 0 || jx >= nx || jy < 0 || jy >= ny || jz < 0 ||
+                  jz >= nz) {
+                continue;
+              }
+              const index_t col = node(jx, jy, jz);
+              m.col_idx.push_back(col);
+              m.values.push_back(col == row ? 27.0 : -1.0);
+            }
+          }
+        }
+        m.row_ptr.push_back(static_cast<index_t>(m.col_idx.size()));
+      }
+    }
+  }
+  return m;
+}
+
+csr_host make_tridiag_csr(index_t n, double diag, double off) {
+  JACCX_ASSERT(n >= 2);
+  csr_host m;
+  m.rows = n;
+  m.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  m.row_ptr.push_back(0);
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      m.col_idx.push_back(i - 1);
+      m.values.push_back(off);
+    }
+    m.col_idx.push_back(i);
+    m.values.push_back(diag);
+    if (i + 1 < n) {
+      m.col_idx.push_back(i + 1);
+      m.values.push_back(off);
+    }
+    m.row_ptr.push_back(static_cast<index_t>(m.col_idx.size()));
+  }
+  return m;
+}
+
+} // namespace jaccx::cg

@@ -1,0 +1,60 @@
+#include "cg/native.hpp"
+
+#include "blas/native_cpu.hpp"
+#include "sim/launch.hpp"
+
+namespace jaccx::cg {
+namespace {
+
+void rome_matvec(sim::device& dev, const native_workset& st,
+                 sim::device_span<double> x, sim::device_span<double> y) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.tridiag_matvec";
+  cfg.flops_per_index = 5.0;
+  const index_t n = st.n;
+  sim::cpu_parallel_range(dev, cfg, n, [&](index_t i) {
+    if (i == 0) {
+      y[i] = static_cast<double>(st.diag[i]) * static_cast<double>(x[i]) +
+             static_cast<double>(st.super[i]) * static_cast<double>(x[i + 1]);
+    } else if (i == n - 1) {
+      y[i] = static_cast<double>(st.sub[i]) * static_cast<double>(x[i - 1]) +
+             static_cast<double>(st.diag[i]) * static_cast<double>(x[i]);
+    } else {
+      y[i] = static_cast<double>(st.sub[i]) * static_cast<double>(x[i - 1]) +
+             static_cast<double>(st.diag[i]) * static_cast<double>(x[i]) +
+             static_cast<double>(st.super[i]) * static_cast<double>(x[i + 1]);
+    }
+  });
+}
+
+void rome_copy(sim::device& dev, index_t n, sim::device_span<double> src,
+               sim::device_span<double> dst) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.copy";
+  sim::cpu_parallel_range(dev, cfg, n, [&](index_t i) {
+    dst[i] = static_cast<double>(src[i]);
+  });
+}
+
+} // namespace
+
+void rome_iteration(sim::device& dev, const native_workset& st) {
+  const index_t n = st.n;
+  rome_copy(dev, n, st.r, st.r_old);
+  rome_matvec(dev, st, st.p, st.s);
+  const double alpha0 = blas::rome_dot(dev, n, st.r, st.r);
+  const double alpha1 = blas::rome_dot(dev, n, st.p, st.s);
+  const double alpha = alpha0 / alpha1;
+  blas::rome_axpy(dev, n, -alpha, st.r, st.s);
+  blas::rome_axpy(dev, n, alpha, st.x, st.p);
+  const double beta0 = blas::rome_dot(dev, n, st.r, st.r);
+  const double beta1 = blas::rome_dot(dev, n, st.r_old, st.r_old);
+  const double beta = beta0 / beta1;
+  rome_copy(dev, n, st.r, st.r_aux);
+  blas::rome_axpy(dev, n, beta, st.r_aux, st.p);
+  rome_copy(dev, n, st.r_aux, st.p);
+  const double cond = blas::rome_dot(dev, n, st.r, st.r);
+  static_cast<void>(cond);
+}
+
+} // namespace jaccx::cg

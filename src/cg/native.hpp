@@ -1,0 +1,98 @@
+// Device-specific CG iteration comparators for the Fig. 13 benchmark: same
+// operation sequence as cg::paper_iteration, written against the native
+// layers instead of the JACC front end.
+#pragma once
+
+#include "blas/native_gpu.hpp"
+#include "cg/tridiag.hpp"
+
+namespace jaccx::cg {
+
+/// Working set on one simulated device (tridiagonal system + CG vectors).
+struct native_workset {
+  sim::device_span<double> sub, diag, super;
+  sim::device_span<double> r, p, s, x, r_old, r_aux;
+  index_t n = 0;
+};
+
+/// One Fig. 12 iteration on the simulated Rome CPU (Base.Threads model).
+void rome_iteration(sim::device& dev, const native_workset& st);
+
+namespace detail {
+
+/// y = A x as one fine-grained native kernel.
+template <class Api>
+void gpu_tridiag_matvec(const native_workset& st,
+                        sim::device_span<double> x,
+                        sim::device_span<double> y) {
+  const std::int64_t maxt = Api::max_threads();
+  const index_t n = st.n;
+  const std::int64_t threads = n < maxt ? n : maxt;
+  auto sub = st.sub;
+  auto diag = st.diag;
+  auto super = st.super;
+  Api::launch1d(
+      sim::ceil_div(n, threads), threads,
+      [=](sim::kernel_ctx& ctx) {
+        const index_t i = ctx.global_x();
+        if (i >= n) {
+          return;
+        }
+        if (i == 0) {
+          y[i] = static_cast<double>(diag[i]) * static_cast<double>(x[i]) +
+                 static_cast<double>(super[i]) * static_cast<double>(x[i + 1]);
+        } else if (i == n - 1) {
+          y[i] = static_cast<double>(sub[i]) * static_cast<double>(x[i - 1]) +
+                 static_cast<double>(diag[i]) * static_cast<double>(x[i]);
+        } else {
+          y[i] = static_cast<double>(sub[i]) * static_cast<double>(x[i - 1]) +
+                 static_cast<double>(diag[i]) * static_cast<double>(x[i]) +
+                 static_cast<double>(super[i]) * static_cast<double>(x[i + 1]);
+        }
+      },
+      "native.tridiag_matvec", 5.0);
+}
+
+/// dst = src as one fine-grained native kernel.
+template <class Api>
+void gpu_copy(index_t n, sim::device_span<double> src,
+              sim::device_span<double> dst) {
+  const std::int64_t maxt = Api::max_threads();
+  const std::int64_t threads = n < maxt ? n : maxt;
+  Api::launch1d(
+      sim::ceil_div(n, threads), threads,
+      [=](sim::kernel_ctx& ctx) {
+        const index_t i = ctx.global_x();
+        if (i < n) {
+          dst[i] = static_cast<double>(src[i]);
+        }
+      },
+      "native.copy");
+}
+
+} // namespace detail
+
+/// One Fig. 12 iteration on a simulated GPU via the vendor wrapper: the
+/// matvec/copies are fine-grained kernels, the dots are the hand-written
+/// two-kernel reduction of Fig. 3, the axpys the fine-grained native AXPY.
+template <class Api>
+void native_gpu_iteration(const native_workset& st) {
+  const index_t n = st.n;
+  detail::gpu_copy<Api>(n, st.r, st.r_old);
+  detail::gpu_tridiag_matvec<Api>(st, st.p, st.s);
+  const double alpha0 = blas::native_gpu_dot<Api>(n, st.r, st.r);
+  const double alpha1 = blas::native_gpu_dot<Api>(n, st.p, st.s);
+  const double alpha = alpha0 / alpha1;
+  blas::native_gpu_axpy<Api>(n, -alpha, st.r, st.s);
+  blas::native_gpu_axpy<Api>(n, alpha, st.x, st.p);
+  const double beta0 = blas::native_gpu_dot<Api>(n, st.r, st.r);
+  const double beta1 = blas::native_gpu_dot<Api>(n, st.r_old, st.r_old);
+  const double beta = beta0 / beta1;
+  detail::gpu_copy<Api>(n, st.r, st.r_aux);
+  blas::native_gpu_axpy<Api>(n, beta, st.r_aux, st.p);
+  detail::gpu_copy<Api>(n, st.r_aux, st.p);
+  const double cond = blas::native_gpu_dot<Api>(n, st.r, st.r);
+  static_cast<void>(cond);
+}
+
+} // namespace jaccx::cg

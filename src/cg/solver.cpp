@@ -1,0 +1,128 @@
+#include "cg/solver.hpp"
+
+#include <cmath>
+
+namespace jaccx::cg {
+namespace {
+
+/// The shared CG loop; Apply is `void(const darray& in, darray& out)`.
+template <class Apply>
+cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
+                  const cg_options& opts) {
+  darray r(n);
+  darray p(n);
+  darray s(n);
+
+  // r = b - A x;  p = r.
+  apply(x, s);
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.residual", .flops_per_index = 2.0}, n,
+      [](index_t i, const darray& b_, const darray& s_, darray& r_) {
+        r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
+      },
+      b, s, r);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, r, p);
+
+  const double bb = jacc::parallel_reduce(
+      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot, b,
+      b);
+  if (bb == 0.0) {
+    // b = 0: x = 0 is exact.
+    jacc::parallel_for(
+        jacc::hints{.name = "cg.zero"}, n,
+        [](index_t i, darray& x_) { x_[i] = 0.0; }, x);
+    return {0, 0.0, true};
+  }
+
+  double rr = jacc::parallel_reduce(
+      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot, r,
+      r);
+  const double stop = opts.tolerance * opts.tolerance * bb;
+
+  cg_result out;
+  while (out.iterations < opts.max_iterations && rr > stop) {
+    apply(p, s);
+    const double ps = jacc::parallel_reduce(
+        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot,
+        p, s);
+    const double alpha = rr / ps;
+    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0},
+                       n, blas::axpy, alpha, x, p);
+    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0},
+                       n, blas::axpy, -alpha, r, s);
+    const double rr_new = jacc::parallel_reduce(
+        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot,
+        r, r);
+    const double beta = rr_new / rr;
+    jacc::parallel_for(jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0},
+                       n, xpay_kernel, beta, r, p);
+    rr = rr_new;
+    ++out.iterations;
+  }
+  out.relative_residual = std::sqrt(rr / bb);
+  out.converged = rr <= stop;
+  return out;
+}
+
+} // namespace
+
+cg_result cg_solve(const tridiag_system& A, const darray& b, darray& x,
+                   const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.n && x.size() == A.n);
+  return cg_loop(
+      A.n, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+cg_result cg_solve(const csr_system& A, const darray& b, darray& x,
+                   const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.rows && x.size() == A.rows);
+  return cg_loop(
+      A.rows, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+paper_state::paper_state(index_t n)
+    : A(n), r(n), p(n), s(n), x(n), r_old(n), r_aux(n) {
+  double* rh = r.host_data();
+  double* ph = p.host_data();
+  for (index_t i = 0; i < n; ++i) {
+    rh[i] = 0.5;
+    ph[i] = 0.5;
+  }
+}
+
+void paper_iteration(paper_state& st) {
+  const index_t n = st.A.n;
+  const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0};
+  const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0};
+
+  // r_old = copy(r)
+  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r,
+                     st.r_old);
+  // s = A p
+  st.A.apply(st.p, st.s);
+  // alpha = (r . r) / (p . s)
+  const double alpha0 = jacc::parallel_reduce(dot_h, n, blas::dot, st.r, st.r);
+  const double alpha1 = jacc::parallel_reduce(dot_h, n, blas::dot, st.p, st.s);
+  const double alpha = alpha0 / alpha1;
+  // r -= alpha s ; x += alpha p
+  jacc::parallel_for(axpy_h, n, blas::axpy, -alpha, st.r, st.s);
+  jacc::parallel_for(axpy_h, n, blas::axpy, alpha, st.x, st.p);
+  // beta = (r . r) / (r_old . r_old)
+  const double beta0 = jacc::parallel_reduce(dot_h, n, blas::dot, st.r, st.r);
+  const double beta1 =
+      jacc::parallel_reduce(dot_h, n, blas::dot, st.r_old, st.r_old);
+  const double beta = beta0 / beta1;
+  // r_aux = copy(r) ; r_aux += beta p ; p = copy(r_aux) ; cond = r . r
+  // (the listing's exact sequence: 1 matvec, 5 dots, 3 axpys, 3 copies)
+  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r,
+                     st.r_aux);
+  jacc::parallel_for(axpy_h, n, blas::axpy, beta, st.r_aux, st.p);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r_aux,
+                     st.p);
+  const double cond = jacc::parallel_reduce(dot_h, n, blas::dot, st.r, st.r);
+  static_cast<void>(cond);
+}
+
+} // namespace jaccx::cg

@@ -1,0 +1,55 @@
+// Plain unpreconditioned conjugate gradient over the JACC front end
+// (paper Sec. V-C, Fig. 12) — the HPCCG / MiniFE solve.
+//
+// Two entry points:
+//   * cg_solve       — the mathematically correct solver (converges; used by
+//                      tests and examples), built entirely from JACC
+//                      constructs: a matvec parallel_for, dot
+//                      parallel_reduces, and axpy/xpay parallel_fors.
+//   * paper_iteration — performs exactly the per-iteration operation
+//                      sequence of the paper's Fig. 12 listing (1 matvec,
+//                      4 dots, 3 axpy-type updates, 2 copies), which is what
+//                      Fig. 13 times.  Kept separate because the listing's
+//                      algebra has typos (see tridiag.hpp) but its *cost
+//                      structure* is what must be reproduced.
+#pragma once
+
+#include "blas/kernels.hpp"
+#include "cg/csr.hpp"
+#include "cg/tridiag.hpp"
+
+namespace jaccx::cg {
+
+struct cg_options {
+  int max_iterations = 500;
+  double tolerance = 1e-10; ///< on ||r|| / ||b||
+};
+
+struct cg_result {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for the specialized tridiagonal system.  x holds the
+/// initial guess on entry and the solution on exit.
+cg_result cg_solve(const tridiag_system& A, const darray& b, darray& x,
+                   const cg_options& opts = {});
+
+/// Solves A x = b for a CSR system.
+cg_result cg_solve(const csr_system& A, const darray& b, darray& x,
+                   const cg_options& opts = {});
+
+/// Working set for paper_iteration, initialized per the paper's listing
+/// (r = p = 0.5, s = x = r_old = r_aux = 0).
+struct paper_state {
+  tridiag_system A;
+  darray r, p, s, x, r_old, r_aux;
+
+  explicit paper_state(index_t n);
+};
+
+/// One iteration with the Fig. 12 operation sequence (see header comment).
+void paper_iteration(paper_state& st);
+
+} // namespace jaccx::cg

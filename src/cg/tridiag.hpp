@@ -1,0 +1,77 @@
+// Tridiagonal system support for the conjugate-gradient study (paper
+// Sec. V-C, Fig. 12).
+//
+// The paper generates a diagonally dominant tridiagonal sparse matrix "as
+// the one used in the MiniFE application and the HPCCG benchmark" and runs
+// plain unpreconditioned CG on it.  (The listing in Fig. 12 contains two
+// typos — the interior matvec row reuses a1 and the loop condition is
+// inverted; the kernels here implement the intended mathematics, and
+// EXPERIMENTS.md notes the deviation.)
+#pragma once
+
+#include "core/jacc.hpp"
+
+namespace jaccx::cg {
+
+using jacc::index_t;
+using darray = jacc::array<double>;
+
+/// y[i] = sub[i]*x[i-1] + diag[i]*x[i] + super[i]*x[i+1], ends clipped.
+/// Kernel in the paper's style: loop index first, then parameters.
+inline void tridiag_matvec_kernel(index_t i, const darray& sub,
+                                  const darray& diag, const darray& super,
+                                  const darray& x, darray& y, index_t n) {
+  if (i == 0) {
+    y[i] = static_cast<double>(diag[i]) * static_cast<double>(x[i]) +
+           static_cast<double>(super[i]) * static_cast<double>(x[i + 1]);
+  } else if (i == n - 1) {
+    y[i] = static_cast<double>(sub[i]) * static_cast<double>(x[i - 1]) +
+           static_cast<double>(diag[i]) * static_cast<double>(x[i]);
+  } else {
+    y[i] = static_cast<double>(sub[i]) * static_cast<double>(x[i - 1]) +
+           static_cast<double>(diag[i]) * static_cast<double>(x[i]) +
+           static_cast<double>(super[i]) * static_cast<double>(x[i + 1]);
+  }
+}
+
+/// dst[i] = src[i]  (the r_old = copy(r) steps of Fig. 12)
+inline void copy_kernel(index_t i, const darray& src, darray& dst) {
+  dst[i] = static_cast<double>(src[i]);
+}
+
+/// p[i] = r[i] + beta * p[i]  (the search-direction update)
+inline void xpay_kernel(index_t i, double beta, const darray& r, darray& p) {
+  p[i] = static_cast<double>(r[i]) + beta * static_cast<double>(p[i]);
+}
+
+/// The paper's test matrix: symmetric positive definite tridiagonal with
+/// diagonal 4 and off-diagonals 1 (diagonally dominant).  Arrays are built
+/// under the current JACC backend.
+struct tridiag_system {
+  darray sub;   ///< sub[0] is unused
+  darray diag;
+  darray super; ///< super[n-1] is unused
+  index_t n = 0;
+
+  explicit tridiag_system(index_t size)
+      : sub(size), diag(size), super(size), n(size) {
+    JACCX_ASSERT(size >= 2);
+    double* lo = sub.host_data();
+    double* di = diag.host_data();
+    double* hi = super.host_data();
+    for (index_t i = 0; i < size; ++i) {
+      lo[i] = 1.0;
+      di[i] = 4.0;
+      hi[i] = 1.0;
+    }
+  }
+
+  /// y = A x through the JACC front end.
+  void apply(const darray& x, darray& y) const {
+    jacc::parallel_for(
+        jacc::hints{.name = "jacc.tridiag_matvec", .flops_per_index = 5.0}, n,
+        tridiag_matvec_kernel, sub, diag, super, x, y, n);
+  }
+};
+
+} // namespace jaccx::cg

@@ -1,0 +1,257 @@
+// jacc::array — the JACC.Array analogue (paper Sec. III).
+//
+// JACC.Array is the unified, backend-transparent memory type: on
+// Base.Threads it is a plain Julia Array, on CUDA a CuArray, and so on, and
+// constructing one from host data performs the host->device copy.  Here:
+//
+//   * under the real back ends (serial/threads) an array is plain aligned
+//     host memory with zero-overhead access;
+//   * under a simulated back end the array is bound to that backend's device
+//     at construction (charging allocation + H2D), and every element access
+//     made while a kernel is running is routed through the device's cache
+//     model via a proxy reference.
+//
+// An array is bound to the backend that was current when it was built,
+// mirroring how a CuArray cannot be consumed by an AMDGPU kernel.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "sim/device.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/span2d.hpp"
+
+namespace jacc {
+
+using jaccx::index_t;
+
+namespace detail {
+
+/// Tracked-when-simulated element reference.  Converting to T counts a
+/// read, assigning counts a write; with a null device it degrades to a plain
+/// load/store the optimizer sees through.
+template <class T>
+class element_ref {
+public:
+  element_ref(T* p, jaccx::sim::device* dev) : p_(p), dev_(dev) {}
+
+  operator T() const {
+    if (dev_ != nullptr) {
+      dev_->track(p_, sizeof(T));
+    }
+    return *p_;
+  }
+
+  T operator=(T v) const {
+    if (dev_ != nullptr) {
+      dev_->track(p_, sizeof(T));
+    }
+    *p_ = v;
+    return v;
+  }
+
+  T operator=(const element_ref& o) const { return *this = static_cast<T>(o); }
+
+  T operator+=(T v) const { return *this = static_cast<T>(*this) + v; }
+  T operator-=(T v) const { return *this = static_cast<T>(*this) - v; }
+  T operator*=(T v) const { return *this = static_cast<T>(*this) * v; }
+  T operator/=(T v) const { return *this = static_cast<T>(*this) / v; }
+
+private:
+  T* p_;
+  jaccx::sim::device* dev_;
+};
+
+/// Storage + device binding shared by the 1/2/3-D array shapes.
+template <class T>
+class array_base {
+public:
+  explicit array_base(index_t count)
+      : dev_(backend_device(current_backend())) {
+    acquire(count);
+    for (index_t i = 0; i < count; ++i) {
+      data_[i] = T{};
+    }
+    if (dev_ != nullptr) {
+      dev_->charge_alloc(bytes(), "jacc.array");
+    }
+  }
+
+  array_base(const T* host, index_t count)
+      : dev_(backend_device(current_backend())) {
+    acquire(count);
+    for (index_t i = 0; i < count; ++i) {
+      data_[i] = host[i];
+    }
+    if (dev_ != nullptr) {
+      dev_->charge_alloc(bytes(), "jacc.array");
+      dev_->charge_h2d(bytes(), "jacc.array");
+    }
+  }
+
+  array_base(const array_base&) = delete;
+  array_base& operator=(const array_base&) = delete;
+  array_base(array_base&& other) noexcept
+      : dev_(std::exchange(other.dev_, nullptr)),
+        host_buf_(std::move(other.host_buf_)),
+        data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+  array_base& operator=(array_base&& other) noexcept {
+    if (this != &other) {
+      release();
+      dev_ = std::exchange(other.dev_, nullptr);
+      host_buf_ = std::move(other.host_buf_);
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+  ~array_base() { release(); }
+
+  index_t size() const { return count_; }
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(count_) * sizeof(T);
+  }
+  jaccx::sim::device* device() const { return dev_; }
+  bool is_simulated() const { return dev_ != nullptr; }
+
+  /// Copies the contents back to host storage; on a simulated GPU this
+  /// charges the D2H transfer (the semantic path for results).
+  void copy_to_host(T* dst) const {
+    for (index_t i = 0; i < count_; ++i) {
+      dst[i] = data_[i];
+    }
+    if (dev_ != nullptr) {
+      dev_->charge_d2h(bytes(), "jacc.array");
+    }
+  }
+
+  std::vector<T> to_host() const {
+    std::vector<T> out(static_cast<std::size_t>(count_));
+    copy_to_host(out.data());
+    return out;
+  }
+
+  /// Untracked, uncharged debug access for test assertions; not part of the
+  /// portable programming model.
+  const T* host_data() const { return data_; }
+  T* host_data() { return data_; }
+
+protected:
+  element_ref<T> ref(index_t linear) const {
+    JACCX_ASSERT(linear >= 0 && linear < count_);
+    return element_ref<T>(data_ + linear, dev_);
+  }
+
+private:
+  /// Storage: simulated back ends draw from the device's deterministic
+  /// arena (so cache-model conflicts are reproducible); real back ends use
+  /// plain aligned host memory.
+  void acquire(index_t count) {
+    JACCX_ASSERT(count >= 0);
+    count_ = count;
+    if (dev_ != nullptr) {
+      data_ = static_cast<T*>(
+          dev_->arena_allocate(static_cast<std::size_t>(count) * sizeof(T)));
+    } else {
+      host_buf_ = jaccx::aligned_buffer<T>(static_cast<std::size_t>(count));
+      data_ = host_buf_.data();
+    }
+  }
+
+  void release() noexcept {
+    if (dev_ != nullptr) {
+      dev_->charge_free(bytes());
+      dev_->arena_release();
+    }
+    dev_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  jaccx::sim::device* dev_ = nullptr;
+  jaccx::aligned_buffer<T> host_buf_; ///< backing store for real back ends
+  T* data_ = nullptr;
+  index_t count_ = 0;
+};
+
+} // namespace detail
+
+/// 1D JACC array; `dx = JACC.Array(x)` becomes `jacc::array<double> dx(x)`.
+template <class T>
+class array : public detail::array_base<T> {
+public:
+  using base = detail::array_base<T>;
+
+  /// Zero-initialized array of n elements.
+  explicit array(index_t n) : base(n) {}
+  /// Host -> device construction (charges H2D under simulated back ends).
+  array(const T* host, index_t n) : base(host, n) {}
+  explicit array(const std::vector<T>& host)
+      : base(host.data(), static_cast<index_t>(host.size())) {}
+  array(std::initializer_list<T> init)
+      : base(init.begin(), static_cast<index_t>(init.size())) {}
+
+  detail::element_ref<T> operator[](index_t i) const { return this->ref(i); }
+};
+
+/// 2D JACC array, column-major like Julia: (i, j) with i fastest.
+template <class T>
+class array2d : public detail::array_base<T> {
+public:
+  using base = detail::array_base<T>;
+
+  array2d(index_t rows, index_t cols) : base(rows * cols), rows_(rows),
+                                        cols_(cols) {}
+  /// Host data interpreted column-major.
+  array2d(const T* host, index_t rows, index_t cols)
+      : base(host, rows * cols), rows_(rows), cols_(cols) {}
+  array2d(const std::vector<T>& host, index_t rows, index_t cols)
+      : base(host.data(), rows * cols), rows_(rows), cols_(cols) {
+    JACCX_ASSERT(static_cast<index_t>(host.size()) == rows * cols);
+  }
+
+  detail::element_ref<T> operator()(index_t i, index_t j) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return this->ref(i + j * rows_);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+/// 3D JACC array, column-major: (i, j, k) with i fastest.
+template <class T>
+class array3d : public detail::array_base<T> {
+public:
+  using base = detail::array_base<T>;
+
+  array3d(index_t rows, index_t cols, index_t depth)
+      : base(rows * cols * depth), rows_(rows), cols_(cols), depth_(depth) {}
+  array3d(const T* host, index_t rows, index_t cols, index_t depth)
+      : base(host, rows * cols * depth), rows_(rows), cols_(cols),
+        depth_(depth) {}
+
+  detail::element_ref<T> operator()(index_t i, index_t j, index_t k) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_ && k >= 0 &&
+                 k < depth_);
+    return this->ref(i + rows_ * (j + cols_ * k));
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t depth() const { return depth_; }
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t depth_ = 0;
+};
+
+} // namespace jacc

@@ -1,0 +1,101 @@
+#include "core/auto_backend.hpp"
+
+#include <limits>
+
+#include "sim/device.hpp"
+#include "sim/work_tally.hpp"
+
+namespace jacc {
+namespace {
+
+/// Assembles the model inputs for one launch of `w` on model `m`.
+double one_launch_us(const jaccx::sim::device_model& m, const workload& w,
+                     bool via_jacc) {
+  jaccx::sim::work_tally t;
+  t.indices = static_cast<std::uint64_t>(w.indices);
+  t.dram_bytes = static_cast<std::uint64_t>(
+      w.bytes_per_index * static_cast<double>(w.indices));
+  t.flops = static_cast<std::uint64_t>(
+      w.flops_per_index * static_cast<double>(w.indices));
+  const std::int64_t block =
+      m.kind == jaccx::sim::device_kind::gpu
+          ? (w.indices < m.max_threads_per_block ? std::int64_t{1}
+                                                 : m.max_threads_per_block)
+          : 1;
+  t.blocks = m.kind == jaccx::sim::device_kind::gpu
+                 ? static_cast<std::uint64_t>(
+                       (w.indices + block - 1) / (block > 0 ? block : 1))
+                 : static_cast<std::uint64_t>(m.parallel_units);
+  jaccx::sim::launch_flavor f;
+  f.via_jacc = via_jacc;
+  f.is_reduce = w.is_reduce;
+  double us = jaccx::sim::kernel_cost_us(m, t, f);
+  if (w.is_reduce && m.kind == jaccx::sim::device_kind::gpu) {
+    // The GPU reduction's fixed structure: two zero-fill kernels, the
+    // second (partials) kernel, two scratch allocations, and the scalar
+    // result transfer (see parallel_reduce.hpp).
+    jaccx::sim::work_tally t2;
+    us += 3.0 * jaccx::sim::kernel_cost_us(m, t2, f);
+    us += 2.0 * m.alloc_overhead_us;
+    us += jaccx::sim::transfer_cost_us(m, sizeof(double));
+  }
+  return us;
+}
+
+const jaccx::sim::device_model& model_for(backend b) {
+  switch (b) {
+  case backend::cuda_a100: return jaccx::sim::builtin_model("a100");
+  case backend::hip_mi100: return jaccx::sim::builtin_model("mi100");
+  case backend::oneapi_max1550: return jaccx::sim::builtin_model("max1550");
+  default: return jaccx::sim::builtin_model("rome64");
+  }
+}
+
+} // namespace
+
+double predict_us(backend b, const workload& w) {
+  const auto& m = model_for(b);
+  if (b == backend::serial) {
+    // One core, no fork/join: scale the parallel estimate back up.
+    auto single = m;
+    single.parallel_units = 1;
+    single.launch_overhead_us = 0.1;
+    return w.launches * one_launch_us(single, w, true);
+  }
+  return w.launches * one_launch_us(m, w, true);
+}
+
+std::vector<backend> auto_candidates() {
+  return {backend::cpu_rome, backend::cuda_a100, backend::hip_mi100,
+          backend::oneapi_max1550};
+}
+
+backend auto_select(const workload& w) {
+  backend best = backend::cpu_rome;
+  double best_us = std::numeric_limits<double>::infinity();
+  for (backend b : auto_candidates()) {
+    const double us = predict_us(b, w);
+    if (us < best_us) {
+      best_us = us;
+      best = b;
+    }
+  }
+  return best;
+}
+
+backend auto_select_node(backend gpu, const workload& w) {
+  if (is_simulated(gpu) && gpu != backend::cpu_rome) {
+    const double gpu_us = predict_us(gpu, w);
+    const double cpu_us = predict_us(backend::cpu_rome, w);
+    return gpu_us <= cpu_us ? gpu : backend::cpu_rome;
+  }
+  jaccx::throw_usage_error("auto_select_node expects a simulated GPU backend");
+}
+
+backend use_auto_backend(const workload& w) {
+  const backend b = auto_select(w);
+  set_backend(b);
+  return b;
+}
+
+} // namespace jacc

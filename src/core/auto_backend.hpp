@@ -1,0 +1,50 @@
+// Transparent device selection, in the spirit of the authors' companion
+// work sKokkos [paper ref. 20]: "enabling Kokkos with transparent device
+// selection ... using OpenACC", which picks CPU or GPU per kernel from the
+// problem's characteristics.  The paper's own Sec. V-A1 observation — the
+// CPU wins small DOTs, the GPU wins large streaming kernels — is exactly
+// the decision this module automates for JACC-CXX.
+//
+// The predictor reuses the simulator's cost model: for each candidate
+// backend it evaluates kernel_cost_us on the workload descriptor (indices,
+// bytes, flops, reduction structure, result transfer) and picks the
+// minimum.  Because the figure benches charge the same model, the
+// prediction is exact for simulated back ends; for real back ends it is a
+// heuristic (documented as such).
+#pragma once
+
+#include <vector>
+
+#include "core/backend.hpp"
+#include "support/span2d.hpp"
+
+namespace jacc {
+
+/// What the kernel is about to do, in device-independent terms.
+struct workload {
+  jaccx::index_t indices = 0;   ///< loop iterations
+  double bytes_per_index = 0.0; ///< unique memory traffic per iteration
+  double flops_per_index = 0.0;
+  bool is_reduce = false;       ///< two-kernel scheme + scalar D2H on GPUs
+  int launches = 1;             ///< constructs issued back to back
+};
+
+/// Predicted duration of `w` on backend `b`, in simulated microseconds.
+/// serial/threads are approximated by the Rome model (single- vs all-core).
+double predict_us(backend b, const workload& w);
+
+/// The candidate set auto_select considers: the simulated CPU and the three
+/// simulated GPUs (matching the paper's four testbeds).
+std::vector<backend> auto_candidates();
+
+/// Picks the backend with the lowest predicted time for `w`.
+backend auto_select(const workload& w);
+
+/// sKokkos' actual question: a heterogeneous node has a host CPU and one
+/// GPU — which should run this kernel?  Returns `gpu` or backend::cpu_rome.
+backend auto_select_node(backend gpu, const workload& w);
+
+/// Convenience: auto_select + set_backend; returns the choice.
+backend use_auto_backend(const workload& w);
+
+} // namespace jacc

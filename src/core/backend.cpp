@@ -1,0 +1,128 @@
+#include "core/backend.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+#include "sim/device.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "toml/parser.hpp"
+#include "toml/writer.hpp"
+
+namespace jacc {
+namespace {
+
+std::atomic<int> g_backend{-1}; // -1: not yet initialized
+
+backend resolve_from_preferences() {
+  if (const auto env = jaccx::get_env("JACC_BACKEND")) {
+    return backend_from_string(*env);
+  }
+  std::string path = "LocalPreferences.toml";
+  if (const auto p = jaccx::get_env("JACC_PREFERENCES_FILE")) {
+    path = *p;
+  }
+  if (std::filesystem::exists(path)) {
+    const auto prefs = jaccx::toml::parse_file(path);
+    if (const auto name = jaccx::toml::find_string(prefs, "JACC.backend")) {
+      return backend_from_string(*name);
+    }
+  }
+  return backend::threads; // paper Sec. III: Base.Threads is the default
+}
+
+} // namespace
+
+std::string_view to_string(backend b) {
+  switch (b) {
+  case backend::serial: return "serial";
+  case backend::threads: return "threads";
+  case backend::cpu_rome: return "cpu_rome";
+  case backend::cuda_a100: return "cuda_a100";
+  case backend::hip_mi100: return "hip_mi100";
+  case backend::oneapi_max1550: return "oneapi_max1550";
+  }
+  return "?";
+}
+
+backend backend_from_string(std::string_view name) {
+  if (name == "serial") {
+    return backend::serial;
+  }
+  if (name == "threads" || name == "Threads" || name == "base.threads") {
+    return backend::threads;
+  }
+  if (name == "cpu_rome" || name == "rome" || name == "rome64") {
+    return backend::cpu_rome;
+  }
+  if (name == "cuda_a100" || name == "cuda" || name == "CUDA" ||
+      name == "a100") {
+    return backend::cuda_a100;
+  }
+  if (name == "hip_mi100" || name == "amdgpu" || name == "AMDGPU" ||
+      name == "hip" || name == "mi100") {
+    return backend::hip_mi100;
+  }
+  if (name == "oneapi_max1550" || name == "oneapi" || name == "oneAPI" ||
+      name == "max1550") {
+    return backend::oneapi_max1550;
+  }
+  jaccx::throw_config_error("unknown JACC backend '" + std::string(name) +
+                            "' (known: serial, threads, cpu_rome, cuda_a100, "
+                            "hip_mi100, oneapi_max1550)");
+}
+
+bool is_simulated(backend b) {
+  return b != backend::serial && b != backend::threads;
+}
+
+jaccx::sim::device* backend_device(backend b) {
+  switch (b) {
+  case backend::serial:
+  case backend::threads: return nullptr;
+  case backend::cpu_rome: return &jaccx::sim::get_device("rome64");
+  case backend::cuda_a100: return &jaccx::sim::get_device("a100");
+  case backend::hip_mi100: return &jaccx::sim::get_device("mi100");
+  case backend::oneapi_max1550: return &jaccx::sim::get_device("max1550");
+  }
+  return nullptr;
+}
+
+void initialize() {
+  g_backend.store(static_cast<int>(resolve_from_preferences()),
+                  std::memory_order_release);
+}
+
+backend current_backend() {
+  int b = g_backend.load(std::memory_order_acquire);
+  if (b < 0) {
+    static std::once_flag once;
+    std::call_once(once, initialize);
+    b = g_backend.load(std::memory_order_acquire);
+  }
+  return static_cast<backend>(b);
+}
+
+void set_backend(backend b) {
+  g_backend.store(static_cast<int>(b), std::memory_order_release);
+}
+
+void save_preferences(backend b, const std::string& path) {
+  jaccx::toml::table root;
+  if (std::filesystem::exists(path)) {
+    root = jaccx::toml::parse_file(path);
+  }
+  auto [it, inserted] = root.try_emplace(
+      "JACC", jaccx::toml::value(std::make_shared<jaccx::toml::table>()));
+  if (!it->second.is_table()) {
+    jaccx::throw_config_error(
+        "existing preferences file has a non-table [JACC] entry");
+  }
+  it->second.as_table().insert_or_assign(
+      "backend", jaccx::toml::value(std::string(to_string(b))));
+  jaccx::toml::write_file(root, path);
+}
+
+} // namespace jacc

@@ -1,0 +1,21 @@
+// Umbrella header for the JACC-CXX programming model.
+//
+// Mirrors the paper's front end (Fig. 2):
+//
+//   #include "core/jacc.hpp"
+//
+//   void axpy(jacc::index_t i, double alpha,
+//             const jacc::array<double>& x, const jacc::array<double>& y);
+//
+//   jacc::array<double> dx(x), dy(y);
+//   jacc::parallel_for(n, axpy, alpha, dx, dy);
+//   double res = jacc::parallel_reduce(n, dot, dx, dy);
+//
+// The backend is chosen at configuration time (JACC_BACKEND env var or
+// LocalPreferences.toml) — never in application code.
+#pragma once
+
+#include "core/array.hpp"          // IWYU pragma: export
+#include "core/backend.hpp"        // IWYU pragma: export
+#include "core/parallel_for.hpp"   // IWYU pragma: export
+#include "core/parallel_reduce.hpp"// IWYU pragma: export

@@ -1,0 +1,270 @@
+// jacc::parallel_reduce — the paper's second construct (Sec. III, Fig. 2).
+//
+//   res = jacc::parallel_reduce(n, f, args...)           sum of f(i, args...)
+//   res = jacc::parallel_reduce(dims2{M,N}, f, args...)  sum of f(i, j, ...)
+//
+// plus min/max variants (a JACC.jl extension).  The result is returned on
+// the host; under simulated GPU back ends that implies the same two-kernel
+// shared-memory tree reduction + scalar D2H transfer the paper's Fig. 3
+// shows — which is exactly why DOT trails AXPY on every GPU in Figs. 8/9.
+//
+// The GPU path allocates its partials/result buffers per call, as both
+// JACC.jl and the paper's hand-written comparator do (CUDA.zeros in Fig. 3);
+// that allocation traffic is part of the measured small-size overhead.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+#include "core/parallel_for.hpp"
+
+namespace jacc {
+
+/// Built-in reduction operators.  A reducer supplies an identity and a
+/// binary combine; both are used on every backend so results agree across
+/// targets (up to floating-point association order).
+struct plus_reducer {
+  template <class R>
+  static constexpr R identity() {
+    return R{};
+  }
+  template <class R>
+  R operator()(R a, R b) const {
+    return a + b;
+  }
+};
+
+struct min_reducer {
+  template <class R>
+  static constexpr R identity() {
+    return std::numeric_limits<R>::max();
+  }
+  template <class R>
+  R operator()(R a, R b) const {
+    return b < a ? b : a;
+  }
+};
+
+struct max_reducer {
+  template <class R>
+  static constexpr R identity() {
+    return std::numeric_limits<R>::lowest();
+  }
+  template <class R>
+  R operator()(R a, R b) const {
+    return a < b ? b : a;
+  }
+};
+
+namespace detail {
+
+/// Number of lanes per block in the generic GPU reduction: 512, the same
+/// fixed power-of-two JACC.jl and the paper's Fig. 3 native code use; the
+/// tree loop below requires the power of two.
+inline constexpr std::int64_t reduce_block = 512;
+
+/// Zero-fill kernel standing in for CUDA.zeros / AMDGPU.zeros /
+/// oneAPI.zeros: real work on real devices, so it is charged as a kernel.
+template <class R>
+void fill_zero_sim(jaccx::sim::device& dev, jaccx::sim::device_span<R> s) {
+  jaccx::sim::launch_config cfg;
+  const std::int64_t n = s.size();
+  const std::int64_t maxt = dev.model().max_threads_per_block;
+  const std::int64_t threads = n < maxt ? (n > 0 ? n : 1) : maxt;
+  cfg.block = jaccx::sim::dim3{threads};
+  cfg.grid = jaccx::sim::dim3{jaccx::sim::ceil_div(n > 0 ? n : 1, threads)};
+  cfg.name = "jacc.zeros";
+  cfg.flavor.via_jacc = true;
+  jaccx::sim::launch(dev, cfg, [s, n](jaccx::sim::kernel_ctx& ctx) {
+    const index_t i = ctx.global_x();
+    if (i < n) {
+      s[i] = R{};
+    }
+  });
+}
+
+/// Two-kernel shared-memory tree reduction on a simulated GPU.  `eval(idx)`
+/// produces the element value for linear index idx in [0, n).
+template <class R, class Op, class Eval>
+R reduce_sim_gpu(jaccx::sim::device& dev, const hints& h, index_t n, Op op,
+                 const Eval& eval) {
+  const std::int64_t blocks = jaccx::sim::ceil_div(n, reduce_block);
+  jaccx::sim::device_buffer<R> partials(dev, blocks, "jacc.reduce.partials");
+  jaccx::sim::device_buffer<R> result(dev, 1, "jacc.reduce.result");
+  auto ps = partials.span();
+  auto rs = result.span();
+  // JACC.jl materializes its scratch with <vendor>.zeros, paying two fill
+  // kernels per reduction just like the hand-written Fig. 3 code.
+  fill_zero_sim(dev, ps);
+  fill_zero_sim(dev, rs);
+
+  jaccx::sim::launch_config cfg;
+  cfg.grid = jaccx::sim::dim3{blocks};
+  cfg.block = jaccx::sim::dim3{reduce_block};
+  cfg.shmem_bytes = static_cast<std::size_t>(reduce_block) * sizeof(R);
+  cfg.name = h.name;
+  cfg.flavor.via_jacc = true;
+  cfg.flavor.is_reduce = true;
+  cfg.flops_per_index = h.flops_per_index;
+
+  jaccx::sim::launch_cooperative(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
+    R* sh = ctx.shared_mem<R>();
+    const std::int64_t ti = ctx.thread_idx.x;
+    const index_t i = ctx.global_x();
+    sh[ti] = i < n ? eval(i) : Op::template identity<R>();
+    ctx.sync_threads();
+    for (std::int64_t s = reduce_block / 2; s > 0; s >>= 1) {
+      if (ti < s) {
+        sh[ti] = op(sh[ti], sh[ti + s]);
+      }
+      ctx.sync_threads();
+    }
+    if (ti == 0) {
+      ps[ctx.block_idx.x] = sh[0];
+    }
+  });
+
+  jaccx::sim::launch_config cfg2 = cfg;
+  cfg2.grid = jaccx::sim::dim3{1};
+  cfg2.flops_per_index = 0.0;
+  jaccx::sim::launch_cooperative(dev, cfg2, [&](jaccx::sim::kernel_ctx& ctx) {
+    R* sh = ctx.shared_mem<R>();
+    const std::int64_t ti = ctx.thread_idx.x;
+    R v = Op::template identity<R>();
+    for (std::int64_t k = ti; k < blocks; k += reduce_block) {
+      v = op(v, static_cast<R>(ps[k]));
+    }
+    sh[ti] = v;
+    ctx.sync_threads();
+    for (std::int64_t s = reduce_block / 2; s > 0; s >>= 1) {
+      if (ti < s) {
+        sh[ti] = op(sh[ti], sh[ti + s]);
+      }
+      ctx.sync_threads();
+    }
+    if (ti == 0) {
+      rs[0] = sh[0];
+    }
+  });
+
+  R out{};
+  result.copy_to_host(&out, "jacc.reduce.d2h");
+  return out;
+}
+
+/// Real thread-pool reduction: one cache-line-padded partial per worker.
+template <class R, class Op, class Eval>
+R reduce_threads(index_t n, Op op, const Eval& eval) {
+  auto& pool = jaccx::pool::default_pool();
+  struct alignas(jaccx::cache_line_bytes) slot {
+    R value;
+  };
+  std::vector<slot> partials(pool.size(),
+                             slot{Op::template identity<R>()});
+  pool.parallel_chunks(n, [&](unsigned worker, jaccx::pool::range chunk) {
+    R acc = Op::template identity<R>();
+    for (index_t i = chunk.begin; i < chunk.end; ++i) {
+      acc = op(acc, eval(i));
+    }
+    partials[worker].value = acc;
+  });
+  R out = Op::template identity<R>();
+  for (const auto& s : partials) {
+    out = op(out, s.value);
+  }
+  return out;
+}
+
+/// Core dispatch shared by the 1D/2D front ends.
+template <class Op, class Eval>
+auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
+  using R = std::remove_cvref_t<decltype(eval(index_t{0}))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  if (n == 0) {
+    return Op::template identity<R>();
+  }
+  const backend b = current_backend();
+  switch (b) {
+  case backend::serial: {
+    R acc = Op::template identity<R>();
+    for (index_t i = 0; i < n; ++i) {
+      acc = op(acc, eval(i));
+    }
+    return acc;
+  }
+  case backend::threads:
+    return reduce_threads<R>(n, op, eval);
+  case backend::cpu_rome: {
+    auto& dev = *backend_device(b);
+    auto cfg = detail::cpu_config(h);
+    cfg.flavor.is_reduce = true;
+    R acc = Op::template identity<R>();
+    jaccx::sim::cpu_parallel_range(dev, cfg, n,
+                                   [&](index_t i) { acc = op(acc, eval(i)); });
+    return acc;
+  }
+  case backend::cuda_a100:
+  case backend::hip_mi100:
+  case backend::oneapi_max1550:
+    return reduce_sim_gpu<R>(*backend_device(b), h, n, op, eval);
+  }
+  return Op::template identity<R>();
+}
+
+} // namespace detail
+
+/// 1D sum-reduction with hints: returns sum over i of f(i, args...).
+template <class F, class... Args>
+auto parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args) {
+  return detail::reduce_dispatch(h, n, plus_reducer{},
+                                 [&](index_t i) { return f(i, args...); });
+}
+
+/// 1D sum-reduction: `res = JACC.parallel_reduce(SIZE, dot, dx, dy)`.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, Args&...>
+auto parallel_reduce(index_t n, F&& f, Args&&... args) {
+  return parallel_reduce(hints{.name = "jacc.parallel_reduce"}, n,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// 1D min/max reductions (JACC.jl extension).
+template <class F, class... Args>
+auto parallel_reduce_min(index_t n, F&& f, Args&&... args) {
+  return detail::reduce_dispatch(hints{.name = "jacc.parallel_reduce_min"}, n,
+                                 min_reducer{},
+                                 [&](index_t i) { return f(i, args...); });
+}
+
+template <class F, class... Args>
+auto parallel_reduce_max(index_t n, F&& f, Args&&... args) {
+  return detail::reduce_dispatch(hints{.name = "jacc.parallel_reduce_max"}, n,
+                                 max_reducer{},
+                                 [&](index_t i) { return f(i, args...); });
+}
+
+/// 2D sum-reduction with hints: sum over (i, j) of f(i, j, args...).  The
+/// index space is linearized with i fastest, so simulated-GPU lanes access
+/// column-major arrays coalesced, as the paper's multidimensional mapping
+/// does.
+template <class F, class... Args>
+auto parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  const index_t total = d.rows * d.cols;
+  return detail::reduce_dispatch(h, total, plus_reducer{}, [&](index_t idx) {
+    const index_t i = idx % d.rows;
+    const index_t j = idx / d.rows;
+    return f(i, j, args...);
+  });
+}
+
+/// 2D sum-reduction: `res = JACC.parallel_reduce((M, N), dot, dx, dy)`.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, Args&...>
+auto parallel_reduce(dims2 d, F&& f, Args&&... args) {
+  return parallel_reduce(hints{.name = "jacc.parallel_reduce2d"}, d,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+} // namespace jacc

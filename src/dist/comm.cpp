@@ -1,0 +1,128 @@
+#include "dist/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace jaccx::dist {
+
+communicator::communicator(int ranks, const std::string& gpu_model,
+                           nic_model nic)
+    : nic_(nic) {
+  if (ranks < 1) {
+    throw_usage_error("communicator needs at least one rank");
+  }
+  nodes_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    nodes_.push_back(&sim::get_device_instance(gpu_model, r));
+  }
+}
+
+sim::device& communicator::dev(int rank) const {
+  JACCX_ASSERT(rank >= 0 && rank < ranks());
+  return *nodes_[static_cast<std::size_t>(rank)];
+}
+
+double communicator::time_of(int rank) const {
+  return dev(rank).tl().now_us();
+}
+
+double communicator::now_us() const {
+  double t = 0.0;
+  for (const auto* n : nodes_) {
+    t = std::max(t, n->tl().now_us());
+  }
+  return t;
+}
+
+double communicator::barrier() {
+  const double t = now_us();
+  for (auto* n : nodes_) {
+    const double behind = t - n->tl().now_us();
+    if (behind > 0.0) {
+      n->tl().record("dist.barrier", sim::event_kind::kernel, behind);
+    }
+  }
+  return t;
+}
+
+void communicator::reset() {
+  for (auto* n : nodes_) {
+    n->reset_clock();
+    n->cache().reset();
+  }
+}
+
+void communicator::charge_pair(int a, int b, std::uint64_t bytes,
+                               std::string_view name) {
+  auto& da = dev(a);
+  auto& db = dev(b);
+  const double start = std::max(da.tl().now_us(), db.tl().now_us());
+  const double done = start + nic_.latency_us +
+                      static_cast<double>(bytes) / (nic_.bandwidth_gbps * 1e3);
+  da.tl().record(std::string(name), sim::event_kind::transfer_d2h,
+                 done - da.tl().now_us());
+  db.tl().record(std::string(name), sim::event_kind::transfer_h2d,
+                 done - db.tl().now_us());
+}
+
+void communicator::send_recv(int src_rank, const double* src, int dst_rank,
+                             double* dst, index_t count,
+                             std::string_view name) {
+  JACCX_ASSERT(count >= 0);
+  if (src_rank == dst_rank) {
+    std::memmove(dst, src, static_cast<std::size_t>(count) * sizeof(double));
+    return;
+  }
+  std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(double));
+  charge_pair(src_rank, dst_rank,
+              static_cast<std::uint64_t>(count) * sizeof(double), name);
+}
+
+void communicator::exchange(int rank_a, const double* a_out, double* a_in,
+                            int rank_b, const double* b_out, double* b_in,
+                            index_t count, std::string_view name) {
+  JACCX_ASSERT(count >= 0);
+  // Full-duplex links: both directions complete in one charged step.
+  std::memcpy(b_in, a_out, static_cast<std::size_t>(count) * sizeof(double));
+  std::memcpy(a_in, b_out, static_cast<std::size_t>(count) * sizeof(double));
+  charge_pair(rank_a, rank_b,
+              static_cast<std::uint64_t>(count) * sizeof(double), name);
+}
+
+int communicator::allreduce_rounds() const {
+  int rounds = 0;
+  int span = 1;
+  while (span < ranks()) {
+    span <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double communicator::allreduce_sum(const std::vector<double>& per_rank,
+                                   std::string_view name) {
+  if (static_cast<int>(per_rank.size()) != ranks()) {
+    throw_usage_error("allreduce_sum needs one value per rank");
+  }
+  double total = 0.0;
+  for (double v : per_rank) {
+    total += v;
+  }
+  // Recursive doubling: in round k, rank r exchanges 8 bytes with r ^ 2^k.
+  // With equal per-round cost on every participating pair, the clocks all
+  // advance by rounds * (latency + 8B/bw), serialized after the laggard.
+  const int rounds = allreduce_rounds();
+  if (rounds > 0) {
+    const double start = now_us();
+    const double per_round =
+        nic_.latency_us + 8.0 / (nic_.bandwidth_gbps * 1e3);
+    const double done = start + rounds * per_round;
+    for (auto* n : nodes_) {
+      n->tl().record(std::string(name), sim::event_kind::transfer_d2h,
+                     done - n->tl().now_us());
+    }
+  }
+  return total;
+}
+
+} // namespace jaccx::dist

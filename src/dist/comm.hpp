@@ -1,0 +1,93 @@
+// Distributed-memory substrate: simulated nodes and an MPI-flavoured
+// communicator.
+//
+// The paper situates JACC in an ecosystem where distributed runs go through
+// MPI.jl / Distributed.jl (Sec. II) and lists distributed configurations as
+// future work (Sec. VII).  This module models that layer: a cluster is N
+// nodes, each owning one simulated GPU and a NIC (latency + bandwidth);
+// point-to-point messages and collectives advance the participating nodes'
+// clocks with the usual LogP-style cost
+//
+//   t_done = max(t_src, t_dst) + nic_latency + bytes / nic_bandwidth
+//
+// and an allreduce is recursive doubling: ceil(log2 N) rounds of pairwise
+// exchanges.  Data moves for real (host memcpy), so algorithms built on the
+// communicator are functionally exact; the clocks tell the scaling story
+// (bench/abl_dist_scaling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/memspace.hpp"
+
+namespace jaccx::dist {
+
+using jaccx::index_t;
+
+/// Interconnect parameters.  Defaults approximate an InfiniBand-class HPC
+/// fabric; ethernet_like() is the slow alternative the latency-sensitivity
+/// bench sweeps.
+struct nic_model {
+  double latency_us = 1.5;
+  double bandwidth_gbps = 25.0;
+
+  static nic_model infiniband_like() { return {1.5, 25.0}; }
+  static nic_model ethernet_like() { return {50.0, 1.2}; }
+};
+
+/// A cluster of N ranks, each bound to its own instance of one GPU model.
+class communicator {
+public:
+  /// `gpu_model` is a built-in device-model name ("a100", ...); rank r gets
+  /// device instance r of that model.
+  communicator(int ranks, const std::string& gpu_model = "a100",
+               nic_model nic = nic_model::infiniband_like());
+
+  int ranks() const { return static_cast<int>(nodes_.size()); }
+  const nic_model& nic() const { return nic_; }
+  sim::device& dev(int rank) const;
+
+  /// Simulated time of rank r (its device clock).
+  double time_of(int rank) const;
+
+  /// Cluster wall clock: the furthest-ahead rank.
+  double now_us() const;
+
+  /// Aligns all rank clocks (an MPI_Barrier after the modeled rounds).
+  double barrier();
+
+  /// Rewinds every rank's clock/log and cache (benchmarks).
+  void reset();
+
+  // --- point to point ---------------------------------------------------------
+  /// Moves `count` doubles from src_rank's buffer to dst_rank's, charging
+  /// both clocks.  Buffers are raw host-backed device storage.
+  void send_recv(int src_rank, const double* src, int dst_rank, double* dst,
+                 index_t count, std::string_view name = "dist.sendrecv");
+
+  /// Symmetric neighbour exchange (both directions in one overlapped step,
+  /// as MPI_Sendrecv pairs would).
+  void exchange(int rank_a, const double* a_out, double* a_in, int rank_b,
+                const double* b_out, double* b_in, index_t count,
+                std::string_view name = "dist.exchange");
+
+  // --- collectives -------------------------------------------------------------
+  /// Global sum of one double per rank.  Every rank's clock advances by the
+  /// recursive-doubling rounds; returns the sum.
+  double allreduce_sum(const std::vector<double>& per_rank,
+                       std::string_view name = "dist.allreduce");
+
+  /// Number of recursive-doubling rounds for the current size.
+  int allreduce_rounds() const;
+
+private:
+  void charge_pair(int a, int b, std::uint64_t bytes, std::string_view name);
+
+  nic_model nic_;
+  std::vector<sim::device*> nodes_;
+};
+
+} // namespace jaccx::dist

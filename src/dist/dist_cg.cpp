@@ -1,0 +1,225 @@
+#include "dist/dist_cg.hpp"
+
+#include <cmath>
+
+#include "core/parallel_reduce.hpp" // reduce_sim_gpu for the local dots
+#include "sim/launch.hpp"
+
+namespace jaccx::dist {
+namespace {
+
+/// Fine-grained local kernel launch on one rank's device: body(i) for the
+/// owned local indices [0, local_n).
+template <class Body>
+void rank_launch(sim::device& dev, index_t local_n, std::string_view name,
+                 double flops_per_index, const Body& body) {
+  if (local_n == 0) {
+    return;
+  }
+  sim::launch_config cfg;
+  const std::int64_t maxt = dev.model().max_threads_per_block;
+  const std::int64_t threads = local_n < maxt ? local_n : maxt;
+  cfg.block = sim::dim3{threads};
+  cfg.grid = sim::dim3{sim::ceil_div(local_n, threads)};
+  cfg.name = name;
+  cfg.flops_per_index = flops_per_index;
+  sim::launch(dev, cfg, [&](sim::kernel_ctx& ctx) {
+    const index_t i = ctx.global_x();
+    if (i < local_n) {
+      body(i);
+    }
+  });
+}
+
+} // namespace
+
+tridiag_cg::tridiag_cg(communicator& comm, index_t n)
+    : comm_(&comm), n_(n) {
+  JACCX_ASSERT(n >= 2);
+  ranks_.reserve(static_cast<std::size_t>(comm.ranks()));
+  for (int r = 0; r < comm.ranks(); ++r) {
+    const index_t local = rows_of(r).size();
+    // +2: one ghost cell on each side; global-boundary ghosts stay zero.
+    rank_state st{
+        sim::device_buffer<double>(comm.dev(r), local + 2, "dist.r"),
+        sim::device_buffer<double>(comm.dev(r), local + 2, "dist.p"),
+        sim::device_buffer<double>(comm.dev(r), local + 2, "dist.s"),
+        sim::device_buffer<double>(comm.dev(r), local + 2, "dist.x"),
+        local};
+    st.r.fill_untracked(0.0);
+    st.p.fill_untracked(0.0);
+    st.s.fill_untracked(0.0);
+    st.x.fill_untracked(0.0);
+    ranks_.push_back(std::move(st));
+  }
+}
+
+void tridiag_cg::halo_exchange_p() {
+  for (int r = 0; r + 1 < comm_->ranks(); ++r) {
+    auto& left = ranks_[static_cast<std::size_t>(r)];
+    auto& right = ranks_[static_cast<std::size_t>(r + 1)];
+    if (left.local_n == 0 || right.local_n == 0) {
+      continue;
+    }
+    // left's last owned <-> right's first owned, one double each way.
+    comm_->exchange(r, left.p.data() + left.local_n,
+                    left.p.data() + left.local_n + 1, r + 1,
+                    right.p.data() + 1, right.p.data(), 1, "dist.halo");
+  }
+}
+
+void tridiag_cg::local_matvec(int rank) {
+  auto& st = ranks_[static_cast<std::size_t>(rank)];
+  auto p = st.p.span();
+  auto s = st.s.span();
+  rank_launch(comm_->dev(rank), st.local_n, "dist.matvec", 5.0,
+              [p, s](index_t i) {
+                // Owned cell i lives at i+1; zero ghosts truncate the ends.
+                s[i + 1] = static_cast<double>(p[i]) +
+                           4.0 * static_cast<double>(p[i + 1]) +
+                           static_cast<double>(p[i + 2]);
+              });
+}
+
+double tridiag_cg::dot_allreduce(vec_ptr a, vec_ptr b, const char* name) {
+  std::vector<double> partials(static_cast<std::size_t>(comm_->ranks()),
+                               0.0);
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    if (st.local_n == 0) {
+      continue;
+    }
+    auto sa = (st.*a).span();
+    auto sb = (st.*b).span();
+    partials[static_cast<std::size_t>(r)] =
+        jacc::detail::reduce_sim_gpu<double>(
+            comm_->dev(r), jacc::hints{.name = name, .flops_per_index = 2.0},
+            st.local_n, jacc::plus_reducer{}, [sa, sb](index_t i) {
+              return static_cast<double>(sa[i + 1]) *
+                     static_cast<double>(sb[i + 1]);
+            });
+  }
+  return comm_->allreduce_sum(partials, name);
+}
+
+void tridiag_cg::axpy_all(double alpha, vec_ptr x, vec_ptr y) {
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    auto sx = (st.*x).span();
+    auto sy = (st.*y).span();
+    rank_launch(comm_->dev(r), st.local_n, "dist.axpy", 2.0,
+                [sx, sy, alpha](index_t i) {
+                  sx[i + 1] += alpha * static_cast<double>(sy[i + 1]);
+                });
+  }
+}
+
+void tridiag_cg::xpay_all(double beta, vec_ptr r_vec, vec_ptr p_vec) {
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    auto sr = (st.*r_vec).span();
+    auto sp = (st.*p_vec).span();
+    rank_launch(comm_->dev(r), st.local_n, "dist.xpay", 2.0,
+                [sr, sp, beta](index_t i) {
+                  sp[i + 1] = static_cast<double>(sr[i + 1]) +
+                              beta * static_cast<double>(sp[i + 1]);
+                });
+  }
+}
+
+cg_result tridiag_cg::solve(const std::vector<double>& b,
+                            std::vector<double>& x, const cg_options& opts) {
+  JACCX_ASSERT(static_cast<index_t>(b.size()) == n_);
+  x.assign(static_cast<std::size_t>(n_), 0.0);
+
+  // Scatter b into r (x0 = 0 so r = b), p = r.
+  double bb = 0.0;
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    const auto rows = rows_of(r);
+    for (index_t i = 0; i < st.local_n; ++i) {
+      st.r.data()[i + 1] = b[static_cast<std::size_t>(rows.begin + i)];
+      st.p.data()[i + 1] = st.r.data()[i + 1];
+      st.x.data()[i + 1] = 0.0;
+    }
+    st.r.data()[0] = st.r.data()[st.local_n + 1] = 0.0;
+    st.p.data()[0] = st.p.data()[st.local_n + 1] = 0.0;
+    if (st.local_n > 0) {
+      comm_->dev(r).charge_h2d(
+          static_cast<std::uint64_t>(st.local_n) * sizeof(double),
+          "dist.scatter");
+    }
+  }
+  for (double v : b) {
+    bb += v * v;
+  }
+  if (bb == 0.0) {
+    return {0, 0.0, true};
+  }
+
+  double rr = dot_allreduce(&rank_state::r, &rank_state::r, "dist.dot_rr");
+  const double stop = opts.tolerance * opts.tolerance * bb;
+
+  cg_result out;
+  while (out.iterations < opts.max_iterations && rr > stop) {
+    halo_exchange_p();
+    for (int r = 0; r < comm_->ranks(); ++r) {
+      local_matvec(r);
+    }
+    const double ps =
+        dot_allreduce(&rank_state::p, &rank_state::s, "dist.dot_ps");
+    const double alpha = rr / ps;
+    axpy_all(alpha, &rank_state::x, &rank_state::p);
+    axpy_all(-alpha, &rank_state::r, &rank_state::s);
+    const double rr_new =
+        dot_allreduce(&rank_state::r, &rank_state::r, "dist.dot_rr");
+    xpay_all(rr_new / rr, &rank_state::r, &rank_state::p);
+    rr = rr_new;
+    ++out.iterations;
+  }
+
+  // Gather the solution.
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    const auto rows = rows_of(r);
+    for (index_t i = 0; i < st.local_n; ++i) {
+      x[static_cast<std::size_t>(rows.begin + i)] = st.x.data()[i + 1];
+    }
+    if (st.local_n > 0) {
+      comm_->dev(r).charge_d2h(
+          static_cast<std::uint64_t>(st.local_n) * sizeof(double),
+          "dist.gather");
+    }
+  }
+  out.relative_residual = std::sqrt(rr / bb);
+  out.converged = rr <= stop;
+  return out;
+}
+
+void tridiag_cg::bench_reset() {
+  for (auto& st : ranks_) {
+    for (index_t i = 0; i < st.local_n + 2; ++i) {
+      st.r.data()[i] = 0.5;
+      st.p.data()[i] = 0.5;
+      st.s.data()[i] = 0.0;
+      st.x.data()[i] = 0.0;
+    }
+  }
+}
+
+void tridiag_cg::bench_iteration() {
+  halo_exchange_p();
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    local_matvec(r);
+  }
+  const double rr = dot_allreduce(&rank_state::r, &rank_state::r, "dist.dot");
+  const double ps = dot_allreduce(&rank_state::p, &rank_state::s, "dist.dot");
+  const double alpha = rr / ps;
+  axpy_all(alpha, &rank_state::x, &rank_state::p);
+  axpy_all(-alpha, &rank_state::r, &rank_state::s);
+  const double rr_new =
+      dot_allreduce(&rank_state::r, &rank_state::r, "dist.dot");
+  xpay_all(rr_new / rr, &rank_state::r, &rank_state::p);
+}
+
+} // namespace jaccx::dist

@@ -1,0 +1,69 @@
+#include "fiber/fiber.hpp"
+
+#include <cstdint>
+
+namespace jaccx::fiber {
+namespace {
+
+/// Rounds p down to a 16-byte boundary (System V stack alignment unit).
+char* align_down_16(char* p) {
+  return reinterpret_cast<char*>(reinterpret_cast<std::uintptr_t>(p) &
+                                 ~std::uintptr_t{15});
+}
+
+} // namespace
+
+fiber::fiber(std::size_t stack_bytes) : stack_(stack_bytes, 64) {
+  JACCX_ASSERT(stack_bytes >= 4096);
+}
+
+void fiber::reset(entry_fn entry, void* arg) {
+  JACCX_ASSERT(done_ && "reset() while fiber is suspended mid-run");
+  entry_ = entry;
+  arg_ = arg;
+  done_ = false;
+
+  // Seed the stack so the first jaccx_fiber_swap into the fiber pops the
+  // fiber pointer into %rbx and returns into jaccx_fiber_entry_thunk with
+  // %rsp == T (16-aligned) at the thunk's call instruction:
+  //
+  //   [T-8]  jaccx_fiber_entry_thunk   <- consumed by ret
+  //   [T-16] rbp slot (zero)
+  //   [T-24] rbx slot = this
+  //   [T-32] r12 slot (zero)
+  //   [T-40] r13 slot (zero)
+  //   [T-48] r14 slot (zero)
+  //   [T-56] r15 slot (zero)         <- initial saved rsp
+  char* top = align_down_16(stack_.data() + stack_.size());
+  auto* slots = reinterpret_cast<void**>(top);
+  slots[-1] = reinterpret_cast<void*>(&jaccx_fiber_entry_thunk);
+  slots[-2] = nullptr;                 // rbp
+  slots[-3] = static_cast<void*>(this); // rbx -> fiber*
+  slots[-4] = nullptr;                 // r12
+  slots[-5] = nullptr;                 // r13
+  slots[-6] = nullptr;                 // r14
+  slots[-7] = nullptr;                 // r15
+  fiber_sp_ = static_cast<void*>(slots - 7);
+}
+
+void fiber::resume() {
+  JACCX_ASSERT(!done_ && "resume() on a finished fiber");
+  jaccx_fiber_swap(&owner_sp_, fiber_sp_);
+}
+
+void fiber::yield() {
+  jaccx_fiber_swap(&fiber_sp_, owner_sp_);
+}
+
+} // namespace jaccx::fiber
+
+extern "C" void jaccx_fiber_run(void* self) {
+  auto* f = static_cast<jaccx::fiber::fiber*>(self);
+  f->entry_(f->arg_);
+  f->done_ = true;
+  // Park: return control to the owner.  The fiber must not be resumed again
+  // until reset(); resume() asserts on done_.
+  jaccx_fiber_swap(&f->fiber_sp_, f->owner_sp_);
+  // Unreachable: a finished fiber is never swapped back in.
+  ::jaccx::detail::assert_fail("finished fiber resumed", __FILE__, __LINE__);
+}

@@ -1,0 +1,79 @@
+// Stackful fibers for the SIMT simulator.
+//
+// A simulated GPU block runs each of its threads ("lanes") as a fiber on the
+// host.  Lanes execute sequentially until one calls sync_threads(), which
+// yields back to the block scheduler; the scheduler resumes the next lane,
+// and once every lane has reached the barrier the whole block advances to
+// the next phase.  This gives CUDA-exact barrier + shared-memory semantics
+// without one OS thread per GPU thread.
+//
+// The context switch itself is ~20 ns of assembly (context_switch.S); a
+// fiber's stack is reusable across runs, so a kernel launch allocates
+// stacks only the first time a given block width is seen.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+extern "C" {
+/// Saves the current context's callee-saved registers, publishes its stack
+/// pointer through save_sp, and switches to restore_sp (see context_switch.S).
+void jaccx_fiber_swap(void** save_sp, void* restore_sp);
+void jaccx_fiber_entry_thunk();
+/// Trampoline target (called from assembly): runs the fiber body and parks
+/// the fiber in the finished state.
+void jaccx_fiber_run(void* self);
+}
+
+namespace jaccx::fiber {
+
+/// Default lane stack: simulated kernels are shallow (a functor plus a few
+/// library frames) but debug iostream/assert paths can be deep.
+inline constexpr std::size_t default_stack_bytes = 64 * 1024;
+
+/// One resumable execution context with its own stack.
+///
+/// Lifecycle: construct (allocates the stack), reset(entry, arg), then
+/// resume() until done().  reset() may be called again to reuse the stack
+/// for a different entry.  Not thread-safe; a fiber is owned by exactly one
+/// scheduler thread.
+class fiber {
+public:
+  using entry_fn = void (*)(void* arg);
+
+  explicit fiber(std::size_t stack_bytes = default_stack_bytes);
+
+  fiber(const fiber&) = delete;
+  fiber& operator=(const fiber&) = delete;
+
+  /// Arms the fiber to run entry(arg) on the next resume().  Must not be
+  /// called while the fiber is suspended mid-run.
+  void reset(entry_fn entry, void* arg);
+
+  /// True once entry() has returned (or before the first reset()).
+  bool done() const { return done_; }
+
+  /// Switches from the caller into the fiber.  Returns when the fiber
+  /// yields or its entry returns.  Must not be called when done().
+  void resume();
+
+  /// Switches from inside the fiber back to whoever resumed it.  Must only
+  /// be called from within the running fiber.
+  void yield();
+
+private:
+  friend void ::jaccx_fiber_run(void*);
+
+  aligned_buffer<char> stack_;
+  void* fiber_sp_ = nullptr; // suspended fiber context
+  void* owner_sp_ = nullptr; // context of the resume() caller
+  entry_fn entry_ = nullptr;
+  void* arg_ = nullptr;
+  bool done_ = true;
+};
+
+} // namespace jaccx::fiber

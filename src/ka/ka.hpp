@@ -1,0 +1,179 @@
+// KernelAbstractions-style comparison API (paper Sec. III-A, Fig. 4).
+//
+// The paper contrasts JACC with KernelAbstractions.jl (KA): KA also targets
+// multiple back ends, but the *user* must obtain a backend object, choose a
+// group size per backend kind (256 on GPUs, 1024 on CPUs in Fig. 4), build a
+// kernel for that backend, and synchronize explicitly.  This module
+// reproduces that programming model on top of the same substrates so the
+// abl_ka_granularity benchmark can quantify what a wrong manual group size
+// costs — the burden JACC removes.
+//
+//   auto be = ka::get_backend(jacc::backend::cuda_a100);
+//   ka::run(be, ka::default_groupsize(be), n, axpy_body, alpha, x, y);
+//   ka::synchronize(be);
+#pragma once
+
+#include "core/backend.hpp"
+#include "sim/launch.hpp"
+#include "support/span2d.hpp"
+#include "threadpool/thread_pool.hpp"
+
+namespace jaccx::ka {
+
+using jaccx::index_t;
+
+/// A KA backend object: thin value wrapper over a jacc backend id.
+struct backend_t {
+  jacc::backend target = jacc::backend::threads;
+
+  friend bool operator==(const backend_t&, const backend_t&) = default;
+};
+
+inline backend_t get_backend(jacc::backend b) { return backend_t{b}; }
+
+/// KernelAbstractions.isgpu analogue.
+inline bool isgpu(const backend_t& be) {
+  return be.target == jacc::backend::cuda_a100 ||
+         be.target == jacc::backend::hip_mi100 ||
+         be.target == jacc::backend::oneapi_max1550;
+}
+
+/// The Fig. 4 heuristic the KA user writes by hand.
+inline index_t default_groupsize(const backend_t& be) {
+  return isgpu(be) ? 256 : 1024;
+}
+
+/// KA requires explicit synchronization after a kernel; all our substrates
+/// are synchronous, so this is a no-op kept for model fidelity.
+inline void synchronize(const backend_t&) {}
+
+/// Launches body(i, args...) over ndrange [0, n) with the user-chosen
+/// group size.  On GPU back ends groupsize is the block size; on CPU back
+/// ends it is the chunk grain.  Unlike jacc::parallel_for, a bad choice is
+/// the caller's problem — that asymmetry is the point of the comparison.
+template <class F, class... Args>
+void run(const backend_t& be, index_t groupsize, index_t n, F&& f,
+         Args&&... args) {
+  JACCX_ASSERT(n >= 0);
+  if (n == 0) {
+    return;
+  }
+  if (groupsize <= 0) {
+    throw_usage_error("KernelAbstractions groupsize must be positive");
+  }
+  switch (be.target) {
+  case jacc::backend::serial: {
+    for (index_t i = 0; i < n; ++i) {
+      f(i, args...);
+    }
+    return;
+  }
+  case jacc::backend::threads: {
+    // Grain-sized chunks, round-robin over workers (KA's CPU mapping).
+    auto& pool = jaccx::pool::default_pool();
+    const index_t chunks = pool::chunk_count(n, groupsize);
+    pool.parallel_for_index(chunks, [&](index_t c) {
+      const auto r = pool::grain_chunk(n, groupsize, c);
+      for (index_t i = r.begin; i < r.end; ++i) {
+        f(i, args...);
+      }
+    });
+    return;
+  }
+  case jacc::backend::cpu_rome: {
+    auto& dev = *jacc::backend_device(be.target);
+    sim::cpu_region_config cfg;
+    cfg.name = "ka.kernel";
+    cfg.chunks = static_cast<std::uint64_t>(pool::chunk_count(n, groupsize));
+    sim::cpu_parallel_range(dev, cfg, n, [&](index_t i) { f(i, args...); });
+    return;
+  }
+  case jacc::backend::cuda_a100:
+  case jacc::backend::hip_mi100:
+  case jacc::backend::oneapi_max1550: {
+    auto& dev = *jacc::backend_device(be.target);
+    if (groupsize > dev.model().max_threads_per_block) {
+      throw_usage_error("KernelAbstractions groupsize exceeds device limit");
+    }
+    sim::launch_config cfg;
+    cfg.block = sim::dim3{groupsize};
+    cfg.grid = sim::dim3{sim::ceil_div(n, groupsize)};
+    cfg.name = "ka.kernel";
+    sim::launch(dev, cfg, [&](sim::kernel_ctx& ctx) {
+      const index_t i = ctx.global_x(); // @index(Global)
+      if (i < n) {
+        f(i, args...);
+      }
+    });
+    return;
+  }
+  }
+}
+
+/// 2D ndrange: body(i, j, args...) over rows x cols with a user-chosen
+/// square group edge (KA kernels pick their workgroup shape explicitly).
+/// i is the fast index, as everywhere in this codebase.
+template <class F, class... Args>
+void run2d(const backend_t& be, index_t group_edge, index_t rows,
+           index_t cols, F&& f, Args&&... args) {
+  JACCX_ASSERT(rows >= 0 && cols >= 0);
+  if (rows == 0 || cols == 0) {
+    return;
+  }
+  if (group_edge <= 0) {
+    throw_usage_error("KernelAbstractions group edge must be positive");
+  }
+  switch (be.target) {
+  case jacc::backend::serial: {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        f(i, j, args...);
+      }
+    }
+    return;
+  }
+  case jacc::backend::threads: {
+    auto& pool = jaccx::pool::default_pool();
+    pool.parallel_for_index(cols, [&](index_t j) {
+      for (index_t i = 0; i < rows; ++i) {
+        f(i, j, args...);
+      }
+    });
+    return;
+  }
+  case jacc::backend::cpu_rome: {
+    auto& dev = *jacc::backend_device(be.target);
+    sim::cpu_region_config cfg;
+    cfg.name = "ka.kernel2d";
+    cfg.chunks = static_cast<std::uint64_t>(
+        pool::chunk_count(cols, group_edge));
+    sim::cpu_parallel_range_2d(dev, cfg, rows, cols,
+                               [&](index_t i, index_t j) { f(i, j, args...); });
+    return;
+  }
+  case jacc::backend::cuda_a100:
+  case jacc::backend::hip_mi100:
+  case jacc::backend::oneapi_max1550: {
+    auto& dev = *jacc::backend_device(be.target);
+    if (group_edge * group_edge > dev.model().max_threads_per_block) {
+      throw_usage_error("KernelAbstractions group exceeds device limit");
+    }
+    sim::launch_config cfg;
+    const index_t gi = rows < group_edge ? rows : group_edge;
+    const index_t gj = cols < group_edge ? cols : group_edge;
+    cfg.block = sim::dim3{gi, gj};
+    cfg.grid = sim::dim3{sim::ceil_div(rows, gi), sim::ceil_div(cols, gj)};
+    cfg.name = "ka.kernel2d";
+    sim::launch(dev, cfg, [&](sim::kernel_ctx& ctx) {
+      const index_t i = ctx.global_x();
+      const index_t j = ctx.global_y();
+      if (i < rows && j < cols) {
+        f(i, j, args...);
+      }
+    });
+    return;
+  }
+  }
+}
+
+} // namespace jaccx::ka

@@ -1,0 +1,33 @@
+#include "lbm/native.hpp"
+
+#include "sim/launch.hpp"
+
+namespace jaccx::lbm {
+
+void rome_step(sim::device& dev, const native_state& s) {
+  sim::cpu_region_config cfg;
+  cfg.name = "threads.lbm";
+  cfg.flops_per_index = site_flops;
+  // Inner (contiguous) loop index is the site's y coordinate; the outer,
+  // chunked-across-cores index is x — the coarse decomposition follows the
+  // memory layout exactly as Base.Threads does for column-major arrays.
+  sim::cpu_parallel_range_2d(dev, cfg, s.size, s.size,
+                             [&](index_t inner, index_t outer) {
+                               site_update(outer, inner, s.f, s.f1, s.f2,
+                                           s.tau, s.w, s.cx, s.cy, s.size);
+                             });
+}
+
+void reference_step(double* f, const double* f1, double* f2, double tau,
+                    index_t size) {
+  const std::array<double, q>& w = weights;
+  const std::array<double, q>& cx = vel_x;
+  const std::array<double, q>& cy = vel_y;
+  for (index_t x = 0; x < size; ++x) {
+    for (index_t y = 0; y < size; ++y) {
+      site_update(x, y, f, f1, f2, tau, w, cx, cy, size);
+    }
+  }
+}
+
+} // namespace jaccx::lbm

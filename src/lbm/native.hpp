@@ -1,0 +1,52 @@
+// Device-specific LBM step implementations: the "device-specific" series of
+// the paper's Fig. 11.  Same physics as the JACC path (both call
+// lbm::site_update); only the launch vocabulary differs, as in the paper.
+#pragma once
+
+#include "backends/vendor_api.hpp"
+#include "lbm/lattice.hpp"
+
+namespace jaccx::lbm {
+
+/// All distribution planes plus lattice constants as tracked device views.
+struct native_state {
+  sim::device_span<double> f;  // scratch
+  sim::device_span<double> f1; // current
+  sim::device_span<double> f2; // next
+  sim::device_span<double> w, cx, cy;
+  index_t size = 0;
+  double tau = 0.8;
+};
+
+/// One step on the simulated Rome CPU (Base.Threads model), coarse
+/// column-major decomposition, via_jacc = false.
+void rome_step(sim::device& dev, const native_state& s);
+
+/// One step on a simulated GPU through the vendor-specific wrapper: a single
+/// fused 16x16-tile 2D kernel, as the paper's device-specific codes use.
+template <class Api>
+void native_gpu_step(const native_state& s) {
+  const std::int64_t tile = 16;
+  const std::int64_t mt = s.size < tile ? s.size : tile;
+  const std::int64_t nt = s.size < tile ? s.size : tile;
+  Api::launch2d(
+      sim::dim3{sim::ceil_div(s.size, mt), sim::ceil_div(s.size, nt)},
+      sim::dim3{mt, nt},
+      [s](sim::kernel_ctx& ctx) {
+        // Thread x sweeps the contiguous y coordinate (coalescing, paper
+        // Sec. IV); thread y sweeps the strided x coordinate.
+        const index_t y = ctx.global_x();
+        const index_t x = ctx.global_y();
+        if (x < s.size && y < s.size) {
+          site_update(x, y, s.f, s.f1, s.f2, s.tau, s.w, s.cx, s.cy, s.size);
+        }
+      },
+      "native.lbm", site_flops);
+}
+
+/// Serial host reference used by validation tests: plain pointers, no
+/// tracking, no backend.  `f`, `f1`, `f2` are q*size*size doubles.
+void reference_step(double* f, const double* f1, double* f2, double tau,
+                    index_t size);
+
+} // namespace jaccx::lbm

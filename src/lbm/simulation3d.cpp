@@ -1,0 +1,107 @@
+#include "lbm/simulation3d.hpp"
+
+#include <cmath>
+
+namespace jaccx::lbm3 {
+namespace {
+
+std::vector<double> lattice_constants(const std::array<double, q>& a) {
+  return std::vector<double>(a.begin(), a.end());
+}
+
+} // namespace
+
+simulation3d::simulation3d(const params& p)
+    : cfg_(p), f_(p.size * p.size * p.size * q),
+      f1_(p.size * p.size * p.size * q), f2_(p.size * p.size * p.size * q),
+      w_(lattice_constants(weights)), cx_(lattice_constants(vel_x)),
+      cy_(lattice_constants(vel_y)), cz_(lattice_constants(vel_z)) {
+  JACCX_ASSERT(p.size >= 3);
+  JACCX_ASSERT(p.tau > 0.5);
+  init_uniform();
+}
+
+void simulation3d::init_uniform(double rho0) {
+  const index_t cube = cfg_.size * cfg_.size * cfg_.size;
+  double* f1 = f1_.host_data();
+  double* f2 = f2_.host_data();
+  for (int k = 0; k < q; ++k) {
+    const double fk = weights[static_cast<std::size_t>(k)] * rho0;
+    for (index_t s = 0; s < cube; ++s) {
+      f1[k * cube + s] = fk;
+      f2[k * cube + s] = fk;
+    }
+  }
+  steps_ = 0;
+}
+
+void simulation3d::init_pulse(double rho0, double amplitude,
+                              double radius_fraction) {
+  const index_t size = cfg_.size;
+  const index_t cube = size * size * size;
+  const double c0 = static_cast<double>(size - 1) / 2.0;
+  const double r = radius_fraction * static_cast<double>(size);
+  double* f1 = f1_.host_data();
+  double* f2 = f2_.host_data();
+  for (index_t x = 0; x < size; ++x) {
+    for (index_t y = 0; y < size; ++y) {
+      for (index_t z = 0; z < size; ++z) {
+        const double dx = static_cast<double>(x) - c0;
+        const double dy = static_cast<double>(y) - c0;
+        const double dz = static_cast<double>(z) - c0;
+        const double rho =
+            rho0 + amplitude * std::exp(-(dx * dx + dy * dy + dz * dz) /
+                                        (2.0 * r * r));
+        const index_t s = x * size * size + y * size + z;
+        for (int k = 0; k < q; ++k) {
+          const double fk = equilibrium(k, rho, 0.0, 0.0, 0.0);
+          f1[k * cube + s] = fk;
+          f2[k * cube + s] = fk;
+        }
+      }
+    }
+  }
+  steps_ = 0;
+}
+
+void simulation3d::step() {
+  jacc::parallel_for(
+      jacc::hints{.name = "jacc.lbm3", .flops_per_index = site_flops},
+      jacc::dims3{cfg_.size, cfg_.size, cfg_.size}, lbm3_kernel, f_, f1_,
+      f2_, cfg_.tau, w_, cx_, cy_, cz_, cfg_.size);
+  std::swap(f1_, f2_);
+  ++steps_;
+}
+
+void simulation3d::run(int steps) {
+  for (int s = 0; s < steps; ++s) {
+    step();
+  }
+}
+
+double simulation3d::total_mass() {
+  return jacc::parallel_reduce(
+      jacc::hints{.name = "jacc.lbm3.mass", .flops_per_index = 1.0},
+      f1_.size(),
+      [](index_t i, const jacc::array<double>& f1) {
+        return static_cast<double>(f1[i]);
+      },
+      f1_);
+}
+
+std::vector<double> simulation3d::density() const {
+  const index_t size = cfg_.size;
+  const index_t cube = size * size * size;
+  std::vector<double> out(static_cast<std::size_t>(cube), 0.0);
+  const double* f1 = f1_.host_data();
+  for (index_t s = 0; s < cube; ++s) {
+    double p = 0.0;
+    for (int k = 0; k < q; ++k) {
+      p += f1[k * cube + s];
+    }
+    out[static_cast<std::size_t>(s)] = p;
+  }
+  return out;
+}
+
+} // namespace jaccx::lbm3

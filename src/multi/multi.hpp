@@ -1,0 +1,252 @@
+// jacc::multi-style multi-device extension.
+//
+// The paper's Sec. VII names "heterogeneous multi-device nodes" as JACC's
+// next step, and JACC.jl later shipped a JACC.multi module along those
+// lines.  This module implements the idea on the simulator: a context owns
+// N instances of one GPU model, arrays are sharded contiguously across
+// them (optionally with ghost cells), parallel_for runs each shard on its
+// own device, and parallel_reduce combines per-device partials on the host.
+//
+// Timing semantics: each device has its own clock; an operation advances
+// every participating clock independently, so devices overlap exactly as a
+// multi-GPU node's would.  sync() is the barrier that aligns all clocks to
+// the maximum — the wall time of the preceding region.
+//
+// Kernel convention: f(i, args...) with i the shard-local OWNED index in
+// [0, shard_len); marray arguments arrive as device_span over the full
+// shard INCLUDING ghost cells, so a stencil kernel indexes span[i + ghost]
+// and may reach ghost cells at [i + ghost +- g] after exchange_halos().
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/parallel_reduce.hpp"
+#include "sim/launch.hpp"
+#include "sim/memspace.hpp"
+#include "threadpool/partition.hpp"
+
+namespace jaccx::multi {
+
+using jacc::index_t;
+
+/// N same-model simulated GPUs acting as one resource set.
+class context {
+public:
+  /// `be` must be one of the simulated GPU back ends; `devices` >= 1.
+  context(jacc::backend be, int devices);
+
+  int devices() const { return static_cast<int>(devs_.size()); }
+  jacc::backend target() const { return be_; }
+  sim::device& dev(int d) const {
+    JACCX_ASSERT(d >= 0 && d < devices());
+    return *devs_[static_cast<std::size_t>(d)];
+  }
+
+  /// Wall clock of the set: the furthest-ahead device.
+  double now_us() const;
+
+  /// Barrier: aligns every device clock to now_us() and returns it.
+  double sync();
+
+  /// Rewinds all device clocks/logs (benchmarks).
+  void reset_clocks();
+
+private:
+  jacc::backend be_;
+  std::vector<sim::device*> devs_;
+};
+
+/// 1D array sharded contiguously across the context's devices, each shard
+/// padded with `ghost` cells on both sides.
+template <class T>
+class marray {
+public:
+  marray(context& ctx, index_t n, index_t ghost = 0)
+      : ctx_(&ctx), n_(n), ghost_(ghost) {
+    JACCX_ASSERT(n >= 0 && ghost >= 0);
+    shards_.reserve(static_cast<std::size_t>(ctx.devices()));
+    for (int d = 0; d < ctx.devices(); ++d) {
+      const auto r = shard_range(d);
+      shards_.emplace_back(ctx.dev(d), r.size() + 2 * ghost, "multi.shard");
+      shards_.back().fill_untracked(T{});
+    }
+  }
+
+  /// Scatter construction: each device is charged the H2D of its shard.
+  marray(context& ctx, const std::vector<T>& host, index_t ghost = 0)
+      : marray(ctx, static_cast<index_t>(host.size()), ghost) {
+    for (int d = 0; d < ctx.devices(); ++d) {
+      const auto r = shard_range(d);
+      if (r.empty()) {
+        continue;
+      }
+      // Interior copy: ghosts stay zero until exchange_halos().
+      auto& buf = shards_[static_cast<std::size_t>(d)];
+      std::copy(host.begin() + r.begin, host.begin() + r.end,
+                buf.data() + ghost_);
+      ctx.dev(d).charge_h2d(static_cast<std::uint64_t>(r.size()) * sizeof(T),
+                            "multi.scatter");
+    }
+  }
+
+  index_t size() const { return n_; }
+  index_t ghost() const { return ghost_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Global index range owned by shard d.
+  pool::range shard_range(int d) const {
+    return pool::static_chunk(n_, ctx_->devices(), d);
+  }
+
+  index_t shard_len(int d) const { return shard_range(d).size(); }
+
+  /// Tracked view over shard d including its ghost cells
+  /// ([0, len + 2*ghost); owned data starts at index ghost()).
+  sim::device_span<T> shard(int d) {
+    return shards_[static_cast<std::size_t>(d)].span();
+  }
+
+  /// Gathers the owned (non-ghost) elements of every shard, charging one
+  /// D2H per device.
+  std::vector<T> gather() const {
+    std::vector<T> out(static_cast<std::size_t>(n_));
+    for (int d = 0; d < ctx_->devices(); ++d) {
+      const auto r = shard_range(d);
+      if (r.empty()) {
+        continue;
+      }
+      const auto& buf = shards_[static_cast<std::size_t>(d)];
+      std::copy(buf.data() + ghost_, buf.data() + ghost_ + r.size(),
+                out.begin() + r.begin);
+      ctx_->dev(d).charge_d2h(static_cast<std::uint64_t>(r.size()) *
+                                  sizeof(T),
+                              "multi.gather");
+    }
+    return out;
+  }
+
+  /// Exchanges boundary cells with neighbouring shards: shard d's right
+  /// ghost receives shard d+1's first owned cells and vice versa.  Each
+  /// peer copy charges transfer cost on both devices (a device-to-device
+  /// hop over the node's link).
+  void exchange_halos(std::string_view name = "multi.halo") {
+    if (ghost_ == 0 || ctx_->devices() < 2) {
+      return;
+    }
+    for (int d = 0; d + 1 < ctx_->devices(); ++d) {
+      auto& left = shards_[static_cast<std::size_t>(d)];
+      auto& right = shards_[static_cast<std::size_t>(d + 1)];
+      const index_t left_len = shard_len(d);
+      const index_t right_len = shard_len(d + 1);
+      const index_t g =
+          std::min({ghost_, left_len, right_len}); // clipped at tiny shards
+      if (g == 0) {
+        continue;
+      }
+      const auto bytes = static_cast<std::uint64_t>(g) * sizeof(T);
+      // left's last owned g cells -> right's left ghost
+      std::copy(left.data() + ghost_ + left_len - g,
+                left.data() + ghost_ + left_len, right.data() + ghost_ - g);
+      // right's first owned g cells -> left's right ghost
+      std::copy(right.data() + ghost_, right.data() + ghost_ + g,
+                left.data() + ghost_ + left_len);
+      ctx_->dev(d).charge_d2h(bytes, name);
+      ctx_->dev(d + 1).charge_h2d(bytes, name);
+      ctx_->dev(d + 1).charge_d2h(bytes, name);
+      ctx_->dev(d).charge_h2d(bytes, name);
+    }
+  }
+
+  /// Host mirror of shard d's full buffer (tests).
+  const T* shard_host_data(int d) const {
+    return shards_[static_cast<std::size_t>(d)].data();
+  }
+
+private:
+  context* ctx_;
+  index_t n_ = 0;
+  index_t ghost_ = 0;
+  std::vector<sim::device_buffer<T>> shards_;
+};
+
+/// Placeholder argument: expands, per shard, to the global index of that
+/// shard's first owned element.  Stencil kernels use it to recognize the
+/// true domain boundary:
+///
+///   multi::parallel_for(ctx, n, kernel, u, next, multi::with_base);
+///   void kernel(index_t i, span u, span next, index_t base) {
+///     const index_t g = base + i;  // global position
+///     ...
+///   }
+struct with_base_t {};
+inline constexpr with_base_t with_base{};
+
+namespace detail {
+
+/// marray arguments become that shard's span, with_base the shard's global
+/// offset; everything else is forwarded.
+template <class T>
+sim::device_span<T> shard_arg(index_t, int d, marray<T>& a) {
+  return a.shard(d);
+}
+inline index_t shard_arg(index_t base, int, with_base_t) { return base; }
+template <class A>
+A&& shard_arg(index_t, int, A&& a) {
+  return std::forward<A>(a);
+}
+
+} // namespace detail
+
+/// Runs f(i, args...) for every global index, sharded: device d executes
+/// the local indices [0, shard_len(d)).  Devices advance concurrently; call
+/// ctx.sync() for the region's wall time.
+template <class F, class... Args>
+void parallel_for(context& ctx, index_t n, F&& f, Args&&... args) {
+  JACCX_ASSERT(n >= 0);
+  for (int d = 0; d < ctx.devices(); ++d) {
+    const auto owned = pool::static_chunk(n, ctx.devices(), d);
+    const index_t local_n = owned.size();
+    if (local_n == 0) {
+      continue;
+    }
+    auto& dev = ctx.dev(d);
+    sim::launch_config cfg;
+    const std::int64_t maxt = dev.model().max_threads_per_block;
+    const std::int64_t threads = local_n < maxt ? local_n : maxt;
+    cfg.block = sim::dim3{threads};
+    cfg.grid = sim::dim3{sim::ceil_div(local_n, threads)};
+    cfg.name = "multi.parallel_for";
+    cfg.flavor.via_jacc = true;
+    sim::launch(dev, cfg, [&, local_n, d, owned](sim::kernel_ctx& c) {
+      const index_t i = c.global_x();
+      if (i < local_n) {
+        f(i, detail::shard_arg(owned.begin, d, args)...);
+      }
+    });
+  }
+}
+
+/// Sum-reduction across all shards: per-device two-kernel tree reductions
+/// (each charging its scalar D2H) combined on the host.
+template <class F, class... Args>
+double parallel_reduce(context& ctx, index_t n, F&& f, Args&&... args) {
+  JACCX_ASSERT(n >= 0);
+  double total = 0.0;
+  for (int d = 0; d < ctx.devices(); ++d) {
+    const auto owned = pool::static_chunk(n, ctx.devices(), d);
+    if (owned.empty()) {
+      continue;
+    }
+    total += jacc::detail::reduce_sim_gpu<double>(
+        ctx.dev(d), jacc::hints{.name = "multi.parallel_reduce"},
+        owned.size(), jacc::plus_reducer{}, [&, d, owned](index_t i) {
+          return f(i, detail::shard_arg(owned.begin, d, args)...);
+        });
+  }
+  return total;
+}
+
+} // namespace jaccx::multi

@@ -1,0 +1,69 @@
+#include "sim/cache_model.hpp"
+
+#include <bit>
+
+namespace jaccx::sim {
+
+cache_model::cache_model(std::size_t capacity_bytes, int line_bytes,
+                         int associativity)
+    : line_bytes_(line_bytes), assoc_(associativity) {
+  JACCX_ASSERT(line_bytes > 0 &&
+               std::has_single_bit(static_cast<unsigned>(line_bytes)));
+  JACCX_ASSERT(associativity > 0);
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  const std::size_t lines = capacity_bytes / static_cast<std::size_t>(line_bytes);
+  num_sets_ = lines / static_cast<std::size_t>(assoc_);
+  if (num_sets_ == 0) {
+    num_sets_ = 1;
+  }
+  // Power-of-two set count lets the index be a mask.
+  num_sets_ = std::bit_floor(num_sets_);
+  ways_.assign(num_sets_ * static_cast<std::size_t>(assoc_), way{});
+}
+
+std::size_t cache_model::capacity_bytes() const {
+  return num_sets_ * static_cast<std::size_t>(assoc_) *
+         static_cast<std::size_t>(line_bytes_);
+}
+
+bool cache_model::access(std::uintptr_t addr) {
+  const std::uintptr_t line = addr >> line_shift_;
+  // XOR-folded set index, as real last-level caches hash addresses: plain
+  // modulo mapping makes power-of-two-strided streams (e.g. the 2 MiB
+  // planes of an LBM lattice) alias into one set and thrash it.
+  const std::uintptr_t folded = line ^ (line >> 13) ^ (line >> 27);
+  const std::size_t set = static_cast<std::size_t>(folded) & (num_sets_ - 1);
+  way* base = ways_.data() + set * static_cast<std::size_t>(assoc_);
+  ++clock_;
+
+  way* victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    way& cand = base[w];
+    if (cand.valid && cand.tag == line) {
+      cand.last_use = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!cand.valid) {
+      victim = &cand; // prefer an invalid way
+    } else if (victim->valid && cand.last_use < victim->last_use) {
+      victim = &cand;
+    }
+  }
+
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_use = clock_;
+  ++stats_.misses;
+  return false;
+}
+
+void cache_model::reset() {
+  for (auto& w : ways_) {
+    w = way{};
+  }
+  clock_ = 0;
+  stats_ = stats{};
+}
+
+} // namespace jaccx::sim

@@ -1,0 +1,47 @@
+#include "sim/work_tally.hpp"
+
+#include <algorithm>
+
+namespace jaccx::sim {
+
+double kernel_cost_us(const device_model& m, const work_tally& t,
+                      const launch_flavor& f) {
+  double us = m.launch_overhead_us;
+  if (f.via_jacc) {
+    us += m.jacc_dispatch_us;
+  }
+
+  us += static_cast<double>(t.indices) * m.per_index_overhead_ns /
+        (1000.0 * static_cast<double>(m.parallel_units));
+  us += static_cast<double>(t.blocks) * m.per_block_overhead_ns /
+        (1000.0 * static_cast<double>(m.parallel_units));
+  us += static_cast<double>(t.atomics) * m.atomic_overhead_ns /
+        (1000.0 * static_cast<double>(m.parallel_units));
+
+  double bw_scale = 1.0;
+  if (f.is_reduce) {
+    bw_scale *= m.reduce_efficiency;
+    if (f.via_jacc) {
+      bw_scale *= m.jacc_reduce_derate;
+    }
+  }
+
+  // GB/s == bytes/microsecond * 1e-3, so bytes / (gbps * 1e3) gives us.
+  const double mem_us =
+      static_cast<double>(t.dram_bytes) / (m.dram_bw_gbps * bw_scale * 1e3) +
+      static_cast<double>(t.cache_bytes) / (m.cache_bw_gbps * bw_scale * 1e3);
+  const double flop_us =
+      static_cast<double>(t.flops) / (m.flops_gflops * 1e3);
+
+  us += std::max(mem_us, flop_us);
+  return us;
+}
+
+double transfer_cost_us(const device_model& m, std::uint64_t bytes) {
+  if (m.kind == device_kind::cpu) {
+    return 0.0; // host memory is device memory
+  }
+  return m.xfer_latency_us + static_cast<double>(bytes) / (m.xfer_bw_gbps * 1e3);
+}
+
+} // namespace jaccx::sim

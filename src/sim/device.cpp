@@ -1,0 +1,180 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "fiber/fiber.hpp"
+
+namespace jaccx::sim {
+
+device::device(device_model model)
+    : model_(std::move(model)),
+      cache_(model_.cache_bytes, model_.cache_line_bytes, model_.cache_assoc) {}
+
+device::~device() = default;
+
+void device::charge_alloc(std::uint64_t bytes, std::string_view name) {
+  bytes_live_ += bytes;
+  bytes_alloc_total_ += bytes;
+  work_tally t;
+  t.dram_bytes = bytes;
+  clock_->record("alloc " + std::string(name), event_kind::alloc,
+                 model_.alloc_overhead_us, t);
+}
+
+void device::charge_free(std::uint64_t bytes) noexcept {
+  bytes_live_ -= bytes < bytes_live_ ? bytes : bytes_live_;
+}
+
+double device::reserve_link(double ready_us, double cost_us) {
+  // Earliest-gap scheduling over the sorted busy calendar.
+  double start = ready_us;
+  std::size_t at = 0;
+  for (; at < link_busy_.size(); ++at) {
+    const auto& [s, e] = link_busy_[at];
+    if (start + cost_us <= s) {
+      break; // fits in the gap before this interval
+    }
+    if (start < e) {
+      start = e; // pushed past this interval
+    }
+  }
+  link_busy_.insert(link_busy_.begin() + static_cast<std::ptrdiff_t>(at),
+                    {start, start + cost_us});
+  return start + cost_us;
+}
+
+namespace {
+
+/// Shared-link transfer: ready at the issuing clock, scheduled into the
+/// link calendar; the event on the issuing clock covers any wait plus the
+/// transfer itself.
+double charge_transfer(device& dev, timeline& clock, const device_model& m,
+                       std::uint64_t bytes, std::string name,
+                       event_kind kind) {
+  const double cost = transfer_cost_us(m, bytes);
+  const double now = clock.now_us();
+  const double done =
+      m.kind == device_kind::cpu ? now : dev.reserve_link(now, cost);
+  work_tally t;
+  t.dram_bytes = bytes;
+  clock.record(std::move(name), kind, done - now, t);
+  return done;
+}
+
+} // namespace
+
+void device::charge_h2d(std::uint64_t bytes, std::string_view name) {
+  charge_transfer(*this, *clock_, model_, bytes, "h2d " + std::string(name),
+                  event_kind::transfer_h2d);
+}
+
+void device::charge_d2h(std::uint64_t bytes, std::string_view name) {
+  charge_transfer(*this, *clock_, model_, bytes, "d2h " + std::string(name),
+                  event_kind::transfer_d2h);
+}
+
+void device::begin_launch() {
+  if (tally_active_) {
+    throw_usage_error("nested launches on one simulated device");
+  }
+  tally_ = work_tally{};
+  tally_active_ = true;
+}
+
+work_tally device::end_launch(std::string_view name,
+                              const launch_flavor& flavor,
+                              std::uint64_t indices, double flops_per_index,
+                              std::uint64_t blocks) {
+  JACCX_ASSERT(tally_active_);
+  tally_active_ = false;
+  tally_.indices = indices;
+  tally_.blocks = blocks;
+  tally_.flops += static_cast<std::uint64_t>(
+      flops_per_index * static_cast<double>(indices));
+  const double us = kernel_cost_us(model_, tally_, flavor);
+  clock_->record(std::string(name), event_kind::kernel, us, tally_);
+  last_tally_ = tally_;
+  return tally_;
+}
+
+namespace {
+constexpr std::size_t arena_align = 256;
+constexpr std::size_t arena_default_chunk = std::size_t{256} << 20;
+
+std::size_t round_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+} // namespace
+
+void* device::arena_allocate(std::size_t bytes) {
+  const std::size_t need = round_up(bytes > 0 ? bytes : 1, arena_align);
+  while (true) {
+    if (arena_.current < arena_.chunks.size()) {
+      auto& chunk = arena_.chunks[arena_.current];
+      const std::size_t at = round_up(arena_.offset, arena_align);
+      if (at + need <= chunk.size()) {
+        arena_.offset = at + need;
+        ++arena_.live;
+        return chunk.data() + at;
+      }
+      ++arena_.current;
+      arena_.offset = 0;
+      continue;
+    }
+    arena_.chunks.emplace_back(std::max(need, arena_default_chunk),
+                               arena_align);
+    arena_.current = arena_.chunks.size() - 1;
+    arena_.offset = 0;
+  }
+}
+
+void device::arena_release() noexcept {
+  JACCX_ASSERT(arena_.live > 0);
+  if (--arena_.live == 0) {
+    arena_.current = 0;
+    arena_.offset = 0;
+  }
+}
+
+fiber::fiber& device::lane_fiber(std::size_t lane) {
+  while (fibers_.size() <= lane) {
+    fibers_.push_back(std::make_unique<fiber::fiber>());
+  }
+  return *fibers_[lane];
+}
+
+namespace {
+
+device& registry_lookup(std::string_view key, std::string_view model_name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<device>, std::less<>> devices;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = devices.find(key);
+  if (it == devices.end()) {
+    auto dev = std::make_unique<device>(builtin_model(model_name));
+    it = devices.emplace(std::string(key), std::move(dev)).first;
+  }
+  return *it->second;
+}
+
+} // namespace
+
+device& get_device(std::string_view model_name) {
+  return registry_lookup(model_name, model_name);
+}
+
+device& get_device_instance(std::string_view model_name, int index) {
+  if (index < 0) {
+    throw_usage_error("device instance index must be non-negative");
+  }
+  if (index == 0) {
+    return get_device(model_name);
+  }
+  const std::string key =
+      std::string(model_name) + "#" + std::to_string(index);
+  return registry_lookup(key, model_name);
+}
+
+} // namespace jaccx::sim

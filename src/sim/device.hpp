@@ -1,0 +1,175 @@
+// One simulated device instance: model parameters + clock + cache state +
+// launch bookkeeping.
+//
+// Functional execution happens on the host; every memory access made through
+// a device_span / jacc::array while a launch is active is routed through
+// track(), classified by the cache model, and accumulated into the launch's
+// work tally.  end_launch() converts the tally into simulated time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/cache_model.hpp"
+#include "support/aligned_buffer.hpp"
+#include "sim/device_model.hpp"
+#include "sim/timeline.hpp"
+#include "sim/work_tally.hpp"
+#include "support/error.hpp"
+
+namespace jaccx::fiber {
+class fiber;
+}
+
+namespace jaccx::sim {
+
+class device {
+public:
+  explicit device(device_model model);
+  device(const device&) = delete;
+  device& operator=(const device&) = delete;
+  ~device();
+
+  const device_model& model() const { return model_; }
+  timeline& tl() { return timeline_; }
+  const timeline& tl() const { return timeline_; }
+  cache_model& cache() { return cache_; }
+
+  /// The timeline charges currently land on: the device's own by default, a
+  /// stream's while a stream scope is active (see sim/stream.hpp).
+  timeline& active_tl() { return *clock_; }
+
+  /// Redirects charges to `t` (nullptr restores the default timeline).
+  /// Returns the previous target so scopes can nest.
+  timeline* set_clock_target(timeline* t) {
+    timeline* prev = clock_;
+    clock_ = t != nullptr ? t : &timeline_;
+    return prev;
+  }
+
+  // --- memory charging (storage itself is owned by device_buffer) ---------
+  void charge_alloc(std::uint64_t bytes, std::string_view name);
+  void charge_free(std::uint64_t bytes) noexcept;
+  void charge_h2d(std::uint64_t bytes, std::string_view name);
+  void charge_d2h(std::uint64_t bytes, std::string_view name);
+
+  /// The host<->device link is one shared resource modeled as a busy-
+  /// interval calendar: a transfer becomes ready at its stream's clock and
+  /// occupies the earliest gap that fits, so copies from different streams
+  /// serialize while compute overlaps them.  Returns the scheduled
+  /// completion time.
+  double reserve_link(double ready_us, double cost_us);
+
+  /// Rewinds the default timeline AND the link calendar.  Use this (not
+  /// tl().reset()) when re-zeroing a device between measurements.
+  void reset_clock() {
+    timeline_.reset();
+    link_busy_.clear();
+  }
+
+  std::uint64_t bytes_live() const { return bytes_live_; }
+  std::uint64_t bytes_allocated_total() const { return bytes_alloc_total_; }
+
+  // --- device memory arena ---------------------------------------------------
+  // Simulated device memory comes from a per-device bump arena rather than
+  // the host heap: identical allocation sequences then land at identical
+  // addresses, which makes the cache model's conflict behaviour — and hence
+  // every simulated time — reproducible run to run.  The arena rewinds once
+  // every allocation has been released (device memory is drained), keeping
+  // its chunks for reuse.
+
+  /// Returns device-arena storage; stable until released.  Alignment is
+  /// fixed at 256 bytes (typical device allocation granularity).
+  void* arena_allocate(std::size_t bytes);
+
+  /// Releases one arena allocation.  When the last live allocation goes,
+  /// the arena rewinds to its origin.
+  void arena_release() noexcept;
+
+  std::size_t arena_chunks() const { return arena_.chunks.size(); }
+
+  // --- access tracking ------------------------------------------------------
+  bool launch_active() const { return tally_active_; }
+
+  /// Classifies one memory access during an active launch; no-op otherwise.
+  void track(const void* addr, std::size_t bytes) {
+    if (!tally_active_) {
+      return;
+    }
+    if (cache_.access(reinterpret_cast<std::uintptr_t>(addr))) {
+      tally_.cache_bytes += bytes;
+    } else {
+      tally_.dram_bytes += static_cast<std::uint64_t>(cache_.line_bytes());
+    }
+  }
+
+  /// Adds explicitly counted flops to the active launch.
+  void add_flops(std::uint64_t n) {
+    if (tally_active_) {
+      tally_.flops += n;
+    }
+  }
+
+  /// Counts one atomic read-modify-write in the active launch.
+  void count_atomic() {
+    if (tally_active_) {
+      ++tally_.atomics;
+    }
+  }
+
+  // --- launch bookkeeping (used by launch.hpp) ------------------------------
+  /// Starts accumulating a fresh tally.  Launches do not nest.
+  void begin_launch();
+
+  /// Finishes the launch: records indices, scheduled blocks/chunks and the
+  /// flop hint, charges kernel_cost_us, and returns the final tally.
+  work_tally end_launch(std::string_view name, const launch_flavor& flavor,
+                        std::uint64_t indices, double flops_per_index,
+                        std::uint64_t blocks);
+
+  /// Abandons an in-flight launch without charging time (exception unwind).
+  void abort_launch() noexcept { tally_active_ = false; }
+
+  /// The tally of the last completed launch (for tests and traces).
+  const work_tally& last_tally() const { return last_tally_; }
+
+  /// Lane-fiber pool reused across cooperative launches; grows on demand.
+  fiber::fiber& lane_fiber(std::size_t lane);
+
+private:
+  device_model model_;
+  timeline timeline_;
+  cache_model cache_;
+
+  timeline* clock_ = &timeline_;
+  std::vector<std::pair<double, double>> link_busy_; ///< sorted [start, end)
+  bool tally_active_ = false;
+  work_tally tally_;
+  work_tally last_tally_;
+
+  std::uint64_t bytes_live_ = 0;
+  std::uint64_t bytes_alloc_total_ = 0;
+
+  struct arena_state {
+    std::vector<aligned_buffer<std::byte>> chunks;
+    std::size_t current = 0; ///< chunk being bumped
+    std::size_t offset = 0;  ///< within the current chunk
+    std::size_t live = 0;    ///< outstanding allocations
+  };
+  arena_state arena_;
+
+  std::vector<std::unique_ptr<fiber::fiber>> fibers_;
+};
+
+/// Process-wide registry: one lazily constructed device per built-in model
+/// name ("rome64", "mi100", "a100", "max1550").
+device& get_device(std::string_view model_name);
+
+/// Additional instances of one model for multi-device work (paper Sec. VII
+/// future work: "heterogeneous multi-device nodes").  Index 0 is the same
+/// instance get_device returns; higher indices are peers ("a100#1", ...).
+device& get_device_instance(std::string_view model_name, int index);
+
+} // namespace jaccx::sim

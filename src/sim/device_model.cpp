@@ -1,0 +1,153 @@
+#include "sim/device_model.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace jaccx::sim {
+namespace {
+
+// Calibration notes (full derivation in EXPERIMENTS.md):
+//  * Bandwidths are "achieved" figures (STREAM-like), not peaks.
+//  * per_index_overhead_ns on the CPU models Julia Base.Threads' dynamic
+//    per-iteration cost; it is what makes streaming 1D kernels on the Rome
+//    CPU ~70x slower than a GPU (paper Sec. V-A1) while the flop-heavy LBM
+//    stays within ~14-20x (paper Sec. V-B).
+//  * GPU launch latencies: ROCm (MI100) highest, CUDA (A100) lowest, oneAPI
+//    in between, mirroring the latency discussion in Sec. V-A1.
+//  * reduce_efficiency models the two-kernel DOT structure's extra partials
+//    traffic and device-side sync cost; jacc_reduce_derate the measured gap
+//    between JACC's generic reduction and the hand-tuned native one.
+
+device_model make_rome64() {
+  device_model m;
+  m.name = "rome64";
+  m.description = "AMD EPYC 7742 Rome, 64 cores (Base.Threads model)";
+  m.kind = device_kind::cpu;
+  m.parallel_units = 64;
+  m.max_threads_per_block = 1; // unused on CPUs
+  m.shared_mem_per_block = 0;
+  m.dram_bw_gbps = 100.0;   // achieved by Julia-era threaded kernels (8ch DDR4)
+  m.cache_bw_gbps = 1500.0; // aggregate L3
+  m.cache_bytes = std::size_t{32} << 20; // 16 disjoint 16 MiB CCX L3 slices; ~32 MiB effective reach
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 16;
+  m.flops_gflops = 2300.0; // 64c * 2.25 GHz * 16 DP flop/cycle
+  m.launch_overhead_us = 25.0;     // @threads fork/join
+  m.per_index_overhead_ns = 150.0; // Julia dynamic per-iteration cost
+  m.per_block_overhead_ns = 500.0;  // per-chunk fork cost
+  m.xfer_bw_gbps = 1e9;  // no host<->device copies on the CPU
+  m.xfer_latency_us = 0.0;
+  m.alloc_overhead_us = 0.5;
+  m.jacc_dispatch_us = 0.5;
+  m.reduce_efficiency = 1.0;
+  return m;
+}
+
+device_model make_mi100() {
+  device_model m;
+  m.name = "mi100";
+  m.description = "AMD MI100 GPU (AMDGPU.jl / ROCm model)";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 120; // CUs
+  m.max_threads_per_block = 1024;
+  m.shared_mem_per_block = 64 * 1024;
+  m.dram_bw_gbps = 900.0; // HBM2, 1228 peak derated
+  m.cache_bw_gbps = 2500.0;
+  m.cache_bytes = std::size_t{8} << 20; // L2
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 16;
+  m.flops_gflops = 11500.0;
+  m.launch_overhead_us = 10.0; // ROCm-era launch latency
+  m.per_index_overhead_ns = 0.01;
+  m.per_block_overhead_ns = 250.0;
+  m.xfer_bw_gbps = 16.0; // PCIe4 achieved
+  m.xfer_latency_us = 40.0; // ROCm-era sync cost
+  m.alloc_overhead_us = 2.0;
+  m.jacc_dispatch_us = 2.0;
+  m.reduce_efficiency = 0.35; // paper Fig. 8: large AXPY/DOT gap on MI100
+  m.jacc_reduce_derate = 1.0;
+  return m;
+}
+
+device_model make_a100() {
+  device_model m;
+  m.name = "a100";
+  m.description = "NVIDIA A100 GPU (CUDA.jl model)";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 108; // SMs
+  m.max_threads_per_block = 1024;
+  m.shared_mem_per_block = 48 * 1024;
+  m.dram_bw_gbps = 1400.0; // HBM2e, 1555 peak derated
+  m.cache_bw_gbps = 4000.0;
+  m.cache_bytes = std::size_t{40} << 20; // L2
+  m.cache_line_bytes = 128;
+  m.cache_assoc = 16;
+  m.flops_gflops = 9700.0;
+  m.launch_overhead_us = 4.0;
+  m.per_index_overhead_ns = 0.01;
+  m.per_block_overhead_ns = 200.0;
+  m.xfer_bw_gbps = 22.0;
+  m.xfer_latency_us = 10.0; // paper: "faster CPU-GPU connection"
+  m.alloc_overhead_us = 1.0;
+  m.jacc_dispatch_us = 2.0;
+  m.reduce_efficiency = 0.8;
+  m.jacc_reduce_derate = 1.0;
+  return m;
+}
+
+device_model make_max1550() {
+  device_model m;
+  m.name = "max1550";
+  m.description = "Intel Data Center Max 1550 GPU (oneAPI.jl model)";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 128; // Xe cores per stack
+  m.max_threads_per_block = 1024;
+  m.shared_mem_per_block = 128 * 1024;
+  m.dram_bw_gbps = 350.0; // oneAPI.jl-era achieved, far below HBM peak
+  m.cache_bw_gbps = 3000.0;
+  m.cache_bytes = std::size_t{32} << 20; // effective L2 reach per stack
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 16;
+  m.flops_gflops = 8000.0;
+  m.launch_overhead_us = 15.0;
+  m.per_index_overhead_ns = 0.01;
+  m.per_block_overhead_ns = 300.0;
+  m.xfer_bw_gbps = 12.0;
+  m.xfer_latency_us = 30.0;
+  m.alloc_overhead_us = 2.0;
+  m.jacc_dispatch_us = 2.0;
+  m.reduce_efficiency = 0.5;
+  m.jacc_reduce_derate = 0.74; // paper Sec. V-A1: ~35% JACC DOT overhead
+  return m;
+}
+
+const std::array<device_model, 4>& models() {
+  static const std::array<device_model, 4> all = {
+      make_rome64(), make_mi100(), make_a100(), make_max1550()};
+  return all;
+}
+
+} // namespace
+
+const device_model& builtin_model(std::string_view name) {
+  for (const auto& m : models()) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  throw_config_error(std::string("unknown device model '") +
+                     std::string(name) +
+                     "' (known: rome64, mi100, a100, max1550)");
+}
+
+std::vector<std::string> builtin_model_names() {
+  std::vector<std::string> names;
+  names.reserve(models().size());
+  for (const auto& m : models()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+} // namespace jaccx::sim

@@ -1,0 +1,34 @@
+// Launch geometry for the SIMT simulator (CUDA-style).
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace jaccx::sim {
+
+/// CUDA-style 3-component extent.  Components default to 1 so dim3(n) is a
+/// 1D geometry and dim3(m, n) a 2D one.
+struct dim3 {
+  std::int64_t x = 1;
+  std::int64_t y = 1;
+  std::int64_t z = 1;
+
+  constexpr dim3() = default;
+  constexpr dim3(std::int64_t x_) : x(x_) {}
+  constexpr dim3(std::int64_t x_, std::int64_t y_) : x(x_), y(y_) {}
+  constexpr dim3(std::int64_t x_, std::int64_t y_, std::int64_t z_)
+      : x(x_), y(y_), z(z_) {}
+
+  constexpr std::int64_t count() const { return x * y * z; }
+
+  friend constexpr bool operator==(const dim3&, const dim3&) = default;
+};
+
+/// ceil(n / d) for positive d.
+constexpr std::int64_t ceil_div(std::int64_t n, std::int64_t d) {
+  JACCX_ASSERT(d > 0);
+  return (n + d - 1) / d;
+}
+
+} // namespace jaccx::sim

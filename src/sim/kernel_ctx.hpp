@@ -1,0 +1,93 @@
+// Per-lane kernel execution context: the CUDA-builtin equivalents
+// (threadIdx/blockIdx/blockDim/gridDim), dynamic shared memory, barriers and
+// flop hints.  Indices are 0-based as in CUDA; the Julia-facing front ends
+// add 1 where the paper's listings do.
+#pragma once
+
+#include <cstddef>
+
+#include "fiber/fiber.hpp"
+#include "sim/device.hpp"
+#include "sim/dim3.hpp"
+
+namespace jaccx::sim {
+
+class kernel_ctx {
+public:
+  dim3 thread_idx; ///< 0-based position within the block
+  dim3 block_idx;  ///< 0-based position within the grid
+  dim3 block_dim;
+  dim3 grid_dim;
+
+  /// Global linear x index: blockIdx.x * blockDim.x + threadIdx.x.
+  std::int64_t global_x() const {
+    return block_idx.x * block_dim.x + thread_idx.x;
+  }
+  std::int64_t global_y() const {
+    return block_idx.y * block_dim.y + thread_idx.y;
+  }
+  std::int64_t global_z() const {
+    return block_idx.z * block_dim.z + thread_idx.z;
+  }
+
+  /// Dynamic shared memory, typed.  Valid for the current block only; not
+  /// zero-initialized (as on real hardware).
+  template <class T>
+  T* shared_mem() const {
+    JACCX_ASSERT(shmem_ != nullptr);
+    return reinterpret_cast<T*>(shmem_);
+  }
+
+  std::size_t shared_mem_bytes() const { return shmem_bytes_; }
+
+  /// Block-wide barrier.  Only valid inside launch_cooperative; the fast
+  /// non-cooperative path cannot honor barrier semantics and throws.
+  void sync_threads() {
+    if (lane_ == nullptr) {
+      throw_usage_error(
+          "sync_threads() requires launch_cooperative (fiber lanes)");
+    }
+    lane_->yield();
+  }
+
+  /// Adds explicitly counted flops to the launch tally (optional; most
+  /// kernels use the launch-level flops-per-index hint instead).
+  void add_flops(std::uint64_t n) const { dev_->add_flops(n); }
+
+  /// Atomic add to device memory.  Functionally safe in the simulator —
+  /// lanes execute sequentially — but charged with per-atomic serialization
+  /// cost, so algorithms built on hot atomics pay for it (abl_reduction's
+  /// third strategy).
+  template <class T>
+  T atomic_add(T* addr, T value) const {
+    dev_->track(addr, sizeof(T));
+    dev_->count_atomic();
+    const T old = *addr;
+    *addr = old + value;
+    return old;
+  }
+
+  device& dev() const { return *dev_; }
+
+private:
+  friend struct kernel_ctx_access;
+
+  std::byte* shmem_ = nullptr;
+  std::size_t shmem_bytes_ = 0;
+  fiber::fiber* lane_ = nullptr;
+  device* dev_ = nullptr;
+};
+
+/// Executor-internal initializer; keeps kernel_ctx's mutable innards out of
+/// kernel code.
+struct kernel_ctx_access {
+  static void init(kernel_ctx& c, device* dev, std::byte* shmem,
+                   std::size_t shmem_bytes) {
+    c.dev_ = dev;
+    c.shmem_ = shmem;
+    c.shmem_bytes_ = shmem_bytes;
+  }
+  static void set_lane(kernel_ctx& c, fiber::fiber* lane) { c.lane_ = lane; }
+};
+
+} // namespace jaccx::sim

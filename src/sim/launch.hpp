@@ -1,0 +1,273 @@
+// Kernel launch executors for the SIMT simulator.
+//
+// Three entry points:
+//   launch             — fast path: lanes run sequentially to completion;
+//                        sync_threads() is a contract violation here.
+//   launch_cooperative — each lane is a fiber; sync_threads() yields to the
+//                        block scheduler, giving real barrier semantics for
+//                        shared-memory kernels (the paper's Fig. 3 DOT).
+//   cpu_parallel_range / cpu_parallel_range_2d — the coarse-grained chunked
+//                        execution of the Base.Threads model, column-major
+//                        for 2D as the paper requires (Sec. IV).
+//
+// All executors are synchronous, matching JACC's guarantee that computation
+// has finished when any construct returns (paper Sec. IV).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel_ctx.hpp"
+#include "sim/memspace.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace jaccx::sim {
+
+/// Geometry plus accounting hints for one kernel launch.
+struct launch_config {
+  dim3 grid;
+  dim3 block;
+  std::size_t shmem_bytes = 0;
+  std::string_view name = "kernel";
+  launch_flavor flavor;
+  double flops_per_index = 0.0; ///< flop hint per executed thread/iteration
+};
+
+namespace detail {
+
+inline void validate_geometry(const device& dev, const launch_config& cfg) {
+  const auto& m = dev.model();
+  if (m.kind != device_kind::gpu) {
+    throw_usage_error("SIMT launch on a non-GPU device model");
+  }
+  if (cfg.block.count() <= 0 || cfg.grid.count() <= 0) {
+    throw_usage_error("launch with empty grid or block");
+  }
+  if (cfg.block.count() > m.max_threads_per_block) {
+    throw_usage_error("block exceeds max_threads_per_block");
+  }
+  if (cfg.shmem_bytes > m.shared_mem_per_block) {
+    throw_usage_error("dynamic shared memory exceeds device limit");
+  }
+}
+
+/// Aborts the launch if the kernel throws, so the device stays usable.
+class launch_guard {
+public:
+  explicit launch_guard(device& dev) : dev_(&dev) { dev.begin_launch(); }
+  ~launch_guard() {
+    if (dev_ != nullptr) {
+      dev_->abort_launch();
+    }
+  }
+  launch_guard(const launch_guard&) = delete;
+  launch_guard& operator=(const launch_guard&) = delete;
+
+  /// Disarms the guard for the normal end_launch path.
+  device& commit() {
+    device& d = *dev_;
+    dev_ = nullptr;
+    return d;
+  }
+
+private:
+  device* dev_;
+};
+
+template <class K>
+struct lane_arg {
+  const K* kernel = nullptr;
+  kernel_ctx* ctx = nullptr;
+};
+
+template <class K>
+void lane_entry(void* p) {
+  auto* a = static_cast<lane_arg<K>*>(p);
+  (*a->kernel)(*a->ctx);
+}
+
+} // namespace detail
+
+/// Fast non-cooperative launch: every thread of every block runs to
+/// completion in sequence.  Kernels must not call sync_threads().
+template <class K>
+void launch(device& dev, const launch_config& cfg, const K& kernel) {
+  detail::validate_geometry(dev, cfg);
+  aligned_buffer<std::byte> shmem(cfg.shmem_bytes > 0 ? cfg.shmem_bytes : 1);
+
+  detail::launch_guard guard(dev);
+  kernel_ctx ctx;
+  kernel_ctx_access::init(ctx, &dev, shmem.data(), cfg.shmem_bytes);
+  ctx.block_dim = cfg.block;
+  ctx.grid_dim = cfg.grid;
+  for (std::int64_t bz = 0; bz < cfg.grid.z; ++bz) {
+    for (std::int64_t by = 0; by < cfg.grid.y; ++by) {
+      for (std::int64_t bx = 0; bx < cfg.grid.x; ++bx) {
+        ctx.block_idx = dim3{bx, by, bz};
+        for (std::int64_t tz = 0; tz < cfg.block.z; ++tz) {
+          for (std::int64_t ty = 0; ty < cfg.block.y; ++ty) {
+            for (std::int64_t tx = 0; tx < cfg.block.x; ++tx) {
+              ctx.thread_idx = dim3{tx, ty, tz};
+              kernel(ctx);
+            }
+          }
+        }
+      }
+    }
+  }
+  guard.commit().end_launch(cfg.name, cfg.flavor,
+                 static_cast<std::uint64_t>(cfg.grid.count()) *
+                     static_cast<std::uint64_t>(cfg.block.count()),
+                 cfg.flops_per_index,
+                 static_cast<std::uint64_t>(cfg.grid.count()));
+}
+
+/// Cooperative launch: lanes are fibers, sync_threads() is a real block-wide
+/// barrier.  One pass over the lane list equals one barrier phase.
+template <class K>
+void launch_cooperative(device& dev, const launch_config& cfg,
+                        const K& kernel) {
+  detail::validate_geometry(dev, cfg);
+  const auto lanes = static_cast<std::size_t>(cfg.block.count());
+  aligned_buffer<std::byte> shmem(cfg.shmem_bytes > 0 ? cfg.shmem_bytes : 1);
+
+  std::vector<kernel_ctx> ctxs(lanes);
+  std::vector<detail::lane_arg<K>> args(lanes);
+
+  detail::launch_guard guard(dev);
+  for (std::int64_t bz = 0; bz < cfg.grid.z; ++bz) {
+    for (std::int64_t by = 0; by < cfg.grid.y; ++by) {
+      for (std::int64_t bx = 0; bx < cfg.grid.x; ++bx) {
+        // Arm all lanes of this block.
+        std::size_t lane = 0;
+        for (std::int64_t tz = 0; tz < cfg.block.z; ++tz) {
+          for (std::int64_t ty = 0; ty < cfg.block.y; ++ty) {
+            for (std::int64_t tx = 0; tx < cfg.block.x; ++tx, ++lane) {
+              kernel_ctx& ctx = ctxs[lane];
+              kernel_ctx_access::init(ctx, &dev, shmem.data(),
+                                      cfg.shmem_bytes);
+              ctx.block_dim = cfg.block;
+              ctx.grid_dim = cfg.grid;
+              ctx.block_idx = dim3{bx, by, bz};
+              ctx.thread_idx = dim3{tx, ty, tz};
+              fiber::fiber& f = dev.lane_fiber(lane);
+              kernel_ctx_access::set_lane(ctx, &f);
+              args[lane] = detail::lane_arg<K>{&kernel, &ctx};
+              f.reset(&detail::lane_entry<K>, &args[lane]);
+            }
+          }
+        }
+        // Run barrier phases: each pass resumes every live lane once; a lane
+        // stops at the next sync_threads() or at kernel completion.
+        std::size_t remaining = lanes;
+        while (remaining > 0) {
+          for (std::size_t l = 0; l < lanes; ++l) {
+            fiber::fiber& f = dev.lane_fiber(l);
+            if (!f.done()) {
+              f.resume();
+              if (f.done()) {
+                --remaining;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  guard.commit().end_launch(cfg.name, cfg.flavor,
+                 static_cast<std::uint64_t>(cfg.grid.count()) *
+                     static_cast<std::uint64_t>(cfg.block.count()),
+                 cfg.flops_per_index,
+                 static_cast<std::uint64_t>(cfg.grid.count()));
+}
+
+/// Accounting hints for a CPU parallel region.
+struct cpu_region_config {
+  std::string_view name = "region";
+  launch_flavor flavor;
+  double flops_per_index = 0.0;
+  /// Number of scheduled chunks; 0 means one static chunk per core (the
+  /// Base.Threads default).  KernelAbstractions-style explicit group sizes
+  /// override this (see ka::).
+  std::uint64_t chunks = 0;
+};
+
+namespace detail {
+inline std::uint64_t cpu_chunks(const device& dev,
+                                const cpu_region_config& cfg,
+                                std::uint64_t n) {
+  if (cfg.chunks > 0) {
+    return cfg.chunks;
+  }
+  const auto units = static_cast<std::uint64_t>(dev.model().parallel_units);
+  return n < units ? n : units;
+}
+} // namespace detail
+
+/// Coarse-grained 1D region on a CPU device model: body(i) for i in [0, n).
+/// Functionally sequential; the cost model charges per-index runtime
+/// overhead divided across the model's cores.
+template <class Body>
+void cpu_parallel_range(device& dev, const cpu_region_config& cfg, index_t n,
+                        const Body& body) {
+  if (dev.model().kind != device_kind::cpu) {
+    throw_usage_error("cpu_parallel_range on a non-CPU device model");
+  }
+  JACCX_ASSERT(n >= 0);
+  detail::launch_guard guard(dev);
+  for (index_t i = 0; i < n; ++i) {
+    body(i);
+  }
+  guard.commit().end_launch(cfg.name, cfg.flavor, static_cast<std::uint64_t>(n),
+                 cfg.flops_per_index,
+                 detail::cpu_chunks(dev, cfg, static_cast<std::uint64_t>(n)));
+}
+
+/// Coarse-grained 2D region, column-major: body(i, j) with j (columns) as
+/// the parallel/outer dimension, i contiguous — the decomposition the paper
+/// prescribes for Julia's column-major arrays (Sec. IV).
+template <class Body>
+void cpu_parallel_range_2d(device& dev, const cpu_region_config& cfg,
+                           index_t rows, index_t cols, const Body& body) {
+  if (dev.model().kind != device_kind::cpu) {
+    throw_usage_error("cpu_parallel_range_2d on a non-CPU device model");
+  }
+  JACCX_ASSERT(rows >= 0 && cols >= 0);
+  detail::launch_guard guard(dev);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      body(i, j);
+    }
+  }
+  const auto total2 =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  guard.commit().end_launch(cfg.name, cfg.flavor, total2, cfg.flops_per_index,
+                 detail::cpu_chunks(dev, cfg, static_cast<std::uint64_t>(cols)));
+}
+
+/// Coarse-grained 3D region, column-major: body(i, j, k) with k as the
+/// parallel/outer dimension.  All rows*cols*depth iterations are charged.
+template <class Body>
+void cpu_parallel_range_3d(device& dev, const cpu_region_config& cfg,
+                           index_t rows, index_t cols, index_t depth,
+                           const Body& body) {
+  if (dev.model().kind != device_kind::cpu) {
+    throw_usage_error("cpu_parallel_range_3d on a non-CPU device model");
+  }
+  JACCX_ASSERT(rows >= 0 && cols >= 0 && depth >= 0);
+  detail::launch_guard guard(dev);
+  for (index_t k = 0; k < depth; ++k) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        body(i, j, k);
+      }
+    }
+  }
+  const auto total3 = static_cast<std::uint64_t>(rows) *
+                      static_cast<std::uint64_t>(cols) *
+                      static_cast<std::uint64_t>(depth);
+  guard.commit().end_launch(cfg.name, cfg.flavor, total3, cfg.flops_per_index,
+                 detail::cpu_chunks(dev, cfg, static_cast<std::uint64_t>(depth)));
+}
+
+} // namespace jaccx::sim

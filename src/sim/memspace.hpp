@@ -1,0 +1,201 @@
+// Simulated device memory: owning buffers, tracked views, and the access
+// proxy that classifies every read and write through the cache model.
+//
+// This is the layer jacc::array sits on for GPU back ends, and the layer the
+// native vendor-style APIs (cudasim/hipsim/onesim) expose directly, mirroring
+// CuArray / ROCArray / oneArray in the paper.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "sim/device.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/span2d.hpp"
+
+namespace jaccx::sim {
+
+/// Proxy returned by tracked views.  Converting to T counts a read; the
+/// assignment operators count a write (compound assignments count both, as
+/// the hardware would).  Restricted to arithmetic T, which is all simulated
+/// kernels use.
+template <class T>
+class device_ref {
+  static_assert(std::is_arithmetic_v<T>);
+
+public:
+  device_ref(T* p, device* dev) : p_(p), dev_(dev) {}
+
+  operator T() const {
+    dev_->track(p_, sizeof(T));
+    return *p_;
+  }
+
+  T operator=(T v) const {
+    dev_->track(p_, sizeof(T));
+    *p_ = v;
+    return v;
+  }
+
+  T operator=(const device_ref& other) const { return *this = static_cast<T>(other); }
+
+  T operator+=(T v) const { return *this = static_cast<T>(*this) + v; }
+  T operator-=(T v) const { return *this = static_cast<T>(*this) - v; }
+  T operator*=(T v) const { return *this = static_cast<T>(*this) * v; }
+  T operator/=(T v) const { return *this = static_cast<T>(*this) / v; }
+
+private:
+  T* p_;
+  device* dev_;
+};
+
+/// Tracked 1D view of device memory (0-based indexing).
+template <class T>
+class device_span {
+public:
+  device_span() = default;
+  device_span(T* data, index_t size, device* dev)
+      : data_(data), size_(size), dev_(dev) {}
+
+  device_ref<T> operator[](index_t i) const {
+    JACCX_ASSERT(i >= 0 && i < size_);
+    return device_ref<T>(data_ + i, dev_);
+  }
+
+  /// Untracked escape hatch for host-side verification in tests.
+  T raw(index_t i) const {
+    JACCX_ASSERT(i >= 0 && i < size_);
+    return data_[i];
+  }
+
+  T* data() const { return data_; }
+  index_t size() const { return size_; }
+  device* owner() const { return dev_; }
+
+private:
+  T* data_ = nullptr;
+  index_t size_ = 0;
+  device* dev_ = nullptr;
+};
+
+/// Tracked column-major 2D view (0-based (i, j), i fastest) matching
+/// jaccx::span2d's layout.
+template <class T>
+class device_span2d {
+public:
+  device_span2d() = default;
+  device_span2d(T* data, index_t rows, index_t cols, device* dev)
+      : data_(data), rows_(rows), cols_(cols), dev_(dev) {}
+
+  device_ref<T> operator()(index_t i, index_t j) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return device_ref<T>(data_ + i + j * rows_, dev_);
+  }
+
+  T raw(index_t i, index_t j) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+  T* data() const { return data_; }
+  device* owner() const { return dev_; }
+
+private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  device* dev_ = nullptr;
+};
+
+/// Owning simulated-device allocation.  Allocation, host->device and
+/// device->host copies charge simulated time on the owning device; the
+/// storage itself is host memory so kernels can execute functionally.
+template <class T>
+class device_buffer {
+public:
+  device_buffer() = default;
+
+  device_buffer(device& dev, index_t count, std::string_view name = "buffer")
+      : dev_(&dev),
+        data_(static_cast<T*>(
+            dev.arena_allocate(static_cast<std::size_t>(count) * sizeof(T)))),
+        count_(count) {
+    JACCX_ASSERT(count >= 0);
+    dev_->charge_alloc(bytes(), name);
+  }
+
+  device_buffer(const device_buffer&) = delete;
+  device_buffer& operator=(const device_buffer&) = delete;
+  device_buffer(device_buffer&& other) noexcept
+      : dev_(std::exchange(other.dev_, nullptr)),
+        data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+  device_buffer& operator=(device_buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      dev_ = std::exchange(other.dev_, nullptr);
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~device_buffer() { release(); }
+
+  /// Copies count() elements from host memory, charging an H2D transfer.
+  void copy_from_host(const T* src, std::string_view name = "h2d") {
+    JACCX_ASSERT(dev_ != nullptr);
+    std::memcpy(data_, src, bytes());
+    dev_->charge_h2d(bytes(), name);
+  }
+
+  /// Copies count() elements to host memory, charging a D2H transfer.
+  void copy_to_host(T* dst, std::string_view name = "d2h") const {
+    JACCX_ASSERT(dev_ != nullptr);
+    std::memcpy(dst, data_, bytes());
+    dev_->charge_d2h(bytes(), name);
+  }
+
+  /// Sets every element to `value` on the host side without charging time;
+  /// use a fill kernel when the cost matters (CUDA.zeros does real work).
+  void fill_untracked(T value) {
+    for (index_t i = 0; i < count_; ++i) {
+      data_[i] = value;
+    }
+  }
+
+  device_span<T> span() { return {data_, count_, dev_}; }
+  device_span2d<T> span2d(index_t rows, index_t cols) {
+    JACCX_ASSERT(rows * cols == count_);
+    return {data_, rows, cols, dev_};
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  index_t size() const { return count_; }
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(count_) * sizeof(T);
+  }
+  bool empty() const { return count_ == 0; }
+  device* owner() const { return dev_; }
+
+private:
+  void release() noexcept {
+    if (dev_ != nullptr) {
+      dev_->charge_free(bytes());
+      dev_->arena_release();
+    }
+    dev_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  device* dev_ = nullptr;
+  T* data_ = nullptr; ///< arena storage owned via dev_
+  index_t count_ = 0;
+};
+
+} // namespace jaccx::sim

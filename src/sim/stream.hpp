@@ -1,0 +1,85 @@
+// Asynchronous streams for the device simulator.
+//
+// JACC itself is synchronous (paper Sec. IV), but the paper's future-work
+// list includes "more efficient exploitation of available resources"; on
+// real GPUs the first such tool is the stream: independent in-order queues
+// whose transfers and kernels overlap.  A sim::stream is an independent
+// clock on one device — work issued inside its scope executes functionally
+// right away (host order) but is *charged* to the stream's timeline, so two
+// streams' operations overlap in simulated time exactly as CUDA streams
+// would.  join() is the device-wide synchronize: every stream clock and the
+// default clock align to the maximum.
+//
+//   sim::stream s1(dev), s2(dev);
+//   { sim::stream_scope in(s1); buf1.copy_from_host(...); launch(...); }
+//   { sim::stream_scope in(s2); buf2.copy_from_host(...); launch(...); }
+//   double wall = sim::join(dev, {&s1, &s2});
+//
+// Fidelity note: the model lets a stream's transfer overlap another
+// stream's transfer as well as compute (i.e. it does not serialize the
+// PCIe link between streams); treat multi-stream transfer overlap as
+// optimistic by up to 2x.
+#pragma once
+
+#include <initializer_list>
+
+#include "sim/device.hpp"
+
+namespace jaccx::sim {
+
+/// One in-order queue with its own clock.
+class stream {
+public:
+  explicit stream(device& dev) : dev_(&dev) {
+    // Work enqueued on a fresh stream cannot start before device time.
+    const double origin = dev.tl().now_us();
+    if (origin > 0.0) {
+      tl_.record("stream.origin", event_kind::kernel, origin);
+    }
+  }
+
+  device& dev() const { return *dev_; }
+  timeline& tl() { return tl_; }
+  double now_us() const { return tl_.now_us(); }
+
+private:
+  device* dev_;
+  timeline tl_;
+};
+
+/// While alive, every charge on the stream's device lands on the stream's
+/// clock.  Scopes nest (the previous target is restored).
+class stream_scope {
+public:
+  explicit stream_scope(stream& s)
+      : dev_(&s.dev()), prev_(dev_->set_clock_target(&s.tl())) {}
+  ~stream_scope() { dev_->set_clock_target(prev_); }
+  stream_scope(const stream_scope&) = delete;
+  stream_scope& operator=(const stream_scope&) = delete;
+
+private:
+  device* dev_;
+  timeline* prev_;
+};
+
+/// Device-wide synchronize: aligns the device clock and every listed stream
+/// to the furthest-ahead of them; returns that wall time.
+inline double join(device& dev, std::initializer_list<stream*> streams) {
+  double t = dev.tl().now_us();
+  for (stream* s : streams) {
+    t = t < s->now_us() ? s->now_us() : t;
+  }
+  const double behind_dev = t - dev.tl().now_us();
+  if (behind_dev > 0.0) {
+    dev.tl().record("stream.join", event_kind::kernel, behind_dev);
+  }
+  for (stream* s : streams) {
+    const double behind = t - s->now_us();
+    if (behind > 0.0) {
+      s->tl().record("stream.join", event_kind::kernel, behind);
+    }
+  }
+  return t;
+}
+
+} // namespace jaccx::sim

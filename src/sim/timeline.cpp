@@ -1,0 +1,52 @@
+#include "sim/timeline.hpp"
+
+#include <sstream>
+
+namespace jaccx::sim {
+
+const char* to_string(event_kind k) {
+  switch (k) {
+  case event_kind::kernel: return "kernel";
+  case event_kind::transfer_h2d: return "h2d";
+  case event_kind::transfer_d2h: return "d2h";
+  case event_kind::alloc: return "alloc";
+  }
+  return "?";
+}
+
+void timeline::record(std::string name, event_kind kind, double duration_us,
+                      const work_tally& tally) {
+  if (logging_) {
+    events_.push_back(
+        event{std::move(name), kind, now_us_, duration_us, tally});
+  }
+  now_us_ += duration_us;
+}
+
+void timeline::reset() {
+  now_us_ = 0.0;
+  events_.clear();
+}
+
+std::string timeline::to_chrome_trace() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n  {\"name\": \"" << e.name << "\", \"cat\": \""
+       << to_string(e.kind) << "\", \"ph\": \"X\", \"ts\": " << e.start_us
+       << ", \"dur\": " << e.duration_us
+       << ", \"pid\": 1, \"tid\": 1, \"args\": {\"dram_bytes\": "
+       << e.tally.dram_bytes << ", \"cache_bytes\": " << e.tally.cache_bytes
+       << ", \"flops\": " << e.tally.flops
+       << ", \"indices\": " << e.tally.indices << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+} // namespace jaccx::sim

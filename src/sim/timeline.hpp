@@ -1,0 +1,58 @@
+// Simulated clock and event log for one device.
+//
+// Every charged operation (kernel launch, transfer, allocation) advances the
+// clock and appends an event.  Benchmarks read clock deltas; the event log
+// can be exported as a Chrome-trace JSON for inspection with about:tracing
+// or Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/work_tally.hpp"
+
+namespace jaccx::sim {
+
+enum class event_kind { kernel, transfer_h2d, transfer_d2h, alloc };
+
+const char* to_string(event_kind k);
+
+struct event {
+  std::string name;
+  event_kind kind = event_kind::kernel;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  work_tally tally; // zero for transfers/allocs except dram_bytes=size
+};
+
+class timeline {
+public:
+  /// Current simulated time in microseconds.
+  double now_us() const { return now_us_; }
+
+  /// Advances the clock by `duration_us` and records the event.
+  void record(std::string name, event_kind kind, double duration_us,
+              const work_tally& tally = {});
+
+  const std::vector<event>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Clears events and rewinds the clock to zero.
+  void reset();
+
+  /// Stops/starts appending to the event log (the clock always advances).
+  /// Benchmarks disable logging so multi-thousand-launch sweeps stay lean.
+  void set_logging(bool enabled) { logging_ = enabled; }
+  bool logging() const { return logging_; }
+
+  /// Serializes the event log in Chrome trace-event JSON format.
+  std::string to_chrome_trace() const;
+
+private:
+  double now_us_ = 0.0;
+  bool logging_ = true;
+  std::vector<event> events_;
+};
+
+} // namespace jaccx::sim

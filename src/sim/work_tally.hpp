@@ -1,0 +1,53 @@
+// Work accounting for one simulated kernel launch, and the analytic cost
+// function that converts a tally into simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device_model.hpp"
+
+namespace jaccx::sim {
+
+/// What a kernel actually did, measured during functional execution.
+struct work_tally {
+  std::uint64_t dram_bytes = 0;  ///< line fills charged at dram_bw
+  std::uint64_t cache_bytes = 0; ///< modeled-cache hits charged at cache_bw
+  std::uint64_t flops = 0;       ///< from the launch's flops-per-index hint
+  std::uint64_t indices = 0;     ///< loop iterations / GPU threads executed
+  std::uint64_t blocks = 0;      ///< GPU blocks / CPU chunks scheduled
+  std::uint64_t atomics = 0;     ///< atomic read-modify-write operations
+
+  work_tally& operator+=(const work_tally& o) {
+    dram_bytes += o.dram_bytes;
+    cache_bytes += o.cache_bytes;
+    flops += o.flops;
+    indices += o.indices;
+    blocks += o.blocks;
+    atomics += o.atomics;
+    return *this;
+  }
+};
+
+/// Knobs describing how the launch was issued; they select which overhead
+/// terms apply.
+struct launch_flavor {
+  bool via_jacc = false; ///< went through the portable front end
+  bool is_reduce = false;///< reduction-type kernel (two-kernel scheme)
+};
+
+/// Simulated kernel duration in microseconds:
+///
+///   launch_overhead (+ jacc dispatch)                     fixed
+/// + indices * per_index_overhead / parallel_units          runtime scheduling
+/// + max(memory time, compute time)                        roofline
+///
+/// where memory time charges DRAM fills and cache hits at their respective
+/// bandwidths (derated for reductions), and compute time charges the flop
+/// hint at the peak rate.
+double kernel_cost_us(const device_model& m, const work_tally& t,
+                      const launch_flavor& f);
+
+/// Simulated host<->device transfer duration in microseconds.
+double transfer_cost_us(const device_model& m, std::uint64_t bytes);
+
+} // namespace jaccx::sim

@@ -1,0 +1,86 @@
+// Cache-line / page aligned owning buffer.
+//
+// Used for host mirrors of jacc::array and for simulated device memory so
+// that the cache model sees addresses with realistic alignment (Per.19:
+// access memory predictably), and so the real threads back end avoids false
+// sharing of partial-reduction slots.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace jaccx {
+
+inline constexpr std::size_t cache_line_bytes = 64;
+
+/// Owning, aligned, uninitialized-on-construction buffer of trivially
+/// copyable T.  Move-only.
+template <class T>
+class aligned_buffer {
+public:
+  aligned_buffer() = default;
+
+  explicit aligned_buffer(std::size_t count, std::size_t alignment = 64)
+      : count_(count) {
+    if (count == 0) {
+      return;
+    }
+    const std::size_t bytes = round_up(count * sizeof(T), alignment);
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) {
+      throw std::bad_alloc();
+    }
+  }
+
+  aligned_buffer(const aligned_buffer&) = delete;
+  aligned_buffer& operator=(const aligned_buffer&) = delete;
+
+  aligned_buffer(aligned_buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  aligned_buffer& operator=(aligned_buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~aligned_buffer() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  T& operator[](std::size_t i) {
+    JACCX_ASSERT(i < count_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    JACCX_ASSERT(i < count_);
+    return data_[i];
+  }
+
+private:
+  static std::size_t round_up(std::size_t n, std::size_t a) {
+    return (n + a - 1) / a * a;
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+} // namespace jaccx

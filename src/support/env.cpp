@@ -1,0 +1,28 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace jaccx {
+
+std::optional<std::string> get_env(std::string_view name) {
+  const std::string key(name);
+  if (const char* v = std::getenv(key.c_str())) {
+    return std::string(v);
+  }
+  return std::nullopt;
+}
+
+std::optional<long> get_env_long(std::string_view name) {
+  auto s = get_env(name);
+  if (!s) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return v;
+}
+
+} // namespace jaccx

@@ -1,0 +1,17 @@
+// Thin environment-variable helpers used by the preferences loader.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jaccx {
+
+/// Returns the value of environment variable `name`, if set.
+std::optional<std::string> get_env(std::string_view name);
+
+/// Returns the value of `name` parsed as a long, or nullopt when unset or
+/// unparseable.
+std::optional<long> get_env_long(std::string_view name);
+
+} // namespace jaccx

@@ -1,0 +1,25 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jaccx {
+
+void throw_config_error(std::string_view what) {
+  throw config_error(std::string(what));
+}
+
+void throw_usage_error(std::string_view what) {
+  throw usage_error(std::string(what));
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "jaccx assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+} // namespace detail
+} // namespace jaccx

@@ -1,0 +1,50 @@
+// Error handling for JACC-CXX.
+//
+// The library reports contract violations and unrecoverable configuration
+// errors through jaccx::error (derived from std::runtime_error).  Hot paths
+// use JACCX_ASSERT, which compiles to a check in debug builds and to nothing
+// when NDEBUG is set, per the C++ Core Guidelines (I.6, E.12).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace jaccx {
+
+/// Base exception for all JACC-CXX errors.
+class error : public std::runtime_error {
+public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration value (preferences file, env var, device
+/// name) is malformed or references an unknown entity.
+class config_error : public error {
+public:
+  explicit config_error(const std::string& what) : error(what) {}
+};
+
+/// Thrown when an API is used outside its contract (e.g. device access to a
+/// buffer that was never allocated, mismatched extents).
+class usage_error : public error {
+public:
+  explicit usage_error(const std::string& what) : error(what) {}
+};
+
+/// [[noreturn]] helper so call sites stay single-line.
+[[noreturn]] void throw_config_error(std::string_view what);
+[[noreturn]] void throw_usage_error(std::string_view what);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+} // namespace detail
+
+} // namespace jaccx
+
+#ifdef NDEBUG
+#define JACCX_ASSERT(expr) ((void)0)
+#else
+#define JACCX_ASSERT(expr) \
+  ((expr) ? (void)0 : ::jaccx::detail::assert_fail(#expr, __FILE__, __LINE__))
+#endif

@@ -1,0 +1,80 @@
+// Non-owning 2D/3D views with Julia-style column-major layout.
+//
+// JACC (the paper, Sec. IV) stresses that Julia arrays are column-major and
+// that the CPU back end must therefore decompose work column-wise while GPU
+// back ends map thread x to the fastest-moving index for coalescing.  These
+// views encode that layout once so kernels, back ends, and tests agree.
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace jaccx {
+
+using index_t = std::ptrdiff_t;
+
+/// Column-major 2D view: element (i, j) lives at data[i + j * rows].
+/// i is the fast (within-column) index, matching Julia's A[i, j].
+template <class T>
+class span2d {
+public:
+  constexpr span2d() = default;
+  constexpr span2d(T* data, index_t rows, index_t cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    JACCX_ASSERT(rows >= 0 && cols >= 0);
+  }
+
+  constexpr T& operator()(index_t i, index_t j) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+
+  constexpr T* data() const { return data_; }
+  constexpr index_t rows() const { return rows_; }
+  constexpr index_t cols() const { return cols_; }
+  constexpr index_t size() const { return rows_ * cols_; }
+  constexpr bool empty() const { return size() == 0; }
+
+  /// Pointer to the start of column j (contiguous run of rows() elements).
+  constexpr T* column(index_t j) const {
+    JACCX_ASSERT(j >= 0 && j < cols_);
+    return data_ + j * rows_;
+  }
+
+private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+/// Column-major 3D view: element (i, j, k) at data[i + rows*(j + cols*k)].
+template <class T>
+class span3d {
+public:
+  constexpr span3d() = default;
+  constexpr span3d(T* data, index_t rows, index_t cols, index_t depth)
+      : data_(data), rows_(rows), cols_(cols), depth_(depth) {
+    JACCX_ASSERT(rows >= 0 && cols >= 0 && depth >= 0);
+  }
+
+  constexpr T& operator()(index_t i, index_t j, index_t k) const {
+    JACCX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_ && k >= 0 &&
+                 k < depth_);
+    return data_[i + rows_ * (j + cols_ * k)];
+  }
+
+  constexpr T* data() const { return data_; }
+  constexpr index_t rows() const { return rows_; }
+  constexpr index_t cols() const { return cols_; }
+  constexpr index_t depth() const { return depth_; }
+  constexpr index_t size() const { return rows_ * cols_ * depth_; }
+
+private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t depth_ = 0;
+};
+
+} // namespace jaccx

@@ -1,0 +1,13 @@
+#include "support/stopwatch.hpp"
+
+namespace jaccx {
+
+void stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+std::int64_t stopwatch::elapsed_ns() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+      .count();
+}
+
+} // namespace jaccx

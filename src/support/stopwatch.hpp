@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the real (non-simulated) back ends and by the
+// dispatch-overhead benchmark.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace jaccx {
+
+class stopwatch {
+public:
+  stopwatch() { reset(); }
+
+  void reset();
+
+  /// Nanoseconds since construction or the last reset().
+  std::int64_t elapsed_ns() const;
+
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace jaccx

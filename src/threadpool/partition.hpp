@@ -1,0 +1,53 @@
+// Index-range partitioning helpers shared by the threads back end and the
+// simulated Rome CPU executor.
+//
+// The paper (Sec. IV) maps Julia's Base.Threads model onto coarse-grained
+// contiguous chunks — column-wise for 2D arrays because Julia is
+// column-major.  These helpers compute those chunks.
+#pragma once
+
+#include "support/error.hpp"
+#include "support/span2d.hpp"
+
+namespace jaccx::pool {
+
+/// A half-open index range [begin, end).
+struct range {
+  index_t begin = 0;
+  index_t end = 0;
+
+  index_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  friend bool operator==(const range&, const range&) = default;
+};
+
+/// Splits [0, n) into `parts` contiguous chunks whose sizes differ by at
+/// most one; chunk `which` is returned.  When n < parts, trailing chunks are
+/// empty.  `which` must be in [0, parts).
+inline range static_chunk(index_t n, index_t parts, index_t which) {
+  JACCX_ASSERT(n >= 0 && parts > 0 && which >= 0 && which < parts);
+  const index_t base = n / parts;
+  const index_t rem = n % parts;
+  // The first `rem` chunks get base+1 elements.
+  const index_t begin =
+      which * base + (which < rem ? which : rem);
+  const index_t size = base + (which < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// Number of chunks of size `grain` needed to cover n indices.
+inline index_t chunk_count(index_t n, index_t grain) {
+  JACCX_ASSERT(grain > 0);
+  return (n + grain - 1) / grain;
+}
+
+/// The `which`-th chunk of size `grain` over [0, n), clipped at n.
+inline range grain_chunk(index_t n, index_t grain, index_t which) {
+  JACCX_ASSERT(grain > 0 && which >= 0);
+  const index_t begin = which * grain;
+  const index_t end = begin + grain < n ? begin + grain : n;
+  JACCX_ASSERT(begin <= n);
+  return {begin, end};
+}
+
+} // namespace jaccx::pool

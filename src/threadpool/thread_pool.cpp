@@ -1,0 +1,102 @@
+#include "threadpool/thread_pool.hpp"
+
+#include "support/env.hpp"
+
+namespace jaccx::pool {
+
+thread_pool::thread_pool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  width_ = threads;
+  workers_.reserve(width_ - 1);
+  for (unsigned w = 1; w < width_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void thread_pool::run_region(index_t n, region_fn fn, void* ctx) {
+  JACCX_ASSERT(n >= 0);
+  if (n == 0) {
+    return;
+  }
+  if (width_ == 1) {
+    fn(ctx, 0, range{0, n});
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    n_ = n;
+    remaining_ = width_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0 and executes its chunk in place.
+  fn(ctx, 0, static_chunk(n, width_, 0));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void thread_pool::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    region_fn fn = nullptr;
+    void* ctx = nullptr;
+    index_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
+      n = n_;
+    }
+
+    fn(ctx, worker, static_chunk(n, width_, worker));
+
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --remaining_ == 0;
+    }
+    if (last) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+thread_pool& default_pool() {
+  static thread_pool pool([] {
+    const auto n = get_env_long("JACC_NUM_THREADS");
+    if (n && *n > 0) {
+      return static_cast<unsigned>(*n);
+    }
+    return 0u; // hardware concurrency
+  }());
+  return pool;
+}
+
+} // namespace jaccx::pool

@@ -1,0 +1,90 @@
+// Persistent fork/join thread pool: the C++ stand-in for Julia's
+// Base.Threads runtime (paper Sec. II and IV).
+//
+// Semantics match `Threads.@sync Threads.@threads for`: the caller blocks
+// until every worker finishes its static chunk.  Workers are started once
+// and parked on a condition variable between parallel regions, so each
+// region pays only a wake/join handshake (measured by the
+// abl_dispatch_overhead benchmark).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/span2d.hpp"
+#include "threadpool/partition.hpp"
+
+namespace jaccx::pool {
+
+class thread_pool {
+public:
+  /// Creates `threads` workers.  0 means use std::thread::hardware_concurrency
+  /// (minimum 1).  The calling thread also executes a share of every region,
+  /// so the effective parallel width is threads (callers count as worker 0).
+  explicit thread_pool(unsigned threads = 0);
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+  ~thread_pool();
+
+  /// Number of workers participating in each region (>= 1).
+  unsigned size() const { return width_; }
+
+  /// Raw fork/join entry point: calls fn(ctx, worker, chunk) once per worker,
+  /// where chunk = static_chunk(n, size(), worker).  Blocks until all chunks
+  /// complete.  `fn` must not throw; kernels with failure modes should record
+  /// status out-of-band (E.28 is out of scope for hot loops).
+  using region_fn = void (*)(void* ctx, unsigned worker, range chunk);
+  void run_region(index_t n, region_fn fn, void* ctx);
+
+  /// Runs body(i) for every i in [0, n) with static chunking.
+  template <class Body>
+  void parallel_for_index(index_t n, Body&& body) {
+    auto trampoline = [](void* c, unsigned, range chunk) {
+      auto& b = *static_cast<std::remove_reference_t<Body>*>(c);
+      for (index_t i = chunk.begin; i < chunk.end; ++i) {
+        b(i);
+      }
+    };
+    run_region(n, trampoline, const_cast<void*>(static_cast<const void*>(&body)));
+  }
+
+  /// Runs body(worker, chunk) once per worker.  Used for reductions, where
+  /// each worker accumulates into its own cache-line-padded slot.
+  template <class Body>
+  void parallel_chunks(index_t n, Body&& body) {
+    auto trampoline = [](void* c, unsigned worker, range chunk) {
+      auto& b = *static_cast<std::remove_reference_t<Body>*>(c);
+      b(worker, chunk);
+    };
+    run_region(n, trampoline, const_cast<void*>(static_cast<const void*>(&body)));
+  }
+
+private:
+  void worker_loop(unsigned worker);
+
+  // Region descriptor, valid while generation_ is odd-stepped by run_region.
+  region_fn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  index_t n_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0; // incremented per region
+  unsigned remaining_ = 0;       // workers still running current region
+  bool shutdown_ = false;
+
+  unsigned width_ = 1;
+  std::vector<std::thread> workers_; // width_ - 1 helper threads
+};
+
+/// The process-wide pool used by the `threads` back end.  Width is taken
+/// from JACC_NUM_THREADS when set, otherwise hardware concurrency.  Created
+/// on first use.
+thread_pool& default_pool();
+
+} // namespace jaccx::pool

@@ -1,0 +1,391 @@
+#include "toml/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace jaccx::toml {
+namespace {
+
+bool is_bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-';
+}
+
+class parser {
+public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  table run() {
+    table root;
+    table* current = &root;
+    while (!at_end()) {
+      skip_ws_and_comments_to_content();
+      if (at_end()) {
+        break;
+      }
+      if (peek() == '[') {
+        current = parse_table_header(root);
+      } else {
+        parse_key_value(*current);
+      }
+      expect_line_end();
+    }
+    return root;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw config_error("toml parse error at line " + std::to_string(line_) +
+                       ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void skip_inline_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t')) {
+      ++pos_;
+    }
+  }
+
+  void skip_comment() {
+    while (!at_end() && peek() != '\n') {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, newlines and comments until the next content char.
+  void skip_ws_and_comments_to_content() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\n') {
+        advance();
+      } else if (c == '#') {
+        skip_comment();
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// After a key/value or header: only whitespace/comment may remain on the
+  /// line.
+  void expect_line_end() {
+    skip_inline_ws();
+    if (at_end()) {
+      return;
+    }
+    if (peek() == '#') {
+      skip_comment();
+    }
+    if (at_end()) {
+      return;
+    }
+    if (peek() == '\r') {
+      ++pos_;
+    }
+    if (at_end()) {
+      return;
+    }
+    if (peek() != '\n') {
+      fail("unexpected trailing characters");
+    }
+    advance();
+  }
+
+  std::string parse_key() {
+    skip_inline_ws();
+    if (at_end()) {
+      fail("expected key");
+    }
+    if (peek() == '"') {
+      return parse_basic_string();
+    }
+    std::string key;
+    while (!at_end() && is_bare_key_char(peek())) {
+      key.push_back(advance());
+    }
+    if (key.empty()) {
+      fail("expected key");
+    }
+    return key;
+  }
+
+  std::vector<std::string> parse_dotted_key() {
+    std::vector<std::string> parts;
+    parts.push_back(parse_key());
+    skip_inline_ws();
+    while (!at_end() && peek() == '.') {
+      advance();
+      parts.push_back(parse_key());
+      skip_inline_ws();
+    }
+    return parts;
+  }
+
+  table* parse_table_header(table& root) {
+    advance(); // '['
+    if (!at_end() && peek() == '[') {
+      fail("arrays of tables ([[...]]) are outside the supported subset");
+    }
+    const auto parts = parse_dotted_key();
+    skip_inline_ws();
+    if (at_end() || peek() != ']') {
+      fail("expected ']' to close table header");
+    }
+    advance();
+    table* t = &root;
+    for (const auto& part : parts) {
+      auto [it, inserted] =
+          t->try_emplace(part, value(std::make_shared<table>()));
+      if (!inserted && !it->second.is_table()) {
+        fail("table header '" + part + "' collides with a non-table key");
+      }
+      t = &it->second.as_table();
+    }
+    return t;
+  }
+
+  void parse_key_value(table& t) {
+    const auto parts = parse_dotted_key();
+    skip_inline_ws();
+    if (at_end() || peek() != '=') {
+      fail("expected '=' after key");
+    }
+    advance();
+    skip_inline_ws();
+    value v = parse_value();
+
+    table* target = &t;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+      auto [it, inserted] =
+          target->try_emplace(parts[i], value(std::make_shared<table>()));
+      if (!inserted && !it->second.is_table()) {
+        fail("dotted key '" + parts[i] + "' collides with a non-table key");
+      }
+      target = &it->second.as_table();
+    }
+    auto [it, inserted] = target->try_emplace(parts.back(), std::move(v));
+    if (!inserted) {
+      fail("duplicate key '" + parts.back() + "'");
+    }
+  }
+
+  std::string parse_basic_string() {
+    advance(); // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) {
+        fail("unterminated string");
+      }
+      const char c = advance();
+      if (c == '"') {
+        break;
+      }
+      if (c == '\n') {
+        fail("newline inside basic string");
+      }
+      if (c == '\\') {
+        if (at_end()) {
+          fail("dangling escape");
+        }
+        const char e = advance();
+        switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        default: fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  value parse_array() {
+    advance(); // '['
+    array arr;
+    while (true) {
+      skip_ws_and_comments_to_content();
+      if (at_end()) {
+        fail("unterminated array");
+      }
+      if (peek() == ']') {
+        advance();
+        break;
+      }
+      arr.push_back(parse_value());
+      skip_ws_and_comments_to_content();
+      if (at_end()) {
+        fail("unterminated array");
+      }
+      if (peek() == ',') {
+        advance();
+      } else if (peek() != ']') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return value(std::move(arr));
+  }
+
+  value parse_value() {
+    if (at_end()) {
+      fail("expected value");
+    }
+    const char c = peek();
+    if (c == '"') {
+      return value(parse_basic_string());
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == 't' || c == 'f') {
+      return parse_bool();
+    }
+    return parse_number();
+  }
+
+  value parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return value(true);
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return value(false);
+    }
+    fail("expected boolean");
+  }
+
+  value parse_number() {
+    std::string tok;
+    bool is_float = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '+' ||
+          c == '-') {
+        tok.push_back(advance());
+      } else if (c == '_') {
+        advance(); // TOML digit separator, as in SIZE = 1_000_000
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        tok.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    if (tok.empty()) {
+      fail("expected value");
+    }
+    if (is_float) {
+      char* end = nullptr;
+      const double d = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) {
+        fail("malformed float '" + tok + "'");
+      }
+      return value(d);
+    }
+    std::int64_t i = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), i);
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+      fail("malformed integer '" + tok + "'");
+    }
+    return value(i);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+} // namespace
+
+table parse(std::string_view text) { return parser(text).run(); }
+
+table parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw config_error("cannot open preferences file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  return parse(text);
+}
+
+std::optional<value> find(const table& root, std::string_view dotted_path) {
+  const table* t = &root;
+  std::string_view rest = dotted_path;
+  while (true) {
+    const auto dot = rest.find('.');
+    const std::string_view part =
+        dot == std::string_view::npos ? rest : rest.substr(0, dot);
+    const auto it = t->find(part);
+    if (it == t->end()) {
+      return std::nullopt;
+    }
+    if (dot == std::string_view::npos) {
+      return it->second;
+    }
+    if (!it->second.is_table()) {
+      return std::nullopt;
+    }
+    t = &it->second.as_table();
+    rest = rest.substr(dot + 1);
+  }
+}
+
+std::optional<std::string> find_string(const table& root,
+                                       std::string_view dotted_path) {
+  const auto v = find(root, dotted_path);
+  if (!v || !v->is_string()) {
+    return std::nullopt;
+  }
+  return v->as_string();
+}
+
+std::optional<std::int64_t> find_int(const table& root,
+                                     std::string_view dotted_path) {
+  const auto v = find(root, dotted_path);
+  if (!v || !v->is_int()) {
+    return std::nullopt;
+  }
+  return v->as_int();
+}
+
+std::optional<double> find_float(const table& root,
+                                 std::string_view dotted_path) {
+  const auto v = find(root, dotted_path);
+  if (!v || (!v->is_float() && !v->is_int())) {
+    return std::nullopt;
+  }
+  return v->as_float();
+}
+
+std::optional<bool> find_bool(const table& root,
+                              std::string_view dotted_path) {
+  const auto v = find(root, dotted_path);
+  if (!v || !v->is_bool()) {
+    return std::nullopt;
+  }
+  return v->as_bool();
+}
+
+} // namespace jaccx::toml

@@ -1,0 +1,18 @@
+// Parser for the TOML subset (see value.hpp for scope).
+#pragma once
+
+#include <string_view>
+
+#include "toml/value.hpp"
+
+namespace jaccx::toml {
+
+/// Parses TOML text.  Throws jaccx::config_error with a line number on
+/// malformed input.
+table parse(std::string_view text);
+
+/// Parses the file at `path`.  Throws jaccx::config_error when the file is
+/// unreadable or malformed.
+table parse_file(const std::string& path);
+
+} // namespace jaccx::toml

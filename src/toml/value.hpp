@@ -1,0 +1,110 @@
+// Value model for the TOML subset used by JACC-CXX preferences files.
+//
+// Julia's JACC selects its back end through Preferences.jl, which persists
+// the choice in LocalPreferences.toml before precompilation (paper Sec. III).
+// JACC-CXX reproduces that configuration-time mechanism, so it ships a small
+// TOML reader.  The subset covers what preferences files need: tables
+// (including dotted headers), key/value pairs with basic strings, integers,
+// floats, booleans, and homogeneous arrays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace jaccx::toml {
+
+class value;
+
+/// A TOML table: ordered not required, lookups by exact key.
+using table = std::map<std::string, value, std::less<>>;
+using array = std::vector<value>;
+
+/// One TOML value.  Tables are held by shared_ptr so `value` stays regular
+/// despite the recursive type.
+class value {
+public:
+  using table_ptr = std::shared_ptr<table>;
+  using variant_t =
+      std::variant<std::monostate, bool, std::int64_t, double, std::string,
+                   array, table_ptr>;
+
+  value() = default;
+  value(bool b) : v_(b) {}
+  value(std::int64_t i) : v_(i) {}
+  value(double d) : v_(d) {}
+  value(std::string s) : v_(std::move(s)) {}
+  value(const char* s) : v_(std::string(s)) {}
+  value(array a) : v_(std::move(a)) {}
+  value(table_ptr t) : v_(std::move(t)) {}
+
+  bool is_none() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_float() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<array>(v_); }
+  bool is_table() const { return std::holds_alternative<table_ptr>(v_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  std::int64_t as_int() const { return get<std::int64_t>("integer"); }
+  /// Floats accept integer literals too (TOML spec allows 1 vs 1.0 to be
+  /// distinct, but preferences readers want the lenient behaviour).
+  double as_float() const {
+    if (is_int()) {
+      return static_cast<double>(std::get<std::int64_t>(v_));
+    }
+    return get<double>("float");
+  }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const array& as_array() const { return get<array>("array"); }
+  const table& as_table() const {
+    const auto* p = std::get_if<table_ptr>(&v_);
+    if (p == nullptr || *p == nullptr) {
+      throw_usage_error("toml value is not a table");
+    }
+    return **p;
+  }
+  table& as_table() {
+    auto* p = std::get_if<table_ptr>(&v_);
+    if (p == nullptr || *p == nullptr) {
+      throw_usage_error("toml value is not a table");
+    }
+    return **p;
+  }
+
+  const variant_t& raw() const { return v_; }
+
+private:
+  template <class T>
+  const T& get(const char* what) const {
+    const auto* p = std::get_if<T>(&v_);
+    if (p == nullptr) {
+      throw_usage_error(std::string("toml value is not a ") + what);
+    }
+    return *p;
+  }
+
+  variant_t v_;
+};
+
+/// Looks up a dotted path ("Section.key") in `root`; returns nullopt when any
+/// component is missing.
+std::optional<value> find(const table& root, std::string_view dotted_path);
+
+/// Convenience typed lookups; return nullopt on missing key or wrong type.
+std::optional<std::string> find_string(const table& root,
+                                       std::string_view dotted_path);
+std::optional<std::int64_t> find_int(const table& root,
+                                     std::string_view dotted_path);
+std::optional<double> find_float(const table& root,
+                                 std::string_view dotted_path);
+std::optional<bool> find_bool(const table& root, std::string_view dotted_path);
+
+} // namespace jaccx::toml

@@ -1,0 +1,131 @@
+#include "toml/writer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace jaccx::toml {
+namespace {
+
+bool is_bare_key(const std::string& key) {
+  if (key.empty()) {
+    return false;
+  }
+  for (char c : key) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void emit_key(std::ostringstream& os, const std::string& key) {
+  if (is_bare_key(key)) {
+    os << key;
+    return;
+  }
+  os << '"';
+  for (char c : key) {
+    switch (c) {
+    case '"': os << "\\\""; break;
+    case '\\': os << "\\\\"; break;
+    case '\n': os << "\\n"; break;
+    case '\t': os << "\\t"; break;
+    case '\r': os << "\\r"; break;
+    default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void emit_scalar(std::ostringstream& os, const value& v) {
+  if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    os << v.as_int();
+  } else if (v.is_float()) {
+    std::ostringstream num;
+    num.precision(17);
+    num << v.as_float();
+    std::string s = num.str();
+    // Keep the value a TOML float on re-parse.
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos &&
+        s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    os << s;
+  } else if (v.is_string()) {
+    os << '"';
+    for (char c : v.as_string()) {
+      switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default: os << c;
+      }
+    }
+    os << '"';
+  } else if (v.is_array()) {
+    os << '[';
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) {
+        os << ", ";
+      }
+      first = false;
+      emit_scalar(os, e);
+    }
+    os << ']';
+  } else {
+    throw_usage_error("cannot serialize this toml value as a scalar");
+  }
+}
+
+void emit_table(std::ostringstream& os, const table& t,
+                const std::string& prefix) {
+  // Scalars/arrays of this table first...
+  for (const auto& [key, v] : t) {
+    if (v.is_table()) {
+      continue;
+    }
+    emit_key(os, key);
+    os << " = ";
+    emit_scalar(os, v);
+    os << '\n';
+  }
+  // ...then subtables with dotted headers.
+  for (const auto& [key, v] : t) {
+    if (!v.is_table()) {
+      continue;
+    }
+    const std::string full = prefix.empty() ? key : prefix + "." + key;
+    os << "\n[" << full << "]\n";
+    emit_table(os, v.as_table(), full);
+  }
+}
+
+} // namespace
+
+std::string serialize(const table& root) {
+  std::ostringstream os;
+  emit_table(os, root, "");
+  return os.str();
+}
+
+void write_file(const table& root, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw config_error("cannot write preferences file: " + path);
+  }
+  out << serialize(root);
+  if (!out) {
+    throw config_error("failed writing preferences file: " + path);
+  }
+}
+
+} // namespace jaccx::toml

@@ -1,0 +1,20 @@
+// Serializer for the TOML subset: the write side of the Preferences.jl
+// mechanism (Preferences.set_preferences! rewrites LocalPreferences.toml).
+#pragma once
+
+#include <string>
+
+#include "toml/value.hpp"
+
+namespace jaccx::toml {
+
+/// Serializes `root` as TOML: top-level scalars/arrays first, then one
+/// [header] (dotted for nesting) per table, recursively.  The output parses
+/// back to an equal table.
+std::string serialize(const table& root);
+
+/// Serializes and writes to `path`, replacing the file.  Throws
+/// jaccx::config_error when the file cannot be written.
+void write_file(const table& root, const std::string& path);
+
+} // namespace jaccx::toml

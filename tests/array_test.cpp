@@ -1,0 +1,157 @@
+// Unit tests for jacc::array / array2d / array3d across back ends.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/jacc.hpp"
+
+namespace jacc {
+namespace {
+
+class ArrayAllBackends : public ::testing::TestWithParam<backend> {
+protected:
+  void SetUp() override { set_backend(GetParam()); }
+  void TearDown() override { set_backend(backend::threads); }
+};
+
+TEST_P(ArrayAllBackends, ZeroInitialized) {
+  array<double> a(100);
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.host_data()[i], 0.0);
+  }
+  EXPECT_EQ(a.size(), 100);
+}
+
+TEST_P(ArrayAllBackends, ConstructFromVector) {
+  std::vector<double> host(64);
+  std::iota(host.begin(), host.end(), 1.0);
+  array<double> a(host);
+  EXPECT_EQ(a.size(), 64);
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.host_data()[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST_P(ArrayAllBackends, ToHostRoundTrip) {
+  std::vector<double> host = {3.0, 1.0, 4.0, 1.0, 5.0};
+  array<double> a(host);
+  EXPECT_EQ(a.to_host(), host);
+}
+
+TEST_P(ArrayAllBackends, InitializerList) {
+  array<int> a{1, 2, 3};
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.host_data()[2], 3);
+}
+
+TEST_P(ArrayAllBackends, MoveSemantics) {
+  array<double> a{1.0, 2.0};
+  array<double> b(std::move(a));
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(a.size(), 0);
+  array<double> c(std::vector<double>{9.0});
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.host_data()[1], 2.0);
+}
+
+TEST_P(ArrayAllBackends, DeviceBindingMatchesBackend) {
+  array<double> a(4);
+  if (is_simulated(GetParam())) {
+    ASSERT_NE(a.device(), nullptr);
+    EXPECT_EQ(a.device(), backend_device(GetParam()));
+    EXPECT_TRUE(a.is_simulated());
+  } else {
+    EXPECT_EQ(a.device(), nullptr);
+    EXPECT_FALSE(a.is_simulated());
+  }
+}
+
+TEST_P(ArrayAllBackends, Array2dColumnMajor) {
+  std::vector<double> host(6);
+  std::iota(host.begin(), host.end(), 0.0);
+  array2d<double> a(host, 2, 3);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  // host is column-major: (i, j) = host[i + j*2]
+  EXPECT_EQ(static_cast<double>(a(0, 0)), 0.0);
+  EXPECT_EQ(static_cast<double>(a(1, 0)), 1.0);
+  EXPECT_EQ(static_cast<double>(a(0, 2)), 4.0);
+  EXPECT_EQ(static_cast<double>(a(1, 2)), 5.0);
+}
+
+TEST_P(ArrayAllBackends, Array3dIndexing) {
+  array3d<double> a(2, 3, 4);
+  a(1, 2, 3) = 42.0;
+  // linear: i + rows*(j + cols*k) = 1 + 2*(2 + 3*3) = 23
+  EXPECT_EQ(a.host_data()[23], 42.0);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.depth(), 4);
+}
+
+TEST_P(ArrayAllBackends, ProxyArithmetic) {
+  array<double> a{10.0};
+  a[0] += 5.0;
+  a[0] -= 1.0;
+  a[0] *= 2.0;
+  a[0] /= 4.0;
+  EXPECT_DOUBLE_EQ(a.host_data()[0], 7.0);
+  const double v = a[0];
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST_P(ArrayAllBackends, IntegerElementType) {
+  array<index_t> a{1, 2, 3};
+  a[0] = a[2];
+  EXPECT_EQ(a.host_data()[0], 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ArrayAllBackends,
+                         ::testing::ValuesIn(all_backends),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ArrayCharging, SimulatedConstructionChargesAllocAndH2d) {
+  scoped_backend sb(backend::cuda_a100);
+  auto& dev = *backend_device(backend::cuda_a100);
+  dev.reset_clock();
+  std::vector<double> host(1000, 1.0);
+  array<double> a(host);
+  // alloc + h2d events.
+  ASSERT_GE(dev.tl().event_count(), 2u);
+  EXPECT_GT(dev.tl().now_us(), dev.model().xfer_latency_us);
+}
+
+TEST(ArrayCharging, CopyToHostChargesD2h) {
+  scoped_backend sb(backend::hip_mi100);
+  auto& dev = *backend_device(backend::hip_mi100);
+  array<double> a(100);
+  dev.reset_clock();
+  auto out = a.to_host();
+  EXPECT_EQ(out.size(), 100u);
+  ASSERT_EQ(dev.tl().event_count(), 1u);
+  EXPECT_EQ(dev.tl().events()[0].kind, jaccx::sim::event_kind::transfer_d2h);
+}
+
+TEST(ArrayCharging, RealBackendsChargeNothing) {
+  scoped_backend sb(backend::threads);
+  array<double> a(100);
+  EXPECT_EQ(a.device(), nullptr);
+  auto out = a.to_host(); // must not touch any simulated device
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(ArrayCharging, ZeroSizeArraysAreLegal) {
+  for (backend b : all_backends) {
+    scoped_backend sb(b);
+    array<double> a(0);
+    EXPECT_EQ(a.size(), 0);
+    EXPECT_TRUE(a.to_host().empty());
+  }
+}
+
+} // namespace
+} // namespace jacc

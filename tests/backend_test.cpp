@@ -1,0 +1,140 @@
+// Unit tests for backend naming, selection, and the Preferences.jl-style
+// configuration chain.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/backend.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+
+namespace jacc {
+namespace {
+
+class BackendTest : public ::testing::Test {
+protected:
+  void SetUp() override { saved_ = current_backend(); }
+  void TearDown() override {
+    set_backend(saved_);
+    ::unsetenv("JACC_BACKEND");
+    ::unsetenv("JACC_PREFERENCES_FILE");
+  }
+  backend saved_ = backend::threads;
+};
+
+TEST_F(BackendTest, NamesRoundTrip) {
+  for (backend b : all_backends) {
+    EXPECT_EQ(backend_from_string(to_string(b)), b);
+  }
+}
+
+TEST_F(BackendTest, VendorAliases) {
+  EXPECT_EQ(backend_from_string("cuda"), backend::cuda_a100);
+  EXPECT_EQ(backend_from_string("CUDA"), backend::cuda_a100);
+  EXPECT_EQ(backend_from_string("amdgpu"), backend::hip_mi100);
+  EXPECT_EQ(backend_from_string("oneapi"), backend::oneapi_max1550);
+  EXPECT_EQ(backend_from_string("rome"), backend::cpu_rome);
+  EXPECT_EQ(backend_from_string("Threads"), backend::threads);
+}
+
+TEST_F(BackendTest, UnknownNameThrows) {
+  EXPECT_THROW(backend_from_string("tpu"), jaccx::config_error);
+}
+
+TEST_F(BackendTest, SimulatedPredicate) {
+  EXPECT_FALSE(is_simulated(backend::serial));
+  EXPECT_FALSE(is_simulated(backend::threads));
+  EXPECT_TRUE(is_simulated(backend::cpu_rome));
+  EXPECT_TRUE(is_simulated(backend::cuda_a100));
+  EXPECT_TRUE(is_simulated(backend::hip_mi100));
+  EXPECT_TRUE(is_simulated(backend::oneapi_max1550));
+}
+
+TEST_F(BackendTest, BackendDeviceMapping) {
+  EXPECT_EQ(backend_device(backend::serial), nullptr);
+  EXPECT_EQ(backend_device(backend::threads), nullptr);
+  ASSERT_NE(backend_device(backend::cuda_a100), nullptr);
+  EXPECT_EQ(backend_device(backend::cuda_a100)->model().name, "a100");
+  EXPECT_EQ(backend_device(backend::hip_mi100)->model().name, "mi100");
+  EXPECT_EQ(backend_device(backend::oneapi_max1550)->model().name, "max1550");
+  EXPECT_EQ(backend_device(backend::cpu_rome)->model().name, "rome64");
+}
+
+TEST_F(BackendTest, SetBackendTakesEffect) {
+  set_backend(backend::serial);
+  EXPECT_EQ(current_backend(), backend::serial);
+  set_backend(backend::cuda_a100);
+  EXPECT_EQ(current_backend(), backend::cuda_a100);
+}
+
+TEST_F(BackendTest, ScopedBackendRestores) {
+  set_backend(backend::serial);
+  {
+    scoped_backend sb(backend::hip_mi100);
+    EXPECT_EQ(current_backend(), backend::hip_mi100);
+  }
+  EXPECT_EQ(current_backend(), backend::serial);
+}
+
+TEST_F(BackendTest, EnvVariableWins) {
+  ::setenv("JACC_BACKEND", "oneapi", 1);
+  initialize();
+  EXPECT_EQ(current_backend(), backend::oneapi_max1550);
+}
+
+TEST_F(BackendTest, EnvVariableBadValueThrows) {
+  ::setenv("JACC_BACKEND", "quantum", 1);
+  EXPECT_THROW(initialize(), jaccx::config_error);
+}
+
+TEST_F(BackendTest, PreferencesFileIsRead) {
+  const std::string path = ::testing::TempDir() + "/LocalPreferences.toml";
+  {
+    std::ofstream out(path);
+    out << "[JACC]\nbackend = \"mi100\"\n";
+  }
+  ::setenv("JACC_PREFERENCES_FILE", path.c_str(), 1);
+  initialize();
+  EXPECT_EQ(current_backend(), backend::hip_mi100);
+  std::remove(path.c_str());
+}
+
+TEST_F(BackendTest, EnvOverridesPreferencesFile) {
+  const std::string path = ::testing::TempDir() + "/LocalPreferences.toml";
+  {
+    std::ofstream out(path);
+    out << "[JACC]\nbackend = \"mi100\"\n";
+  }
+  ::setenv("JACC_PREFERENCES_FILE", path.c_str(), 1);
+  ::setenv("JACC_BACKEND", "serial", 1);
+  initialize();
+  EXPECT_EQ(current_backend(), backend::serial);
+  std::remove(path.c_str());
+}
+
+TEST_F(BackendTest, MissingPreferencesFallsBackToThreads) {
+  ::setenv("JACC_PREFERENCES_FILE", "/nonexistent/LocalPreferences.toml", 1);
+  initialize();
+  // Paper Sec. III: Base.Threads is JACC's default back end.
+  EXPECT_EQ(current_backend(), backend::threads);
+}
+
+TEST_F(BackendTest, PreferencesFileWithoutJaccKeyFallsBack) {
+  const std::string path = ::testing::TempDir() + "/OtherPrefs.toml";
+  {
+    std::ofstream out(path);
+    out << "[SomethingElse]\nkey = 1\n";
+  }
+  ::setenv("JACC_PREFERENCES_FILE", path.c_str(), 1);
+  initialize();
+  EXPECT_EQ(current_backend(), backend::threads);
+  std::remove(path.c_str());
+}
+
+TEST_F(BackendTest, SynchronizeIsCallable) {
+  synchronize(); // no-op by contract (paper Sec. IV)
+}
+
+} // namespace
+} // namespace jacc

@@ -1,0 +1,219 @@
+// Tests for the BLAS module: the JACC drivers on every backend and the
+// native device-specific comparators, cross-checked against each other.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "blas/jacc_blas.hpp"
+#include "blas/native_cpu.hpp"
+#include "blas/native_gpu.hpp"
+#include "core/jacc.hpp"
+
+namespace jaccx::blas {
+namespace {
+
+using jacc::backend;
+
+std::vector<double> iota_vec(index_t n, double start = 0.0) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+double ref_dot(const std::vector<double>& x, const std::vector<double>& y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * y[i];
+  }
+  return acc;
+}
+
+class JaccBlasAllBackends : public ::testing::TestWithParam<backend> {
+protected:
+  void SetUp() override { jacc::set_backend(GetParam()); }
+  void TearDown() override { jacc::set_backend(backend::threads); }
+};
+
+TEST_P(JaccBlasAllBackends, Axpy) {
+  const index_t n = 1234;
+  darray x(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+  darray y(iota_vec(n));
+  jacc_axpy(n, 2.5, x, y);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(x.host_data()[i], 1.0 + 2.5 * static_cast<double>(i));
+  }
+}
+
+TEST_P(JaccBlasAllBackends, Dot) {
+  const index_t n = 1234;
+  const auto xs = iota_vec(n, 1.0);
+  const auto ys = iota_vec(n, 2.0);
+  darray x(xs), y(ys);
+  EXPECT_NEAR(jacc_dot(n, x, y), ref_dot(xs, ys),
+              1e-9 * ref_dot(xs, ys));
+}
+
+TEST_P(JaccBlasAllBackends, Axpy2d) {
+  const index_t rows = 31;
+  const index_t cols = 19;
+  darray2d x(std::vector<double>(static_cast<std::size_t>(rows * cols), 1.0),
+             rows, cols);
+  darray2d y(iota_vec(rows * cols), rows, cols);
+  jacc_axpy2d(rows, cols, 2.0, x, y);
+  for (index_t idx = 0; idx < rows * cols; ++idx) {
+    EXPECT_DOUBLE_EQ(x.host_data()[idx],
+                     1.0 + 2.0 * static_cast<double>(idx));
+  }
+}
+
+TEST_P(JaccBlasAllBackends, Dot2d) {
+  const index_t rows = 31;
+  const index_t cols = 19;
+  const auto xs = iota_vec(rows * cols, 1.0);
+  const auto ys = iota_vec(rows * cols, 0.5);
+  darray2d x(xs, rows, cols), y(ys, rows, cols);
+  EXPECT_NEAR(jacc_dot2d(rows, cols, x, y), ref_dot(xs, ys),
+              1e-9 * ref_dot(xs, ys));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, JaccBlasAllBackends,
+                         ::testing::ValuesIn(jacc::all_backends),
+                         [](const auto& info) {
+                           return std::string(jacc::to_string(info.param));
+                         });
+
+TEST(ThreadsBlas, AxpyAndDot) {
+  const index_t n = 100'000;
+  auto x = iota_vec(n);
+  const auto y = iota_vec(n, 1.0);
+  threads_axpy(n, 3.0, x.data(), y.data());
+  for (index_t i = 0; i < n; i += 9973) {
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)],
+                     static_cast<double>(i) +
+                         3.0 * (static_cast<double>(i) + 1.0));
+  }
+  const auto xs = iota_vec(1000);
+  const auto ys = iota_vec(1000, 5.0);
+  EXPECT_NEAR(threads_dot(1000, xs.data(), ys.data()), ref_dot(xs, ys),
+              1e-6);
+}
+
+TEST(ThreadsBlas, TwoDVariants) {
+  const index_t rows = 64;
+  const index_t cols = 32;
+  auto x = iota_vec(rows * cols);
+  const auto y = std::vector<double>(static_cast<std::size_t>(rows * cols),
+                                     2.0);
+  threads_axpy2d(rows, cols, 0.5, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[100], 101.0);
+  const auto xs = iota_vec(rows * cols);
+  EXPECT_NEAR(threads_dot2d(rows, cols, xs.data(), xs.data()),
+              ref_dot(xs, xs), 1e-6 * ref_dot(xs, xs));
+}
+
+TEST(RomeBlas, MatchesReference) {
+  auto& dev = sim::get_device("rome64");
+  const index_t n = 5000;
+  auto xs = iota_vec(n);
+  const auto ys = iota_vec(n, 3.0);
+  sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(xs.data());
+  dy.copy_from_host(ys.data());
+  rome_axpy(dev, n, 2.0, dx.span(), dy.span());
+  std::vector<double> out(static_cast<std::size_t>(n));
+  dx.copy_to_host(out.data());
+  for (index_t i = 0; i < n; i += 101) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     static_cast<double>(i) +
+                         2.0 * (static_cast<double>(i) + 3.0));
+  }
+  EXPECT_NEAR(rome_dot(dev, n, dy.span(), dy.span()), ref_dot(ys, ys),
+              1e-9 * ref_dot(ys, ys));
+}
+
+template <class Api>
+struct NativeGpuBlasTest : public ::testing::Test {};
+
+using VendorApis =
+    ::testing::Types<vendor::cuda_api, vendor::hip_api, vendor::oneapi_api>;
+TYPED_TEST_SUITE(NativeGpuBlasTest, VendorApis);
+
+TYPED_TEST(NativeGpuBlasTest, AxpyMatchesReference) {
+  using Api = TypeParam;
+  const index_t n = 3000;
+  auto xs = iota_vec(n);
+  const auto ys = iota_vec(n, 1.0);
+  auto dx = Api::template to_device<double>(xs.data(), n);
+  auto dy = Api::template to_device<double>(ys.data(), n);
+  native_gpu_axpy<Api>(n, 1.5, dx.span(), dy.span());
+  std::vector<double> out(static_cast<std::size_t>(n));
+  dx.copy_to_host(out.data());
+  for (index_t i = 0; i < n; i += 97) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     static_cast<double>(i) +
+                         1.5 * (static_cast<double>(i) + 1.0));
+  }
+}
+
+TYPED_TEST(NativeGpuBlasTest, DotMatchesReference) {
+  using Api = TypeParam;
+  for (index_t n : {index_t{1}, index_t{511}, index_t{512}, index_t{513},
+                    index_t{4096}, index_t{10'000}}) {
+    const auto xs = iota_vec(n, 0.25);
+    const auto ys = iota_vec(n, 0.75);
+    auto dx = Api::template to_device<double>(xs.data(), n);
+    auto dy = Api::template to_device<double>(ys.data(), n);
+    const double got = native_gpu_dot<Api>(n, dx.span(), dy.span());
+    const double want = ref_dot(xs, ys);
+    EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, want)) << "n=" << n;
+  }
+}
+
+TYPED_TEST(NativeGpuBlasTest, TwoDVariantsMatchReference) {
+  using Api = TypeParam;
+  const index_t rows = 45; // forces ragged 16x16 edge tiles
+  const index_t cols = 23;
+  const index_t n = rows * cols;
+  auto xs = iota_vec(n, 0.5);
+  const auto ys = iota_vec(n, 1.5);
+  auto dx = Api::template to_device<double>(xs.data(), n);
+  auto dy = Api::template to_device<double>(ys.data(), n);
+  native_gpu_axpy2d<Api>(rows, cols, 2.0, dx.span2d(rows, cols),
+                         dy.span2d(rows, cols));
+  std::vector<double> out(static_cast<std::size_t>(n));
+  dx.copy_to_host(out.data());
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     (static_cast<double>(i) + 0.5) +
+                         2.0 * (static_cast<double>(i) + 1.5));
+  }
+  const double got =
+      native_gpu_dot2d<Api>(rows, cols, dy.span2d(rows, cols),
+                            dy.span2d(rows, cols));
+  EXPECT_NEAR(got, ref_dot(ys, ys), 1e-9 * ref_dot(ys, ys));
+}
+
+TEST(BlasCrossCheck, JaccAndNativeAgreeOnEveryDevice) {
+  const index_t n = 2048;
+  const auto xs = iota_vec(n, 0.1);
+  const auto ys = iota_vec(n, 0.9);
+  const double want = ref_dot(xs, ys);
+
+  // JACC on cuda backend vs native cuda code.
+  {
+    jacc::scoped_backend sb(backend::cuda_a100);
+    darray x(xs), y(ys);
+    EXPECT_NEAR(jacc_dot(n, x, y), want, 1e-9 * want);
+  }
+  {
+    auto dx = vendor::cuda_api::to_device<double>(xs.data(), n);
+    auto dy = vendor::cuda_api::to_device<double>(ys.data(), n);
+    EXPECT_NEAR(native_gpu_dot<vendor::cuda_api>(n, dx.span(), dy.span()),
+                want, 1e-9 * want);
+  }
+}
+
+} // namespace
+} // namespace jaccx::blas

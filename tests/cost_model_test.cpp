@@ -1,0 +1,153 @@
+// Unit tests for the analytic cost model and the built-in device models.
+#include <gtest/gtest.h>
+
+#include "sim/device_model.hpp"
+#include "sim/work_tally.hpp"
+#include "support/error.hpp"
+
+namespace jaccx::sim {
+namespace {
+
+device_model simple_gpu() {
+  device_model m;
+  m.name = "test_gpu";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 10;
+  m.dram_bw_gbps = 1000.0;  // 1 byte/ns
+  m.cache_bw_gbps = 4000.0;
+  m.flops_gflops = 2000.0;
+  m.launch_overhead_us = 5.0;
+  m.per_index_overhead_ns = 0.0;
+  m.per_block_overhead_ns = 0.0;
+  m.xfer_bw_gbps = 10.0;
+  m.xfer_latency_us = 20.0;
+  m.jacc_dispatch_us = 2.0;
+  m.reduce_efficiency = 0.5;
+  m.jacc_reduce_derate = 0.8;
+  return m;
+}
+
+TEST(CostModel, LaunchOverheadOnly) {
+  const auto m = simple_gpu();
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, work_tally{}, launch_flavor{}), 5.0);
+}
+
+TEST(CostModel, JaccDispatchAdds) {
+  const auto m = simple_gpu();
+  launch_flavor f;
+  f.via_jacc = true;
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, work_tally{}, f), 7.0);
+}
+
+TEST(CostModel, MemoryTimeFromBandwidth) {
+  const auto m = simple_gpu();
+  work_tally t;
+  t.dram_bytes = 1'000'000; // at 1000 GB/s -> 1 us
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 6.0);
+  t.dram_bytes = 0;
+  t.cache_bytes = 4'000'000; // at 4000 GB/s -> 1 us
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 6.0);
+}
+
+TEST(CostModel, RooflineTakesMaxOfMemAndFlops) {
+  const auto m = simple_gpu();
+  work_tally t;
+  t.dram_bytes = 1'000'000;  // 1 us of memory
+  t.flops = 20'000'000;      // 10 us of compute at 2000 GF/s
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 15.0);
+  t.flops = 200'000; // 0.1 us -> memory bound again
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 6.0);
+}
+
+TEST(CostModel, PerIndexOverheadDividedAcrossUnits) {
+  auto m = simple_gpu();
+  m.per_index_overhead_ns = 100.0; // 100 ns * 1000 idx / 10 units = 10 us
+  work_tally t;
+  t.indices = 1000;
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 15.0);
+}
+
+TEST(CostModel, PerBlockOverheadDividedAcrossUnits) {
+  auto m = simple_gpu();
+  m.per_block_overhead_ns = 500.0; // 500 ns * 100 blocks / 10 units = 5 us
+  work_tally t;
+  t.blocks = 100;
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, launch_flavor{}), 10.0);
+}
+
+TEST(CostModel, ReduceEfficiencyDeratesBandwidth) {
+  const auto m = simple_gpu();
+  work_tally t;
+  t.dram_bytes = 1'000'000; // 1 us at full bandwidth
+  launch_flavor reduce;
+  reduce.is_reduce = true;
+  // reduce_efficiency = 0.5 -> 2 us of memory time.
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, reduce), 7.0);
+  // via JACC: additional 0.8 derate -> 2.5 us + dispatch 2.
+  reduce.via_jacc = true;
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, reduce), 5.0 + 2.0 + 2.5);
+}
+
+TEST(CostModel, JaccReduceDerateOnlyAppliesToReduces) {
+  const auto m = simple_gpu();
+  work_tally t;
+  t.dram_bytes = 1'000'000;
+  launch_flavor f;
+  f.via_jacc = true;
+  // Not a reduce: full bandwidth despite derate field.
+  EXPECT_DOUBLE_EQ(kernel_cost_us(m, t, f), 5.0 + 2.0 + 1.0);
+}
+
+TEST(CostModel, TransferLatencyPlusBandwidth) {
+  const auto m = simple_gpu();
+  // 20 us latency + 1 MB / 10 GB/s = 100 us.
+  EXPECT_DOUBLE_EQ(transfer_cost_us(m, 1'000'000), 120.0);
+  // Scalar transfers are latency-dominated.
+  EXPECT_NEAR(transfer_cost_us(m, 8), 20.0, 0.01);
+}
+
+TEST(CostModel, CpuHasFreeTransfers) {
+  auto m = simple_gpu();
+  m.kind = device_kind::cpu;
+  EXPECT_DOUBLE_EQ(transfer_cost_us(m, 1'000'000'000), 0.0);
+}
+
+TEST(DeviceModels, FourBuiltinsExist) {
+  const auto names = builtin_model_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "rome64");
+  EXPECT_EQ(names[1], "mi100");
+  EXPECT_EQ(names[2], "a100");
+  EXPECT_EQ(names[3], "max1550");
+}
+
+TEST(DeviceModels, KindsMatchThePaper) {
+  EXPECT_EQ(builtin_model("rome64").kind, device_kind::cpu);
+  EXPECT_EQ(builtin_model("mi100").kind, device_kind::gpu);
+  EXPECT_EQ(builtin_model("a100").kind, device_kind::gpu);
+  EXPECT_EQ(builtin_model("max1550").kind, device_kind::gpu);
+}
+
+TEST(DeviceModels, QualitativeOrderings) {
+  const auto& rome = builtin_model("rome64");
+  const auto& mi100 = builtin_model("mi100");
+  const auto& a100 = builtin_model("a100");
+  const auto& max1550 = builtin_model("max1550");
+  // GPUs have (much) higher achieved bandwidth than the CPU.
+  EXPECT_GT(mi100.dram_bw_gbps, rome.dram_bw_gbps);
+  EXPECT_GT(a100.dram_bw_gbps, mi100.dram_bw_gbps);
+  // Sec. V-A1: the A100 node has the fastest CPU-GPU connection.
+  EXPECT_LT(a100.xfer_latency_us, mi100.xfer_latency_us);
+  // Only the CPU model has meaningful per-iteration runtime overhead.
+  EXPECT_GT(rome.per_index_overhead_ns, 10 * a100.per_index_overhead_ns);
+  // Sec. V-A1: ~35% JACC DOT overhead observed only on the Intel GPU.
+  EXPECT_LT(max1550.jacc_reduce_derate, 1.0);
+  EXPECT_DOUBLE_EQ(a100.jacc_reduce_derate, 1.0);
+}
+
+TEST(DeviceModels, UnknownNameThrows) {
+  EXPECT_THROW(builtin_model("h100"), config_error);
+}
+
+} // namespace
+} // namespace jaccx::sim

@@ -1,0 +1,171 @@
+// Tests for the distributed-memory substrate: communicator semantics,
+// cost model behaviour, and the distributed CG solver's correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cg/solver.hpp"
+#include "dist/dist_cg.hpp"
+
+namespace jaccx::dist {
+namespace {
+
+TEST(Communicator, RanksOwnDistinctDevices) {
+  communicator comm(4, "a100");
+  EXPECT_EQ(comm.ranks(), 4);
+  EXPECT_NE(&comm.dev(0), &comm.dev(3));
+  EXPECT_EQ(comm.dev(2).model().name, "a100");
+  EXPECT_THROW(communicator(0), usage_error);
+}
+
+TEST(Communicator, SendRecvMovesDataAndChargesBoth) {
+  communicator comm(2, "a100");
+  comm.reset();
+  std::vector<double> src = {1.0, 2.0, 3.0};
+  std::vector<double> dst(3, 0.0);
+  comm.send_recv(0, src.data(), 1, dst.data(), 3);
+  EXPECT_EQ(dst, src);
+  EXPECT_GT(comm.time_of(0), 0.0);
+  EXPECT_GT(comm.time_of(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.time_of(0), comm.time_of(1));
+  // Latency floor for small messages.
+  EXPECT_GE(comm.time_of(0), comm.nic().latency_us);
+}
+
+TEST(Communicator, ExchangeIsFullDuplex) {
+  communicator comm(2, "a100");
+  comm.reset();
+  std::vector<double> a_out = {1.0};
+  std::vector<double> b_out = {2.0};
+  double a_in = 0.0;
+  double b_in = 0.0;
+  comm.exchange(0, a_out.data(), &a_in, 1, b_out.data(), &b_in, 1);
+  EXPECT_DOUBLE_EQ(a_in, 2.0);
+  EXPECT_DOUBLE_EQ(b_in, 1.0);
+  const double one_way = comm.time_of(0);
+  // Both directions in one charged step, not two.
+  EXPECT_LT(one_way, 2.0 * comm.nic().latency_us);
+}
+
+TEST(Communicator, AllreduceSumsAndScalesWithLog2Ranks) {
+  for (int ranks : {1, 2, 4, 8, 16}) {
+    communicator comm(ranks, "a100");
+    comm.reset();
+    std::vector<double> vals(static_cast<std::size_t>(ranks), 1.5);
+    const double sum = comm.allreduce_sum(vals);
+    EXPECT_DOUBLE_EQ(sum, 1.5 * ranks);
+    int expect_rounds = 0;
+    while ((1 << expect_rounds) < ranks) {
+      ++expect_rounds;
+    }
+    EXPECT_EQ(comm.allreduce_rounds(), expect_rounds);
+    if (ranks > 1) {
+      EXPECT_NEAR(comm.now_us(),
+                  expect_rounds * (comm.nic().latency_us +
+                                   8.0 / (comm.nic().bandwidth_gbps * 1e3)),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Communicator, BarrierAlignsClocks) {
+  communicator comm(3, "a100");
+  comm.reset();
+  comm.dev(1).charge_h2d(1 << 20, "skew");
+  comm.barrier();
+  EXPECT_DOUBLE_EQ(comm.time_of(0), comm.time_of(1));
+  EXPECT_DOUBLE_EQ(comm.time_of(1), comm.time_of(2));
+}
+
+TEST(Communicator, EthernetIsSlowerThanInfiniband) {
+  // Both communicators bind the same device instances (rank r <-> instance
+  // r), so measure each as a clock delta around its own transfer.
+  std::vector<double> buf(1024, 1.0);
+  std::vector<double> dst(1024, 0.0);
+
+  communicator ib(2, "a100", nic_model::infiniband_like());
+  ib.reset();
+  ib.send_recv(0, buf.data(), 1, dst.data(), 1024);
+  const double t_ib = ib.now_us();
+
+  communicator eth(2, "a100", nic_model::ethernet_like());
+  eth.reset();
+  eth.send_recv(0, buf.data(), 1, dst.data(), 1024);
+  const double t_eth = eth.now_us();
+
+  EXPECT_GT(t_eth, 5.0 * t_ib);
+}
+
+class DistCg : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistCg, SolvesTheSameSystemAsTheSingleDeviceSolver) {
+  const index_t n = 300;
+  // Reference via the (serial backend) jacc solver.
+  jacc::scoped_backend sb(jacc::backend::serial);
+  cg::tridiag_system A(n);
+  std::vector<double> b_host(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    b_host[static_cast<std::size_t>(i)] =
+        std::cos(0.05 * static_cast<double>(i));
+  }
+  cg::darray b(b_host);
+  cg::darray x_ref(n);
+  const auto ref = cg::cg_solve(A, b, x_ref, {.max_iterations = 300,
+                                              .tolerance = 1e-12});
+  ASSERT_TRUE(ref.converged);
+
+  communicator comm(GetParam(), "a100");
+  comm.reset();
+  tridiag_cg solver(comm, n);
+  std::vector<double> x;
+  const auto res = solver.solve(b_host, x, {.max_iterations = 300,
+                                            .tolerance = 1e-12});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-11);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(x[static_cast<std::size_t>(i)], x_ref.host_data()[i], 1e-8)
+        << "ranks=" << GetParam() << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistCg, ::testing::Values(1, 2, 3, 7),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param);
+                         });
+
+TEST(DistCg, ZeroRhsConvergesImmediately) {
+  communicator comm(2, "a100");
+  comm.reset();
+  tridiag_cg solver(comm, 64);
+  std::vector<double> x;
+  const auto res = solver.solve(std::vector<double>(64, 0.0), x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(DistCg, MoreRanksReduceIterationTimeUntilLatencyWins) {
+  // Strong scaling of one CG iteration at 1M rows: 4 ranks beat 1 rank;
+  // at 64 ranks the 6 allreduce/halo latencies per iteration bite.
+  const index_t n = 1 << 20;
+  auto iter_us = [&](int ranks) {
+    communicator comm(ranks, "a100");
+    comm.reset();
+    tridiag_cg solver(comm, n);
+    solver.bench_reset();
+    solver.bench_iteration(); // warm-up
+    const double t0 = comm.barrier();
+    solver.bench_iteration();
+    return comm.barrier() - t0;
+  };
+  const double t1 = iter_us(1);
+  const double t4 = iter_us(4);
+  EXPECT_LT(t4, t1);
+  const double t64 = iter_us(64);
+  // Latency floor: 3 allreduces * 6 rounds * 1.5us + kernel launches can't
+  // go below tens of microseconds regardless of rank count.
+  EXPECT_GT(t64, 25.0);
+}
+
+} // namespace
+} // namespace jaccx::dist

@@ -1,0 +1,144 @@
+// Unit tests for simulated device memory: buffers, spans, tracked proxies.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/memspace.hpp"
+
+namespace jaccx::sim {
+namespace {
+
+device_model gpu_model() {
+  device_model m;
+  m.name = "memtest";
+  m.kind = device_kind::gpu;
+  m.dram_bw_gbps = 1000.0;
+  m.cache_bw_gbps = 4000.0;
+  m.cache_bytes = 1 << 16;
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 8;
+  m.launch_overhead_us = 1.0;
+  m.alloc_overhead_us = 1.0;
+  m.xfer_bw_gbps = 10.0;
+  m.xfer_latency_us = 5.0;
+  return m;
+}
+
+TEST(DeviceBuffer, AllocationChargesTimeAndBytes) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 100, "b");
+  EXPECT_EQ(buf.size(), 100);
+  EXPECT_EQ(buf.bytes(), 800u);
+  EXPECT_EQ(dev.bytes_live(), 800u);
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 1.0);
+}
+
+TEST(DeviceBuffer, DestructionReleasesBytes) {
+  device dev(gpu_model());
+  {
+    device_buffer<double> buf(dev, 10);
+    EXPECT_EQ(dev.bytes_live(), 80u);
+  }
+  EXPECT_EQ(dev.bytes_live(), 0u);
+}
+
+TEST(DeviceBuffer, MoveDoesNotDoubleFree) {
+  device dev(gpu_model());
+  device_buffer<double> a(dev, 10);
+  device_buffer<double> b(std::move(a));
+  EXPECT_EQ(b.size(), 10);
+  EXPECT_EQ(dev.bytes_live(), 80u);
+  device_buffer<double> c(dev, 4);
+  c = std::move(b);
+  EXPECT_EQ(dev.bytes_live(), 80u); // the 4-element buffer was released
+  EXPECT_EQ(c.size(), 10);
+}
+
+TEST(DeviceBuffer, HostRoundTrip) {
+  device dev(gpu_model());
+  std::vector<double> host = {1, 2, 3, 4};
+  device_buffer<double> buf(dev, 4);
+  const double before = dev.tl().now_us();
+  buf.copy_from_host(host.data());
+  EXPECT_GT(dev.tl().now_us(), before + 4.9); // at least the latency
+  std::vector<double> out(4, 0.0);
+  buf.copy_to_host(out.data());
+  EXPECT_EQ(out, host);
+}
+
+TEST(DeviceBuffer, FillUntrackedIsFree) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 16);
+  const double before = dev.tl().now_us();
+  buf.fill_untracked(3.5);
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), before);
+  EXPECT_DOUBLE_EQ(buf.data()[7], 3.5);
+}
+
+TEST(DeviceSpan, ProxyReadsAndWritesValue) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 8);
+  buf.fill_untracked(2.0);
+  auto s = buf.span();
+  s[3] = 5.0;
+  EXPECT_DOUBLE_EQ(s.raw(3), 5.0);
+  const double v = s[3];
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  s[3] += 1.5;
+  EXPECT_DOUBLE_EQ(s.raw(3), 6.5);
+  s[3] -= 0.5;
+  s[3] *= 2.0;
+  s[3] /= 3.0;
+  EXPECT_DOUBLE_EQ(s.raw(3), 4.0);
+}
+
+TEST(DeviceSpan, AccessesTrackedOnlyDuringLaunch) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 8);
+  auto s = buf.span();
+  s[0] = 1.0; // outside launch: untracked
+  dev.begin_launch();
+  s[0] = 2.0;
+  const double v = s[0];
+  static_cast<void>(v);
+  const auto t = dev.end_launch("k", launch_flavor{}, 1, 0.0, 1);
+  // One line fill (first write) + one in-line hit (read).
+  EXPECT_EQ(t.dram_bytes, 64u);
+  EXPECT_EQ(t.cache_bytes, 8u);
+}
+
+TEST(DeviceSpan, CompoundAssignCountsReadAndWrite) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 8);
+  auto s = buf.span();
+  dev.begin_launch();
+  s[0] += 1.0; // read + write = 2 accesses, second hits the line
+  const auto t = dev.end_launch("k", launch_flavor{}, 1, 0.0, 1);
+  EXPECT_EQ(t.dram_bytes, 64u);
+  EXPECT_EQ(t.cache_bytes, 8u);
+}
+
+TEST(DeviceSpan2d, ColumnMajorAndTracked) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 6);
+  buf.fill_untracked(0.0);
+  auto s = buf.span2d(2, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 3);
+  s(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(buf.data()[5], 9.0); // i + j*rows = 1 + 2*2
+  EXPECT_DOUBLE_EQ(s.raw(1, 2), 9.0);
+}
+
+TEST(DeviceRef, ProxyAssignFromProxy) {
+  device dev(gpu_model());
+  device_buffer<double> buf(dev, 4);
+  buf.fill_untracked(0.0);
+  auto s = buf.span();
+  s[0] = 7.0;
+  s[1] = s[0]; // proxy = proxy
+  EXPECT_DOUBLE_EQ(s.raw(1), 7.0);
+}
+
+} // namespace
+} // namespace jaccx::sim

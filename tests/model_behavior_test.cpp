@@ -1,0 +1,164 @@
+// Qualitative assertions on the calibrated performance model: the paper's
+// headline observations must hold in simulation.  These are the guardrails
+// that keep the figure benches honest when models are re-tuned.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/jacc_blas.hpp"
+#include "blas/native_cpu.hpp"
+#include "blas/native_gpu.hpp"
+#include "core/jacc.hpp"
+
+namespace {
+
+using jacc::backend;
+using jacc::index_t;
+
+double run_jacc_axpy(backend b, index_t n) {
+  jacc::scoped_backend sb(b);
+  std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  jacc::array<double> x(host), y(host);
+  auto* dev = jacc::backend_device(b);
+  dev->reset_clock();
+  dev->cache().reset();
+  jaccx::blas::jacc_axpy(n, 2.0, x, y);
+  return dev->tl().now_us();
+}
+
+double run_jacc_dot(backend b, index_t n) {
+  jacc::scoped_backend sb(b);
+  std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  jacc::array<double> x(host), y(host);
+  auto* dev = jacc::backend_device(b);
+  dev->reset_clock();
+  dev->cache().reset();
+  jaccx::blas::jacc_dot(n, x, y);
+  return dev->tl().now_us();
+}
+
+TEST(ModelBehavior, GpuWinsBigOnLargeAxpy) {
+  // Paper Sec. V-A1: the same JACC AXPY code is ~70x faster on the AMD GPU
+  // than on the AMD CPU for large arrays.  Require at least ~20x in the
+  // model, and well over 1x for every GPU.
+  const index_t n = 1 << 20;
+  const double cpu = run_jacc_axpy(backend::cpu_rome, n);
+  const double mi100 = run_jacc_axpy(backend::hip_mi100, n);
+  const double a100 = run_jacc_axpy(backend::cuda_a100, n);
+  const double intel = run_jacc_axpy(backend::oneapi_max1550, n);
+  EXPECT_GT(cpu / mi100, 20.0);
+  EXPECT_GT(cpu / a100, 20.0);
+  EXPECT_GT(cpu / intel, 5.0);
+}
+
+TEST(ModelBehavior, CpuWinsOnSmallDot) {
+  // Paper Sec. V-A1: for DOT on small arrays the CPU beats the GPU (~2x on
+  // the AMD pair) because of the two-kernel scheme and transfer latency.
+  const index_t n = 1 << 12;
+  const double cpu = run_jacc_dot(backend::cpu_rome, n);
+  const double mi100 = run_jacc_dot(backend::hip_mi100, n);
+  EXPECT_LT(cpu, mi100);
+}
+
+TEST(ModelBehavior, CrossoverExistsForDot) {
+  // DOT must flip from CPU-favourable to GPU-favourable as size grows.
+  const double cpu_small = run_jacc_dot(backend::cpu_rome, 1 << 12);
+  const double gpu_small = run_jacc_dot(backend::hip_mi100, 1 << 12);
+  const double cpu_large = run_jacc_dot(backend::cpu_rome, 1 << 22);
+  const double gpu_large = run_jacc_dot(backend::hip_mi100, 1 << 22);
+  EXPECT_LT(cpu_small, gpu_small);
+  EXPECT_GT(cpu_large, gpu_large);
+}
+
+TEST(ModelBehavior, JaccOverheadVanishesAtLargeSizes) {
+  // Paper abstract: "negligible overhead versus vendor-specific solutions".
+  // Compare JACC AXPY vs the native AXPY on the A100 model at a large size.
+  const index_t n = 1 << 22;
+  const double jacc_t = run_jacc_axpy(backend::cuda_a100, n);
+
+  auto& dev = jaccx::vendor::cuda_api::device();
+  std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  jaccx::sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  dev.reset_clock();
+  dev.cache().reset();
+  jaccx::blas::native_gpu_axpy<jaccx::vendor::cuda_api>(n, 2.0, dx.span(),
+                                                        dy.span());
+  const double native_t = dev.tl().now_us();
+
+  EXPECT_LT(jacc_t, native_t * 1.05) << "overhead must be under 5% at 4M";
+  EXPECT_GT(jacc_t, native_t * 0.95) << "and JACC cannot be faster than "
+                                        "native by more than noise";
+}
+
+TEST(ModelBehavior, JaccOverheadVisibleAtSmallSizes) {
+  // ... but at small sizes the dispatch cost shows (paper Sec. V-A1's AMD
+  // small/medium observation).
+  const index_t n = 1 << 8;
+  const double jacc_t = run_jacc_axpy(backend::hip_mi100, n);
+
+  auto& dev = jaccx::vendor::hip_api::device();
+  std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  jaccx::sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  dev.reset_clock();
+  dev.cache().reset();
+  jaccx::blas::native_gpu_axpy<jaccx::vendor::hip_api>(n, 2.0, dx.span(),
+                                                       dy.span());
+  const double native_t = dev.tl().now_us();
+
+  EXPECT_GT(jacc_t, native_t * 1.05);
+}
+
+TEST(ModelBehavior, IntelJaccDotOverheadAtLargeSizes) {
+  // Paper Sec. V-A1: ~35% JACC overhead for DOT on the Intel Max 1550 at
+  // larger sizes; assert it lands between 15% and 60%.
+  const index_t n = 1 << 22;
+  const double jacc_t = run_jacc_dot(backend::oneapi_max1550, n);
+
+  auto& dev = jaccx::vendor::oneapi_api::device();
+  std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  jaccx::sim::device_buffer<double> dx(dev, n), dy(dev, n);
+  dx.copy_from_host(host.data());
+  dy.copy_from_host(host.data());
+  dev.reset_clock();
+  dev.cache().reset();
+  jaccx::blas::native_gpu_dot<jaccx::vendor::oneapi_api>(n, dx.span(),
+                                                         dy.span());
+  const double native_t = dev.tl().now_us();
+
+  const double overhead = jacc_t / native_t - 1.0;
+  EXPECT_GT(overhead, 0.15);
+  EXPECT_LT(overhead, 0.60);
+}
+
+TEST(ModelBehavior, TransfersDominateSmallGpuReductions) {
+  // The scalar D2H latency must be a visible share of a small GPU DOT.
+  jacc::scoped_backend sb(backend::hip_mi100);
+  auto* dev = jacc::backend_device(backend::hip_mi100);
+  jacc::array<double> x(std::vector<double>(256, 1.0));
+  dev->reset_clock();
+  jaccx::blas::jacc_dot(256, x, x);
+  double xfer = 0.0;
+  for (const auto& e : dev->tl().events()) {
+    if (e.kind == jaccx::sim::event_kind::transfer_d2h) {
+      xfer += e.duration_us;
+    }
+  }
+  EXPECT_GT(xfer / dev->tl().now_us(), 0.2);
+}
+
+TEST(ModelBehavior, LaunchOverheadFlattensSmallSizesOnGpu) {
+  // Times at 2^8 and 2^12 must be nearly identical on a GPU (latency
+  // floor), unlike 2^20 vs 2^24.
+  const double t8 = run_jacc_axpy(backend::cuda_a100, 1 << 8);
+  const double t12 = run_jacc_axpy(backend::cuda_a100, 1 << 12);
+  const double t20 = run_jacc_axpy(backend::cuda_a100, 1 << 20);
+  const double t24 = run_jacc_axpy(backend::cuda_a100, 1 << 24);
+  EXPECT_LT(t12 / t8, 1.5);
+  EXPECT_GT(t24 / t20, 8.0);
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+// Unit tests for the device instance: timelines, charging, tracking.
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+namespace jaccx::sim {
+namespace {
+
+device_model tiny_model() {
+  device_model m;
+  m.name = "tiny";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 4;
+  m.dram_bw_gbps = 1000.0;
+  m.cache_bw_gbps = 4000.0;
+  m.cache_bytes = 1 << 16;
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 8;
+  m.launch_overhead_us = 1.0;
+  m.per_index_overhead_ns = 0.0;
+  m.per_block_overhead_ns = 0.0;
+  m.alloc_overhead_us = 0.5;
+  m.xfer_bw_gbps = 10.0;
+  m.xfer_latency_us = 5.0;
+  return m;
+}
+
+TEST(Device, ClockStartsAtZero) {
+  device dev(tiny_model());
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 0.0);
+  EXPECT_EQ(dev.tl().event_count(), 0u);
+}
+
+TEST(Device, ChargesAllocAndTransfers) {
+  device dev(tiny_model());
+  dev.charge_alloc(1024, "buf");
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 0.5);
+  EXPECT_EQ(dev.bytes_live(), 1024u);
+  dev.charge_h2d(100'000, "buf"); // 5 + 100k/10e3 = 15 us
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 15.5);
+  dev.charge_d2h(8, "scalar"); // latency dominated
+  EXPECT_NEAR(dev.tl().now_us(), 20.5, 0.01);
+  dev.charge_free(1024);
+  EXPECT_EQ(dev.bytes_live(), 0u);
+  EXPECT_EQ(dev.bytes_allocated_total(), 1024u);
+}
+
+TEST(Device, TrackIsNoopOutsideLaunch) {
+  device dev(tiny_model());
+  int x = 0;
+  dev.track(&x, 4);
+  EXPECT_EQ(dev.last_tally().dram_bytes, 0u);
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 0.0);
+}
+
+TEST(Device, LaunchAccumulatesTally) {
+  device dev(tiny_model());
+  // 64-byte aligned so exactly 8 doubles share each modeled cache line.
+  jaccx::aligned_buffer<double> data(64, 64);
+  dev.begin_launch();
+  EXPECT_TRUE(dev.launch_active());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    dev.track(&data[i], sizeof(double));
+  }
+  dev.add_flops(100);
+  const auto t = dev.end_launch("k", launch_flavor{}, 64, 1.0, 2);
+  EXPECT_FALSE(dev.launch_active());
+  // 64 doubles over 8 cold lines: 8 line fills + 56 in-line hits.
+  EXPECT_EQ(t.dram_bytes, 8u * 64u);
+  EXPECT_EQ(t.cache_bytes, 56u * 8u);
+  EXPECT_EQ(t.flops, 100u + 64u); // explicit + hint (1 flop/index)
+  EXPECT_EQ(t.indices, 64u);
+  EXPECT_EQ(t.blocks, 2u);
+  EXPECT_GT(dev.tl().now_us(), 1.0); // at least the launch overhead
+}
+
+TEST(Device, NestedLaunchThrows) {
+  device dev(tiny_model());
+  dev.begin_launch();
+  EXPECT_THROW(dev.begin_launch(), usage_error);
+  dev.end_launch("k", launch_flavor{}, 0, 0.0, 0);
+}
+
+TEST(Device, TimelineEventsRecorded) {
+  device dev(tiny_model());
+  dev.charge_alloc(64, "a");
+  dev.begin_launch();
+  dev.end_launch("my_kernel", launch_flavor{}, 10, 0.0, 1);
+  ASSERT_EQ(dev.tl().event_count(), 2u);
+  EXPECT_EQ(dev.tl().events()[0].kind, event_kind::alloc);
+  EXPECT_EQ(dev.tl().events()[1].kind, event_kind::kernel);
+  EXPECT_EQ(dev.tl().events()[1].name, "my_kernel");
+  EXPECT_DOUBLE_EQ(dev.tl().events()[1].start_us, 0.5);
+}
+
+TEST(Device, TimelineResetRewindsClock) {
+  device dev(tiny_model());
+  dev.charge_alloc(64, "a");
+  dev.tl().reset();
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 0.0);
+  EXPECT_EQ(dev.tl().event_count(), 0u);
+}
+
+TEST(Device, LoggingCanBeDisabled) {
+  device dev(tiny_model());
+  dev.tl().set_logging(false);
+  dev.charge_alloc(64, "a");
+  EXPECT_EQ(dev.tl().event_count(), 0u);
+  EXPECT_DOUBLE_EQ(dev.tl().now_us(), 0.5); // clock still advances
+  dev.tl().set_logging(true);
+}
+
+TEST(Device, ChromeTraceContainsEvents) {
+  device dev(tiny_model());
+  dev.charge_h2d(64, "xfer");
+  dev.begin_launch();
+  dev.end_launch("kern", launch_flavor{}, 1, 0.0, 1);
+  const auto json = dev.tl().to_chrome_trace();
+  EXPECT_NE(json.find("\"name\": \"kern\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"h2d\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Device, RegistryReturnsSameInstance) {
+  device& a = get_device("a100");
+  device& b = get_device("a100");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.model().name, "a100");
+  device& c = get_device("rome64");
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Device, RegistryRejectsUnknown) {
+  EXPECT_THROW(get_device("h100"), jaccx::config_error);
+}
+
+TEST(Device, CacheHitsLowerCost) {
+  // Two identical launches; the second sees a warm cache and must be faster.
+  auto m = tiny_model();
+  m.cache_bytes = 1 << 20;
+  device dev(m);
+  std::vector<double> data(1024);
+  const auto sweep = [&] {
+    dev.begin_launch();
+    for (auto& d : data) {
+      dev.track(&d, sizeof(double));
+    }
+    const double before = dev.tl().now_us();
+    dev.end_launch("sweep", launch_flavor{}, data.size(), 0.0, 1);
+    return dev.tl().now_us() - before;
+  };
+  const double cold = sweep();
+  const double warm = sweep();
+  EXPECT_LT(warm, cold);
+}
+
+TEST(DeviceArena, IdenticalSequencesGetIdenticalAddresses) {
+  // The arena is what makes simulated times reproducible: the same
+  // allocation sequence must land at the same addresses after a full drain.
+  device dev(tiny_model());
+  std::vector<void*> first;
+  {
+    auto* a = dev.arena_allocate(1000);
+    auto* b = dev.arena_allocate(4096);
+    auto* c = dev.arena_allocate(8);
+    first = {a, b, c};
+    dev.arena_release();
+    dev.arena_release();
+    dev.arena_release();
+  }
+  {
+    auto* a = dev.arena_allocate(1000);
+    auto* b = dev.arena_allocate(4096);
+    auto* c = dev.arena_allocate(8);
+    EXPECT_EQ(a, first[0]);
+    EXPECT_EQ(b, first[1]);
+    EXPECT_EQ(c, first[2]);
+    dev.arena_release();
+    dev.arena_release();
+    dev.arena_release();
+  }
+}
+
+TEST(DeviceArena, AllocationsDoNotOverlapWhileLive) {
+  device dev(tiny_model());
+  auto* a = static_cast<char*>(dev.arena_allocate(100));
+  auto* b = static_cast<char*>(dev.arena_allocate(100));
+  EXPECT_GE(b, a + 100);
+  // 256-byte device-allocation granularity.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 256, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 256, 0u);
+  dev.arena_release();
+  dev.arena_release();
+}
+
+TEST(DeviceArena, GrowsWithDedicatedChunksForHugeRequests) {
+  device dev(tiny_model());
+  const std::size_t before = dev.arena_chunks();
+  auto* big = dev.arena_allocate(std::size_t{300} << 20); // > default chunk
+  EXPECT_NE(big, nullptr);
+  EXPECT_GT(dev.arena_chunks(), before);
+  dev.arena_release();
+}
+
+TEST(DeviceRegistry, InstancesAreDistinctButShareTheModel) {
+  device& d0 = get_device_instance("mi100", 0);
+  device& d1 = get_device_instance("mi100", 1);
+  device& d1_again = get_device_instance("mi100", 1);
+  EXPECT_EQ(&d0, &get_device("mi100"));
+  EXPECT_NE(&d0, &d1);
+  EXPECT_EQ(&d1, &d1_again);
+  EXPECT_EQ(d1.model().name, "mi100");
+  EXPECT_THROW(get_device_instance("mi100", -1), jaccx::usage_error);
+}
+
+} // namespace
+} // namespace jaccx::sim

@@ -1,0 +1,323 @@
+// Unit tests for the SIMT executors: geometry, the fast path, cooperative
+// barriers with shared memory, and the CPU coarse-grained regions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/launch.hpp"
+
+namespace jaccx::sim {
+namespace {
+
+device_model gpu_model() {
+  device_model m;
+  m.name = "simt_test_gpu";
+  m.kind = device_kind::gpu;
+  m.parallel_units = 8;
+  m.max_threads_per_block = 512;
+  m.shared_mem_per_block = 16 * 1024;
+  m.dram_bw_gbps = 1000.0;
+  m.cache_bw_gbps = 4000.0;
+  m.cache_bytes = 1 << 18;
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 8;
+  m.launch_overhead_us = 1.0;
+  m.alloc_overhead_us = 0.1;
+  m.xfer_bw_gbps = 10.0;
+  m.xfer_latency_us = 1.0;
+  return m;
+}
+
+device_model cpu_model() {
+  device_model m;
+  m.name = "simt_test_cpu";
+  m.kind = device_kind::cpu;
+  m.parallel_units = 8;
+  m.dram_bw_gbps = 100.0;
+  m.cache_bw_gbps = 1000.0;
+  m.cache_bytes = 1 << 18;
+  m.cache_line_bytes = 64;
+  m.cache_assoc = 8;
+  m.launch_overhead_us = 10.0;
+  m.per_index_overhead_ns = 100.0;
+  return m;
+}
+
+TEST(SimtLaunch, EveryThreadRunsOnce1D) {
+  device dev(gpu_model());
+  std::vector<int> hits(1000, 0);
+  launch_config cfg;
+  cfg.block = dim3{128};
+  cfg.grid = dim3{ceil_div(1000, 128)};
+  launch(dev, cfg, [&](kernel_ctx& ctx) {
+    const auto i = ctx.global_x();
+    if (i < 1000) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+  EXPECT_EQ(dev.last_tally().indices,
+            static_cast<std::uint64_t>(128 * ceil_div(1000, 128)));
+  EXPECT_EQ(dev.last_tally().blocks, 8u);
+}
+
+TEST(SimtLaunch, GeometryFields2D) {
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{4, 8};
+  cfg.grid = dim3{3, 2};
+  std::vector<int> seen(4 * 8 * 3 * 2, 0);
+  launch(dev, cfg, [&](kernel_ctx& ctx) {
+    EXPECT_EQ(ctx.block_dim.x, 4);
+    EXPECT_EQ(ctx.block_dim.y, 8);
+    EXPECT_EQ(ctx.grid_dim.x, 3);
+    EXPECT_EQ(ctx.grid_dim.y, 2);
+    const auto gx = ctx.global_x();
+    const auto gy = ctx.global_y();
+    seen[static_cast<std::size_t>(gx + gy * 12)]++;
+  });
+  for (int s : seen) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(SimtLaunch, SyncThreadsThrowsInFastPath) {
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{4};
+  cfg.grid = dim3{1};
+  EXPECT_THROW(
+      launch(dev, cfg, [&](kernel_ctx& ctx) { ctx.sync_threads(); }),
+      jaccx::usage_error);
+  // The failed launch must not leave the device in the "active" state for
+  // ever; finish bookkeeping so later launches work.  (The throw unwinds
+  // through launch, which doesn't reach end_launch — recover explicitly.)
+  if (dev.launch_active()) {
+    dev.end_launch("aborted", launch_flavor{}, 0, 0.0, 0);
+  }
+  std::vector<int> hits(4, 0);
+  launch(dev, cfg, [&](kernel_ctx& ctx) {
+    hits[static_cast<std::size_t>(ctx.thread_idx.x)]++;
+  });
+  EXPECT_EQ(hits[3], 1);
+}
+
+TEST(SimtLaunch, CooperativeBarrierOrdersPhases) {
+  // Classic two-phase test: every lane writes its slot, barriers, then reads
+  // a neighbour's slot.  Without real barrier semantics lane 0 would read
+  // an unwritten slot.
+  device dev(gpu_model());
+  const std::int64_t n = 64;
+  std::vector<double> out(static_cast<std::size_t>(n), -1.0);
+  launch_config cfg;
+  cfg.block = dim3{n};
+  cfg.grid = dim3{1};
+  cfg.shmem_bytes = static_cast<std::size_t>(n) * sizeof(double);
+  launch_cooperative(dev, cfg, [&](kernel_ctx& ctx) {
+    double* sh = ctx.shared_mem<double>();
+    const auto ti = ctx.thread_idx.x;
+    sh[ti] = static_cast<double>(ti);
+    ctx.sync_threads();
+    out[static_cast<std::size_t>(ti)] = sh[(ti + 1) % n];
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     static_cast<double>((i + 1) % n));
+  }
+}
+
+TEST(SimtLaunch, CooperativeTreeReduction) {
+  device dev(gpu_model());
+  const std::int64_t block = 256;
+  const std::int64_t blocks = 4;
+  std::vector<double> partials(static_cast<std::size_t>(blocks), 0.0);
+  launch_config cfg;
+  cfg.block = dim3{block};
+  cfg.grid = dim3{blocks};
+  cfg.shmem_bytes = static_cast<std::size_t>(block) * sizeof(double);
+  launch_cooperative(dev, cfg, [&](kernel_ctx& ctx) {
+    double* sh = ctx.shared_mem<double>();
+    const auto ti = ctx.thread_idx.x;
+    sh[ti] = 1.0;
+    ctx.sync_threads();
+    for (std::int64_t s = block / 2; s > 0; s >>= 1) {
+      if (ti < s) {
+        sh[ti] += sh[ti + s];
+      }
+      ctx.sync_threads();
+    }
+    if (ti == 0) {
+      partials[static_cast<std::size_t>(ctx.block_idx.x)] = sh[0];
+    }
+  });
+  for (double p : partials) {
+    EXPECT_DOUBLE_EQ(p, static_cast<double>(block));
+  }
+}
+
+TEST(SimtLaunch, SharedMemoryIsPerBlockScratch) {
+  // Block 1 must not observe block 0's shared values if it writes first —
+  // since blocks run sequentially, stale data would persist unless each
+  // block fully overwrites what it reads.  Verify a read-your-own-write
+  // discipline across blocks.
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{8};
+  cfg.grid = dim3{4};
+  cfg.shmem_bytes = 8 * sizeof(double);
+  std::vector<double> out(32, 0.0);
+  launch_cooperative(dev, cfg, [&](kernel_ctx& ctx) {
+    double* sh = ctx.shared_mem<double>();
+    const auto ti = ctx.thread_idx.x;
+    sh[ti] = static_cast<double>(ctx.block_idx.x * 10);
+    ctx.sync_threads();
+    out[static_cast<std::size_t>(ctx.global_x())] = sh[(ti + 3) % 8];
+  });
+  for (std::int64_t b = 0; b < 4; ++b) {
+    for (std::int64_t t = 0; t < 8; ++t) {
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(b * 8 + t)],
+                       static_cast<double>(b * 10));
+    }
+  }
+}
+
+TEST(SimtLaunch, ValidatesGeometry) {
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{1024}; // > max 512
+  cfg.grid = dim3{1};
+  EXPECT_THROW(launch(dev, cfg, [](kernel_ctx&) {}), jaccx::usage_error);
+  cfg.block = dim3{0};
+  EXPECT_THROW(launch(dev, cfg, [](kernel_ctx&) {}), jaccx::usage_error);
+  cfg.block = dim3{32};
+  cfg.shmem_bytes = 1 << 20; // > 16 KiB limit
+  EXPECT_THROW(launch(dev, cfg, [](kernel_ctx&) {}), jaccx::usage_error);
+}
+
+TEST(SimtLaunch, GpuLaunchOnCpuModelThrows) {
+  device dev(cpu_model());
+  launch_config cfg;
+  cfg.block = dim3{32};
+  cfg.grid = dim3{1};
+  EXPECT_THROW(launch(dev, cfg, [](kernel_ctx&) {}), jaccx::usage_error);
+}
+
+TEST(CpuRegion, RunsAllIndicesInOrder) {
+  device dev(cpu_model());
+  std::vector<index_t> order;
+  cpu_region_config cfg;
+  cpu_parallel_range(dev, cfg, 10, [&](index_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(dev.last_tally().indices, 10u);
+}
+
+TEST(CpuRegion, TwoDColumnMajorOrder) {
+  device dev(cpu_model());
+  std::vector<std::pair<index_t, index_t>> order;
+  cpu_region_config cfg;
+  cpu_parallel_range_2d(dev, cfg, 2, 3, [&](index_t i, index_t j) {
+    order.emplace_back(i, j);
+  });
+  ASSERT_EQ(order.size(), 6u);
+  // j outer, i inner: (0,0),(1,0),(0,1),(1,1),(0,2),(1,2)
+  EXPECT_EQ(order[0], (std::pair<index_t, index_t>{0, 0}));
+  EXPECT_EQ(order[1], (std::pair<index_t, index_t>{1, 0}));
+  EXPECT_EQ(order[2], (std::pair<index_t, index_t>{0, 1}));
+  EXPECT_EQ(order[5], (std::pair<index_t, index_t>{1, 2}));
+}
+
+TEST(CpuRegion, ThreeDChargesAllIndices) {
+  device dev(cpu_model());
+  int count = 0;
+  cpu_region_config cfg;
+  cpu_parallel_range_3d(dev, cfg, 2, 3, 4,
+                        [&](index_t, index_t, index_t) { ++count; });
+  EXPECT_EQ(count, 24);
+  EXPECT_EQ(dev.last_tally().indices, 24u);
+}
+
+TEST(CpuRegion, ChunkOverrideReflectedInTally) {
+  device dev(cpu_model());
+  cpu_region_config cfg;
+  cfg.chunks = 100;
+  cpu_parallel_range(dev, cfg, 1000, [](index_t) {});
+  EXPECT_EQ(dev.last_tally().blocks, 100u);
+  cpu_region_config def;
+  cpu_parallel_range(dev, def, 1000, [](index_t) {});
+  EXPECT_EQ(dev.last_tally().blocks, 8u); // parallel_units
+}
+
+TEST(CpuRegion, RejectsCpuRegionOnGpuModel) {
+  device dev(gpu_model());
+  cpu_region_config cfg;
+  EXPECT_THROW(cpu_parallel_range(dev, cfg, 10, [](index_t) {}),
+               jaccx::usage_error);
+}
+
+TEST(SimtLaunch, PerIndexOverheadRaisesCpuCost) {
+  device dev(cpu_model());
+  cpu_region_config cfg;
+  const double t0 = dev.tl().now_us();
+  cpu_parallel_range(dev, cfg, 80'000, [](index_t) {});
+  const double dt = dev.tl().now_us() - t0;
+  // 80k indices * 100 ns / 8 units = 1000 us of scheduling overhead + 10 us
+  // launch.
+  EXPECT_NEAR(dt, 1010.0, 5.0);
+}
+
+TEST(SimtLaunch, Cooperative3dBlocksBarrierCorrectly) {
+  // 4x4x4 blocks over a 2x2x2 grid; each lane writes its flattened tile
+  // index to shared memory, barriers, then reads the opposite lane's slot.
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{4, 4, 4};
+  cfg.grid = dim3{2, 2, 2};
+  cfg.shmem_bytes = 64 * sizeof(double);
+  std::vector<double> out(static_cast<std::size_t>(8 * 64), -1.0);
+  launch_cooperative(dev, cfg, [&](kernel_ctx& ctx) {
+    double* sh = ctx.shared_mem<double>();
+    const auto ti = ctx.thread_idx.x + 4 * (ctx.thread_idx.y +
+                                            4 * ctx.thread_idx.z);
+    sh[ti] = static_cast<double>(ti);
+    ctx.sync_threads();
+    const auto block = ctx.block_idx.x + 2 * (ctx.block_idx.y +
+                                              2 * ctx.block_idx.z);
+    out[static_cast<std::size_t>(block * 64 + ti)] = sh[63 - ti];
+  });
+  for (std::int64_t b = 0; b < 8; ++b) {
+    for (std::int64_t t = 0; t < 64; ++t) {
+      ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(b * 64 + t)],
+                       static_cast<double>(63 - t));
+    }
+  }
+  EXPECT_EQ(dev.last_tally().indices, 8u * 64u);
+  EXPECT_EQ(dev.last_tally().blocks, 8u);
+}
+
+TEST(SimtLaunch, KernelExceptionLeavesDeviceUsable) {
+  device dev(gpu_model());
+  launch_config cfg;
+  cfg.block = dim3{8};
+  cfg.grid = dim3{1};
+  struct boom {};
+  EXPECT_THROW(launch(dev, cfg,
+                      [](kernel_ctx& ctx) {
+                        if (ctx.thread_idx.x == 3) {
+                          throw boom{};
+                        }
+                      }),
+               boom);
+  EXPECT_FALSE(dev.launch_active()) << "guard must abort the launch";
+  // The device accepts new launches afterwards.
+  int count = 0;
+  launch(dev, cfg, [&](kernel_ctx&) { ++count; });
+  EXPECT_EQ(count, 8);
+}
+
+} // namespace
+} // namespace jaccx::sim

@@ -1,0 +1,167 @@
+// Unit tests for the support layer: views, buffers, partitioning, env,
+// errors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "support/aligned_buffer.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/span2d.hpp"
+#include "support/stopwatch.hpp"
+#include "threadpool/partition.hpp"
+
+namespace jaccx {
+namespace {
+
+TEST(Span2d, ColumnMajorLayout) {
+  std::vector<double> data(6);
+  std::iota(data.begin(), data.end(), 0.0); // 0..5
+  span2d<double> v(data.data(), 2, 3);      // 2 rows, 3 cols
+  // (i, j) -> data[i + j*rows]
+  EXPECT_EQ(v(0, 0), 0.0);
+  EXPECT_EQ(v(1, 0), 1.0);
+  EXPECT_EQ(v(0, 1), 2.0);
+  EXPECT_EQ(v(1, 2), 5.0);
+}
+
+TEST(Span2d, ColumnPointerIsContiguous) {
+  std::vector<int> data(12, 0);
+  span2d<int> v(data.data(), 3, 4);
+  EXPECT_EQ(v.column(2), data.data() + 6);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.cols(), 4);
+  EXPECT_EQ(v.size(), 12);
+}
+
+TEST(Span2d, WritesLandInBackingStore) {
+  std::vector<double> data(4, 0.0);
+  span2d<double> v(data.data(), 2, 2);
+  v(1, 1) = 7.0;
+  EXPECT_EQ(data[3], 7.0);
+}
+
+TEST(Span3d, ColumnMajorLayout) {
+  std::vector<int> data(24);
+  std::iota(data.begin(), data.end(), 0);
+  span3d<int> v(data.data(), 2, 3, 4);
+  EXPECT_EQ(v(0, 0, 0), 0);
+  EXPECT_EQ(v(1, 0, 0), 1);
+  EXPECT_EQ(v(0, 1, 0), 2);
+  EXPECT_EQ(v(0, 0, 1), 6);
+  EXPECT_EQ(v(1, 2, 3), 23);
+}
+
+TEST(AlignedBuffer, RespectsAlignment) {
+  aligned_buffer<double> buf(33, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  EXPECT_EQ(buf.size(), 33u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  aligned_buffer<int> a(8);
+  a[0] = 42;
+  int* p = a.data();
+  aligned_buffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  aligned_buffer<int> a(8);
+  aligned_buffer<int> b(4);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EmptyIsValid) {
+  aligned_buffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(Partition, StaticChunkCoversRangeExactly) {
+  for (index_t n : {0, 1, 7, 64, 1000, 1023}) {
+    for (index_t parts : {1, 2, 7, 64}) {
+      index_t covered = 0;
+      index_t prev_end = 0;
+      for (index_t w = 0; w < parts; ++w) {
+        const auto r = pool::static_chunk(n, parts, w);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_GE(r.size(), 0);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(Partition, StaticChunkBalanced) {
+  // Sizes differ by at most one.
+  const index_t n = 103;
+  const index_t parts = 10;
+  index_t lo = n;
+  index_t hi = 0;
+  for (index_t w = 0; w < parts; ++w) {
+    const auto s = pool::static_chunk(n, parts, w).size();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(Partition, GrainChunks) {
+  EXPECT_EQ(pool::chunk_count(10, 3), 4);
+  EXPECT_EQ(pool::chunk_count(9, 3), 3);
+  EXPECT_EQ(pool::chunk_count(0, 3), 0);
+  const auto r = pool::grain_chunk(10, 3, 3);
+  EXPECT_EQ(r.begin, 9);
+  EXPECT_EQ(r.end, 10);
+}
+
+TEST(Env, ReadsSetVariable) {
+  ::setenv("JACCX_TEST_ENV", "hello", 1);
+  EXPECT_EQ(get_env("JACCX_TEST_ENV"), "hello");
+  ::unsetenv("JACCX_TEST_ENV");
+  EXPECT_FALSE(get_env("JACCX_TEST_ENV").has_value());
+}
+
+TEST(Env, ParsesLong) {
+  ::setenv("JACCX_TEST_ENV", "42", 1);
+  EXPECT_EQ(get_env_long("JACCX_TEST_ENV"), 42);
+  ::setenv("JACCX_TEST_ENV", "nope", 1);
+  EXPECT_FALSE(get_env_long("JACCX_TEST_ENV").has_value());
+  ::unsetenv("JACCX_TEST_ENV");
+}
+
+TEST(Error, ThrowHelpersCarryMessage) {
+  EXPECT_THROW(
+      {
+        try {
+          throw_config_error("bad config");
+        } catch (const config_error& e) {
+          EXPECT_STREQ(e.what(), "bad config");
+          throw;
+        }
+      },
+      config_error);
+  EXPECT_THROW(throw_usage_error("bad usage"), usage_error);
+}
+
+TEST(Stopwatch, AdvancesMonotonically) {
+  stopwatch sw;
+  const auto a = sw.elapsed_ns();
+  const auto b = sw.elapsed_ns();
+  EXPECT_GE(b, a);
+  sw.reset();
+  EXPECT_GE(sw.elapsed_ns(), 0);
+}
+
+} // namespace
+} // namespace jaccx

@@ -1,0 +1,142 @@
+// Unit tests for the Base.Threads-style fork/join pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "threadpool/thread_pool.hpp"
+
+namespace jaccx::pool {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  thread_pool p(1);
+  EXPECT_EQ(p.size(), 1u);
+  std::vector<int> hits(100, 0);
+  p.parallel_for_index(100, [&](index_t i) { hits[i]++; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  thread_pool p(4);
+  const index_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  p.parallel_for_index(n, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  thread_pool p(4);
+  bool called = false;
+  p.parallel_for_index(0, [&](index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, FewerIndicesThanWorkers) {
+  thread_pool p(8);
+  std::vector<std::atomic<int>> hits(3);
+  p.parallel_for_index(3, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  thread_pool p(4);
+  std::mutex m;
+  std::vector<range> seen;
+  p.parallel_chunks(1000, [&](unsigned, range r) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.push_back(r);
+  });
+  index_t total = 0;
+  for (const auto& r : seen) {
+    total += r.size();
+  }
+  EXPECT_EQ(total, 1000);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPool, WorkerIdsAreDistinctPerRegion) {
+  thread_pool p(4);
+  std::mutex m;
+  std::set<unsigned> workers;
+  p.parallel_chunks(4000, [&](unsigned w, range) {
+    std::lock_guard<std::mutex> lock(m);
+    workers.insert(w);
+  });
+  // Exactly one chunk per worker with static chunking of a large range.
+  EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  thread_pool p(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    p.parallel_for_index(100, [&](index_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  thread_pool p(4);
+  const index_t n = 1 << 16;
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  std::iota(xs.begin(), xs.end(), 0.0);
+
+  struct alignas(64) slot {
+    double v = 0.0;
+  };
+  std::vector<slot> partials(p.size());
+  p.parallel_chunks(n, [&](unsigned w, range r) {
+    double acc = 0.0;
+    for (index_t i = r.begin; i < r.end; ++i) {
+      acc += xs[static_cast<std::size_t>(i)];
+    }
+    partials[w].v = acc;
+  });
+  double total = 0.0;
+  for (auto& s : partials) {
+    total += s.v;
+  }
+  EXPECT_DOUBLE_EQ(total, std::accumulate(xs.begin(), xs.end(), 0.0));
+}
+
+TEST(ThreadPool, DefaultPoolHonorsEnvWidth) {
+  // default_pool is a singleton created on first use; we only check it is
+  // usable and has at least one worker.
+  auto& p = default_pool();
+  EXPECT_GE(p.size(), 1u);
+  std::atomic<int> n{0};
+  p.parallel_for_index(10, [&](index_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedDataParallelWritesDoNotRace) {
+  // Disjoint writes per index: the canonical axpy pattern.
+  thread_pool p(4);
+  const index_t n = 1 << 15;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 2.0);
+  p.parallel_for_index(n, [&](index_t i) {
+    x[static_cast<std::size_t>(i)] += 2.5 * y[static_cast<std::size_t>(i)];
+  });
+  for (index_t i = 0; i < n; i += 997) {
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], 6.0);
+  }
+}
+
+} // namespace
+} // namespace jaccx::pool

@@ -1,0 +1,172 @@
+// Unit tests for the TOML-subset parser backing the preferences mechanism.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "toml/parser.hpp"
+
+namespace jaccx::toml {
+namespace {
+
+TEST(Toml, ParsesTopLevelScalars) {
+  const auto t = parse(R"(
+name = "jacc"
+threads = 64
+ratio = 1.5
+fast = true
+slow = false
+)");
+  EXPECT_EQ(find_string(t, "name"), "jacc");
+  EXPECT_EQ(find_int(t, "threads"), 64);
+  EXPECT_EQ(find_float(t, "ratio"), 1.5);
+  EXPECT_EQ(find_bool(t, "fast"), true);
+  EXPECT_EQ(find_bool(t, "slow"), false);
+}
+
+TEST(Toml, ParsesTables) {
+  const auto t = parse(R"(
+[JACC]
+backend = "cuda"
+
+[JACC.tuning]
+block = 256
+)");
+  EXPECT_EQ(find_string(t, "JACC.backend"), "cuda");
+  EXPECT_EQ(find_int(t, "JACC.tuning.block"), 256);
+}
+
+TEST(Toml, DottedKeysCreateNestedTables) {
+  const auto t = parse("a.b.c = 3\n");
+  EXPECT_EQ(find_int(t, "a.b.c"), 3);
+  EXPECT_FALSE(find_int(t, "a.b").has_value());
+}
+
+TEST(Toml, CommentsAndBlankLines) {
+  const auto t = parse(R"(
+# full-line comment
+key = 1  # trailing comment
+
+other = 2
+)");
+  EXPECT_EQ(find_int(t, "key"), 1);
+  EXPECT_EQ(find_int(t, "other"), 2);
+}
+
+TEST(Toml, UnderscoreDigitSeparators) {
+  const auto t = parse("size = 1_000_000\n");
+  EXPECT_EQ(find_int(t, "size"), 1000000);
+}
+
+TEST(Toml, NegativeAndExponentNumbers) {
+  const auto t = parse("a = -42\nb = 2.5e3\nc = -1.25\n");
+  EXPECT_EQ(find_int(t, "a"), -42);
+  EXPECT_EQ(find_float(t, "b"), 2500.0);
+  EXPECT_EQ(find_float(t, "c"), -1.25);
+}
+
+TEST(Toml, FloatLookupAcceptsInt) {
+  const auto t = parse("n = 3\n");
+  EXPECT_EQ(find_float(t, "n"), 3.0);
+  EXPECT_EQ(find_int(t, "n"), 3);
+}
+
+TEST(Toml, StringEscapes) {
+  const auto t = parse(R"(s = "a\tb\nc\"d\\e")"
+                       "\n");
+  EXPECT_EQ(find_string(t, "s"), "a\tb\nc\"d\\e");
+}
+
+TEST(Toml, Arrays) {
+  const auto t = parse("xs = [1, 2, 3]\nys = [\"a\", \"b\"]\nempty = []\n");
+  const auto xs = find(t, "xs");
+  ASSERT_TRUE(xs && xs->is_array());
+  ASSERT_EQ(xs->as_array().size(), 3u);
+  EXPECT_EQ(xs->as_array()[2].as_int(), 3);
+  const auto ys = find(t, "ys");
+  ASSERT_TRUE(ys && ys->is_array());
+  EXPECT_EQ(ys->as_array()[0].as_string(), "a");
+  const auto empty = find(t, "empty");
+  ASSERT_TRUE(empty && empty->is_array());
+  EXPECT_TRUE(empty->as_array().empty());
+}
+
+TEST(Toml, MultilineArraysWithTrailingComma) {
+  const auto t = parse(R"(xs = [
+  1,
+  2,  # comment
+]
+)");
+  ASSERT_TRUE(find(t, "xs").has_value());
+  EXPECT_EQ(find(t, "xs")->as_array().size(), 2u);
+}
+
+TEST(Toml, QuotedKeys) {
+  const auto t = parse("\"weird key\" = 1\n");
+  EXPECT_EQ(find_int(t, "weird key"), 1);
+}
+
+TEST(Toml, MissingLookupsReturnNullopt) {
+  const auto t = parse("[A]\nx = 1\n");
+  EXPECT_FALSE(find(t, "B").has_value());
+  EXPECT_FALSE(find(t, "A.y").has_value());
+  EXPECT_FALSE(find(t, "A.x.z").has_value());
+  EXPECT_FALSE(find_string(t, "A.x").has_value()); // wrong type
+}
+
+TEST(TomlErrors, DuplicateKey) {
+  EXPECT_THROW(parse("a = 1\na = 2\n"), config_error);
+}
+
+TEST(TomlErrors, MissingEquals) {
+  EXPECT_THROW(parse("key 1\n"), config_error);
+}
+
+TEST(TomlErrors, UnterminatedString) {
+  EXPECT_THROW(parse("s = \"abc\n"), config_error);
+}
+
+TEST(TomlErrors, UnterminatedArray) {
+  EXPECT_THROW(parse("xs = [1, 2\n"), config_error);
+}
+
+TEST(TomlErrors, UnclosedTableHeader) {
+  EXPECT_THROW(parse("[JACC\n"), config_error);
+}
+
+TEST(TomlErrors, ArraysOfTablesRejected) {
+  EXPECT_THROW(parse("[[points]]\nx = 1\n"), config_error);
+}
+
+TEST(TomlErrors, TrailingGarbage) {
+  EXPECT_THROW(parse("a = 1 nonsense\n"), config_error);
+}
+
+TEST(TomlErrors, HeaderCollidesWithScalar) {
+  EXPECT_THROW(parse("a = 1\n[a]\nb = 2\n"), config_error);
+}
+
+TEST(TomlErrors, ReportsLineNumber) {
+  try {
+    parse("ok = 1\nbad =\n");
+    FAIL() << "expected config_error";
+  } catch (const config_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TomlErrors, MissingFile) {
+  EXPECT_THROW(parse_file("/nonexistent/prefs.toml"), config_error);
+}
+
+TEST(Toml, ValueTypePredicates) {
+  value v(std::int64_t{3});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_float());
+  EXPECT_THROW(v.as_string(), usage_error);
+  value s("text");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_THROW(s.as_int(), usage_error);
+}
+
+} // namespace
+} // namespace jaccx::toml

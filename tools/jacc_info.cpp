@@ -1,0 +1,54 @@
+// jacc_info: prints the configured backend, the preference-resolution
+// chain, and the device-model table — the "what am I running on?" CLI.
+#include <cstdio>
+#include <string>
+
+#include "core/auto_backend.hpp"
+#include "core/jacc.hpp"
+#include "support/env.hpp"
+
+int main() {
+  jacc::initialize();
+  std::printf("JACC-CXX backend resolution\n");
+  if (const auto env = jaccx::get_env("JACC_BACKEND")) {
+    std::printf("  JACC_BACKEND          : %s (wins)\n", env->c_str());
+  } else {
+    std::printf("  JACC_BACKEND          : (unset)\n");
+  }
+  if (const auto p = jaccx::get_env("JACC_PREFERENCES_FILE")) {
+    std::printf("  JACC_PREFERENCES_FILE : %s\n", p->c_str());
+  } else {
+    std::printf("  JACC_PREFERENCES_FILE : (unset; ./LocalPreferences.toml)\n");
+  }
+  std::printf("  resolved backend      : %s\n\n",
+              std::string(jacc::to_string(jacc::current_backend())).c_str());
+
+  std::printf("%-9s %-5s %6s %9s %9s %9s %8s %8s\n", "model", "kind",
+              "units", "dram GB/s", "cache MiB", "flop GF/s", "launch",
+              "xfer lat");
+  for (const auto& name : jaccx::sim::builtin_model_names()) {
+    const auto& m = jaccx::sim::builtin_model(name);
+    std::printf("%-9s %-5s %6d %9.0f %9zu %9.0f %6.1fus %6.1fus\n",
+                m.name.c_str(),
+                m.kind == jaccx::sim::device_kind::cpu ? "cpu" : "gpu",
+                m.parallel_units, m.dram_bw_gbps, m.cache_bytes >> 20,
+                m.flops_gflops, m.launch_overhead_us, m.xfer_latency_us);
+  }
+
+  std::printf("\ntransparent selection on an MI100 node (sKokkos-style):\n");
+  const auto show = [](const char* what, const jacc::workload& w) {
+    std::printf("  %-34s -> %s\n", what,
+                std::string(jacc::to_string(jacc::auto_select_node(
+                                jacc::backend::hip_mi100, w)))
+                    .c_str());
+  };
+  show("DOT, 4K elements",
+       {.indices = 4096, .bytes_per_index = 16, .flops_per_index = 2,
+        .is_reduce = true});
+  show("DOT, 4M elements",
+       {.indices = 1 << 22, .bytes_per_index = 16, .flops_per_index = 2,
+        .is_reduce = true});
+  show("AXPY, 4M elements",
+       {.indices = 1 << 22, .bytes_per_index = 16, .flops_per_index = 2});
+  return 0;
+}
