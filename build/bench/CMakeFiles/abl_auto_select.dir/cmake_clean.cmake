@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_auto_select.dir/abl_auto_select.cpp.o"
+  "CMakeFiles/abl_auto_select.dir/abl_auto_select.cpp.o.d"
+  "abl_auto_select"
+  "abl_auto_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_auto_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

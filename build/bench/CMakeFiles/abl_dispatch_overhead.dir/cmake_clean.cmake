@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dispatch_overhead.dir/abl_dispatch_overhead.cpp.o"
+  "CMakeFiles/abl_dispatch_overhead.dir/abl_dispatch_overhead.cpp.o.d"
+  "abl_dispatch_overhead"
+  "abl_dispatch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_dispatch_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dist_scaling.dir/abl_dist_scaling.cpp.o"
+  "CMakeFiles/abl_dist_scaling.dir/abl_dist_scaling.cpp.o.d"
+  "abl_dist_scaling"
+  "abl_dist_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dist_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

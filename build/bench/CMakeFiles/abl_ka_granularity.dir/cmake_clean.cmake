@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ka_granularity.dir/abl_ka_granularity.cpp.o"
+  "CMakeFiles/abl_ka_granularity.dir/abl_ka_granularity.cpp.o.d"
+  "abl_ka_granularity"
+  "abl_ka_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ka_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_lbm_fusion.cpp" "bench/CMakeFiles/abl_lbm_fusion.dir/abl_lbm_fusion.cpp.o" "gcc" "bench/CMakeFiles/abl_lbm_fusion.dir/abl_lbm_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jaccx_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/jaccx_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/jaccx_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/jaccx_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/multi/CMakeFiles/jaccx_multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/jaccx_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jaccx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/jaccx_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/toml/CMakeFiles/jaccx_toml.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/jaccx_threadpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jaccx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/jaccx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaccx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

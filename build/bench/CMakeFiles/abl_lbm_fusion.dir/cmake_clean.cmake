@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lbm_fusion.dir/abl_lbm_fusion.cpp.o"
+  "CMakeFiles/abl_lbm_fusion.dir/abl_lbm_fusion.cpp.o.d"
+  "abl_lbm_fusion"
+  "abl_lbm_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lbm_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multi_scaling.dir/abl_multi_scaling.cpp.o"
+  "CMakeFiles/abl_multi_scaling.dir/abl_multi_scaling.cpp.o.d"
+  "abl_multi_scaling"
+  "abl_multi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

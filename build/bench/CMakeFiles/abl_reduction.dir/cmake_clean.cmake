@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reduction.dir/abl_reduction.cpp.o"
+  "CMakeFiles/abl_reduction.dir/abl_reduction.cpp.o.d"
+  "abl_reduction"
+  "abl_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_blas1_1d.dir/fig08_blas1_1d.cpp.o"
+  "CMakeFiles/fig08_blas1_1d.dir/fig08_blas1_1d.cpp.o.d"
+  "fig08_blas1_1d"
+  "fig08_blas1_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_blas1_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_blas1_1d.
+# This may be replaced when dependencies are built.

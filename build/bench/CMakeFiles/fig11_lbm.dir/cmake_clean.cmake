@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lbm.dir/fig11_lbm.cpp.o"
+  "CMakeFiles/fig11_lbm.dir/fig11_lbm.cpp.o.d"
+  "fig11_lbm"
+  "fig11_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cg.dir/fig13_cg.cpp.o"
+  "CMakeFiles/fig13_cg.dir/fig13_cg.cpp.o.d"
+  "fig13_cg"
+  "fig13_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

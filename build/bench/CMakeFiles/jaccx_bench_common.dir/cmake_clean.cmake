@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_bench_common.dir/fig_common.cpp.o"
+  "CMakeFiles/jaccx_bench_common.dir/fig_common.cpp.o.d"
+  "libjaccx_bench_common.a"
+  "libjaccx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

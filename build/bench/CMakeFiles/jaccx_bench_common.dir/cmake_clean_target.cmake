@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjaccx_bench_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/backend_tour.cpp" "examples/CMakeFiles/backend_tour.dir/backend_tour.cpp.o" "gcc" "examples/CMakeFiles/backend_tour.dir/backend_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/jaccx_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jaccx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toml/CMakeFiles/jaccx_toml.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/jaccx_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/jaccx_threadpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jaccx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/jaccx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaccx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpccg_report.dir/hpccg_report.cpp.o"
+  "CMakeFiles/hpccg_report.dir/hpccg_report.cpp.o.d"
+  "hpccg_report"
+  "hpccg_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpccg_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_pulse.dir/lbm_pulse.cpp.o"
+  "CMakeFiles/lbm_pulse.dir/lbm_pulse.cpp.o.d"
+  "lbm_pulse"
+  "lbm_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

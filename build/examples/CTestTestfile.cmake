@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_quickstart_cuda]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart_cuda]=] PROPERTIES  ENVIRONMENT "JACC_BACKEND=cuda" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_lbm_pulse]=] "/root/repo/build/examples/lbm_pulse" "32" "12")
+set_tests_properties([=[example_lbm_pulse]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cg_solver]=] "/root/repo/build/examples/cg_solver" "20000" "8" "8" "8")
+set_tests_properties([=[example_cg_solver]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_backend_tour]=] "/root/repo/build/examples/backend_tour" "50000")
+set_tests_properties([=[example_backend_tour]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_heat2d]=] "/root/repo/build/examples/heat2d" "48" "1500")
+set_tests_properties([=[example_heat2d]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multi_gpu]=] "/root/repo/build/examples/multi_gpu" "262144")
+set_tests_properties([=[example_multi_gpu]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_hpccg_report]=] "/root/repo/build/examples/hpccg_report" "12" "12" "12")
+set_tests_properties([=[example_hpccg_report]=] PROPERTIES  ENVIRONMENT "JACC_BACKEND=amdgpu" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("toml")
+subdirs("threadpool")
+subdirs("fiber")
+subdirs("sim")
+subdirs("backends")
+subdirs("core")
+subdirs("multi")
+subdirs("dist")
+subdirs("ka")
+subdirs("blas")
+subdirs("lbm")
+subdirs("cg")

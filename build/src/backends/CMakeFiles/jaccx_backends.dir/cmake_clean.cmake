@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_backends.dir/vendors.cpp.o"
+  "CMakeFiles/jaccx_backends.dir/vendors.cpp.o.d"
+  "libjaccx_backends.a"
+  "libjaccx_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

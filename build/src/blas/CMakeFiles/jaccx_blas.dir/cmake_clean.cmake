@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_blas.dir/jacc_blas.cpp.o"
+  "CMakeFiles/jaccx_blas.dir/jacc_blas.cpp.o.d"
+  "CMakeFiles/jaccx_blas.dir/native_cpu.cpp.o"
+  "CMakeFiles/jaccx_blas.dir/native_cpu.cpp.o.d"
+  "libjaccx_blas.a"
+  "libjaccx_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

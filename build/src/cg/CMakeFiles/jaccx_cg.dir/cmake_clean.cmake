@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_cg.dir/csr.cpp.o"
+  "CMakeFiles/jaccx_cg.dir/csr.cpp.o.d"
+  "CMakeFiles/jaccx_cg.dir/native.cpp.o"
+  "CMakeFiles/jaccx_cg.dir/native.cpp.o.d"
+  "CMakeFiles/jaccx_cg.dir/solver.cpp.o"
+  "CMakeFiles/jaccx_cg.dir/solver.cpp.o.d"
+  "libjaccx_cg.a"
+  "libjaccx_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

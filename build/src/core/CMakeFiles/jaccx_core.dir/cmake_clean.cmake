@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_core.dir/auto_backend.cpp.o"
+  "CMakeFiles/jaccx_core.dir/auto_backend.cpp.o.d"
+  "CMakeFiles/jaccx_core.dir/backend.cpp.o"
+  "CMakeFiles/jaccx_core.dir/backend.cpp.o.d"
+  "libjaccx_core.a"
+  "libjaccx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_dist.dir/comm.cpp.o"
+  "CMakeFiles/jaccx_dist.dir/comm.cpp.o.d"
+  "CMakeFiles/jaccx_dist.dir/dist_cg.cpp.o"
+  "CMakeFiles/jaccx_dist.dir/dist_cg.cpp.o.d"
+  "libjaccx_dist.a"
+  "libjaccx_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

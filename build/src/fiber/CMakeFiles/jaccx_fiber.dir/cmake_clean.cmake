@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_fiber.dir/context_switch.S.o"
+  "CMakeFiles/jaccx_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/jaccx_fiber.dir/fiber.cpp.o.d"
+  "libjaccx_fiber.a"
+  "libjaccx_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/jaccx_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

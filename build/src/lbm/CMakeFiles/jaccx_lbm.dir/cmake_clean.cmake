@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_lbm.dir/native.cpp.o"
+  "CMakeFiles/jaccx_lbm.dir/native.cpp.o.d"
+  "CMakeFiles/jaccx_lbm.dir/simulation.cpp.o"
+  "CMakeFiles/jaccx_lbm.dir/simulation.cpp.o.d"
+  "CMakeFiles/jaccx_lbm.dir/simulation3d.cpp.o"
+  "CMakeFiles/jaccx_lbm.dir/simulation3d.cpp.o.d"
+  "libjaccx_lbm.a"
+  "libjaccx_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_multi.dir/multi.cpp.o"
+  "CMakeFiles/jaccx_multi.dir/multi.cpp.o.d"
+  "libjaccx_multi.a"
+  "libjaccx_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

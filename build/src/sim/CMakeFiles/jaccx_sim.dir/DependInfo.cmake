@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/sim/CMakeFiles/jaccx_sim.dir/cache_model.cpp.o" "gcc" "src/sim/CMakeFiles/jaccx_sim.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sim/cost.cpp" "src/sim/CMakeFiles/jaccx_sim.dir/cost.cpp.o" "gcc" "src/sim/CMakeFiles/jaccx_sim.dir/cost.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/jaccx_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/jaccx_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/device_model.cpp" "src/sim/CMakeFiles/jaccx_sim.dir/device_model.cpp.o" "gcc" "src/sim/CMakeFiles/jaccx_sim.dir/device_model.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/jaccx_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/jaccx_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jaccx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/jaccx_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/jaccx_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/jaccx_sim.dir/cost.cpp.o"
+  "CMakeFiles/jaccx_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/jaccx_sim.dir/device.cpp.o"
+  "CMakeFiles/jaccx_sim.dir/device.cpp.o.d"
+  "CMakeFiles/jaccx_sim.dir/device_model.cpp.o"
+  "CMakeFiles/jaccx_sim.dir/device_model.cpp.o.d"
+  "CMakeFiles/jaccx_sim.dir/timeline.cpp.o"
+  "CMakeFiles/jaccx_sim.dir/timeline.cpp.o.d"
+  "libjaccx_sim.a"
+  "libjaccx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_support.dir/env.cpp.o"
+  "CMakeFiles/jaccx_support.dir/env.cpp.o.d"
+  "CMakeFiles/jaccx_support.dir/error.cpp.o"
+  "CMakeFiles/jaccx_support.dir/error.cpp.o.d"
+  "CMakeFiles/jaccx_support.dir/stopwatch.cpp.o"
+  "CMakeFiles/jaccx_support.dir/stopwatch.cpp.o.d"
+  "libjaccx_support.a"
+  "libjaccx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

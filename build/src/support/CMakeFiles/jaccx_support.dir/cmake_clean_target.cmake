@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjaccx_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_threadpool.dir/thread_pool.cpp.o"
+  "CMakeFiles/jaccx_threadpool.dir/thread_pool.cpp.o.d"
+  "libjaccx_threadpool.a"
+  "libjaccx_threadpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccx_toml.dir/parser.cpp.o"
+  "CMakeFiles/jaccx_toml.dir/parser.cpp.o.d"
+  "CMakeFiles/jaccx_toml.dir/writer.cpp.o"
+  "CMakeFiles/jaccx_toml.dir/writer.cpp.o.d"
+  "libjaccx_toml.a"
+  "libjaccx_toml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccx_toml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jaccx_toml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_apps.dir/auto_backend_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/auto_backend_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/blas_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/blas_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/cg_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/cg_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/dist_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/dist_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/extensions_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/integration_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/integration_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/lbm_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/lbm_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/model_behavior_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/model_behavior_test.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/multi_test.cpp.o"
+  "CMakeFiles/tests_apps.dir/multi_test.cpp.o.d"
+  "tests_apps"
+  "tests_apps.pdb"
+  "tests_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_model_test.cpp" "tests/CMakeFiles/tests_sim.dir/cache_model_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/cache_model_test.cpp.o.d"
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/tests_sim.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/memspace_test.cpp" "tests/CMakeFiles/tests_sim.dir/memspace_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/memspace_test.cpp.o.d"
+  "/root/repo/tests/sim_device_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim_device_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim_device_test.cpp.o.d"
+  "/root/repo/tests/simt_launch_test.cpp" "tests/CMakeFiles/tests_sim.dir/simt_launch_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/simt_launch_test.cpp.o.d"
+  "/root/repo/tests/stream_test.cpp" "tests/CMakeFiles/tests_sim.dir/stream_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/stream_test.cpp.o.d"
+  "/root/repo/tests/vendor_api_test.cpp" "tests/CMakeFiles/tests_sim.dir/vendor_api_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/vendor_api_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jaccx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/jaccx_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/jaccx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/jaccx_threadpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaccx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/cache_model_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/cache_model_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/cost_model_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/cost_model_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/memspace_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/memspace_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim_device_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_device_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/simt_launch_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/simt_launch_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/stream_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/stream_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/vendor_api_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/vendor_api_test.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fiber_test.cpp" "tests/CMakeFiles/tests_substrate.dir/fiber_test.cpp.o" "gcc" "tests/CMakeFiles/tests_substrate.dir/fiber_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/tests_substrate.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/tests_substrate.dir/support_test.cpp.o.d"
+  "/root/repo/tests/threadpool_test.cpp" "tests/CMakeFiles/tests_substrate.dir/threadpool_test.cpp.o" "gcc" "tests/CMakeFiles/tests_substrate.dir/threadpool_test.cpp.o.d"
+  "/root/repo/tests/toml_test.cpp" "tests/CMakeFiles/tests_substrate.dir/toml_test.cpp.o" "gcc" "tests/CMakeFiles/tests_substrate.dir/toml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jaccx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/toml/CMakeFiles/jaccx_toml.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/jaccx_threadpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/jaccx_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_substrate.dir/fiber_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/fiber_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/support_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/support_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/threadpool_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/threadpool_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/toml_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/toml_test.cpp.o.d"
+  "tests_substrate"
+  "tests_substrate.pdb"
+  "tests_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

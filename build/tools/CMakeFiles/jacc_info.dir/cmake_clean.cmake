@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacc_info.dir/jacc_info.cpp.o"
+  "CMakeFiles/jacc_info.dir/jacc_info.cpp.o.d"
+  "jacc_info"
+  "jacc_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacc_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
