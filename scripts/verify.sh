@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the fork/join pool.
+#
+#   scripts/verify.sh          full build + ctest + TSan pool/parallel_for run
+#   scripts/verify.sh --tsan   TSan pass only
+#
+# The TSan pass uses a separate build tree (build-tsan) configured with
+# -DJACCX_SANITIZE=thread so barrier/scheduling races are caught at PR time
+# without slowing the main build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+RUN_FULL=1
+if [[ "${1:-}" == "--tsan" ]]; then
+  RUN_FULL=0
+fi
+
+if [[ $RUN_FULL -eq 1 ]]; then
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS"
+fi
+
+cmake -B build-tsan -S . -DJACCX_SANITIZE=thread \
+  -DJACC_BUILD_BENCH=OFF -DJACC_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j"$JOBS" --target tests_substrate tests_core
+
+# Exercise the barrier with more workers than this machine may have cores,
+# and under both schedules, so spin/park and cursor paths all run.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+JACC_NUM_THREADS=4 ./build-tsan/tests/tests_substrate --gtest_filter='ThreadPool.*'
+JACC_NUM_THREADS=4 ./build-tsan/tests/tests_core \
+  --gtest_filter='*ParallelFor*:*ThreadsDecomposition*'
+JACC_NUM_THREADS=4 JACC_SCHEDULE=dynamic,16 ./build-tsan/tests/tests_substrate \
+  --gtest_filter='ThreadPool.*'
+JACC_NUM_THREADS=4 JACC_SCHEDULE=dynamic,16 JACC_SPIN_US=0 \
+  ./build-tsan/tests/tests_core --gtest_filter='*ParallelFor*'
+
+echo "verify: OK"

@@ -18,8 +18,10 @@ double threads_dot(index_t n, const double* x, const double* y) {
     double v = 0.0;
   };
   std::vector<slot> partials(p.size());
+  // Fold each chunk into the worker's slot: under JACC_SCHEDULE=dynamic a
+  // worker handles several chunks per region.
   p.parallel_chunks(n, [&](unsigned worker, pool::range chunk) {
-    double acc = 0.0;
+    double acc = partials[worker].v;
     for (index_t i = chunk.begin; i < chunk.end; ++i) {
       acc += x[i] * y[i];
     }
@@ -51,7 +53,7 @@ double threads_dot2d(index_t rows, index_t cols, const double* x,
   };
   std::vector<slot> partials(p.size());
   p.parallel_chunks(cols, [&](unsigned worker, pool::range chunk) {
-    double acc = 0.0;
+    double acc = partials[worker].v;
     for (index_t j = chunk.begin; j < chunk.end; ++j) {
       const double* xc = x + j * rows;
       const double* yc = y + j * rows;

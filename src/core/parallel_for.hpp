@@ -13,7 +13,8 @@
 //
 // Back-end mapping (paper Sec. IV):
 //   serial/threads      coarse chunks; 2D/3D decompose over the slowest
-//                       (column-major) dimension
+//                       (column-major) dimension while it covers the pool
+//                       width, else tile the flattened iteration space
 //   cpu_rome            same structure on the simulated Rome cost model
 //   GPU back ends       fine-grained: 1 thread per index; 1D blocks of up to
 //                       max_block_dim_x, 2D blocks of 16x16, 3D of 8x8x4,
@@ -105,6 +106,66 @@ inline jaccx::sim::cpu_region_config cpu_config(const hints& h) {
   return cfg;
 }
 
+/// Threads-backend 2D decomposition.  Coarse column-wise chunks (paper
+/// Sec. IV: parallel over j, contiguous i within each worker) while there
+/// are at least as many columns as workers; narrower grids tile the
+/// flattened iteration space instead, so a 1'000'000 x 2 grid still feeds
+/// every worker rather than at most two.
+template <class F, class... Args>
+void threads_for_2d(jaccx::pool::thread_pool& pool, dims2 d, F&& f,
+                    Args&&... args) {
+  if (d.cols >= static_cast<index_t>(pool.size())) {
+    pool.parallel_for_index(d.cols, [&](index_t j) {
+      for (index_t i = 0; i < d.rows; ++i) {
+        f(i, j, args...);
+      }
+    });
+    return;
+  }
+  pool.parallel_chunks(d.rows * d.cols, [&](unsigned, jaccx::pool::range r) {
+    jaccx::pool::walk_flat_2d(r, d.rows, [&](index_t i, index_t j) {
+      f(i, j, args...);
+    });
+  });
+}
+
+/// Threads-backend 3D decomposition: over depth planes while depth covers
+/// the pool, then over flattened (j, k) columns, then over the fully
+/// flattened space for extreme shapes like {1e6, 2, 2}.
+template <class F, class... Args>
+void threads_for_3d(jaccx::pool::thread_pool& pool, dims3 d, F&& f,
+                    Args&&... args) {
+  const auto width = static_cast<index_t>(pool.size());
+  if (d.depth >= width) {
+    pool.parallel_for_index(d.depth, [&](index_t k) {
+      for (index_t j = 0; j < d.cols; ++j) {
+        for (index_t i = 0; i < d.rows; ++i) {
+          f(i, j, k, args...);
+        }
+      }
+    });
+    return;
+  }
+  if (d.cols * d.depth >= width) {
+    pool.parallel_chunks(d.cols * d.depth,
+                         [&](unsigned, jaccx::pool::range r) {
+      jaccx::pool::walk_flat_2d(r, d.cols, [&](index_t j, index_t k) {
+        for (index_t i = 0; i < d.rows; ++i) {
+          f(i, j, k, args...);
+        }
+      });
+    });
+    return;
+  }
+  pool.parallel_chunks(d.rows * d.cols * d.depth,
+                       [&](unsigned, jaccx::pool::range r) {
+    jaccx::pool::walk_flat_3d(r, d.rows, d.cols,
+                              [&](index_t i, index_t j, index_t k) {
+      f(i, j, k, args...);
+    });
+  });
+}
+
 } // namespace detail
 
 /// 1D parallel_for with accounting hints.
@@ -174,13 +235,7 @@ void parallel_for(const hints& h, dims2 d, F&& f, Args&&... args) {
     return;
   }
   case backend::threads: {
-    // Coarse column-wise decomposition (paper Sec. IV): parallel over j,
-    // contiguous i within each worker.
-    jaccx::pool::default_pool().parallel_for_index(d.cols, [&](index_t j) {
-      for (index_t i = 0; i < d.rows; ++i) {
-        f(i, j, args...);
-      }
-    });
+    detail::threads_for_2d(jaccx::pool::default_pool(), d, f, args...);
     return;
   }
   case backend::cpu_rome: {
@@ -234,13 +289,7 @@ void parallel_for(const hints& h, dims3 d, F&& f, Args&&... args) {
     return;
   }
   case backend::threads: {
-    jaccx::pool::default_pool().parallel_for_index(d.depth, [&](index_t k) {
-      for (index_t j = 0; j < d.cols; ++j) {
-        for (index_t i = 0; i < d.rows; ++i) {
-          f(i, j, k, args...);
-        }
-      }
-    });
+    detail::threads_for_3d(jaccx::pool::default_pool(), d, f, args...);
     return;
   }
   case backend::cpu_rome: {

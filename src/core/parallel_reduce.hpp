@@ -153,6 +153,9 @@ R reduce_sim_gpu(jaccx::sim::device& dev, const hints& h, index_t n, Op op,
 }
 
 /// Real thread-pool reduction: one cache-line-padded partial per worker.
+/// Under dynamic scheduling a worker receives several chunks, so each
+/// chunk folds into the worker's slot rather than overwriting it; the slot
+/// stays worker-private either way.
 template <class R, class Op, class Eval>
 R reduce_threads(index_t n, Op op, const Eval& eval) {
   auto& pool = jaccx::pool::default_pool();
@@ -162,7 +165,7 @@ R reduce_threads(index_t n, Op op, const Eval& eval) {
   std::vector<slot> partials(pool.size(),
                              slot{Op::template identity<R>()});
   pool.parallel_chunks(n, [&](unsigned worker, jaccx::pool::range chunk) {
-    R acc = Op::template identity<R>();
+    R acc = partials[worker].value;
     for (index_t i = chunk.begin; i < chunk.end; ++i) {
       acc = op(acc, eval(i));
     }

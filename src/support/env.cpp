@@ -17,9 +17,14 @@ std::optional<long> get_env_long(std::string_view name) {
   if (!s) {
     return std::nullopt;
   }
+  return parse_long(*s);
+}
+
+std::optional<long> parse_long(std::string_view text) {
+  const std::string s(text);
   char* end = nullptr;
-  const long v = std::strtol(s->c_str(), &end, 10);
-  if (end == s->c_str() || *end != '\0') {
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
     return std::nullopt;
   }
   return v;

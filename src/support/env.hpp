@@ -14,4 +14,9 @@ std::optional<std::string> get_env(std::string_view name);
 /// unparseable.
 std::optional<long> get_env_long(std::string_view name);
 
+/// Parses `text` as a base-10 long; the whole string must be consumed.
+/// Used for env values and for the numeric fields of compound specs like
+/// JACC_SCHEDULE=dynamic,<grain>.
+std::optional<long> parse_long(std::string_view text);
+
 } // namespace jaccx

@@ -50,4 +50,44 @@ inline range grain_chunk(index_t n, index_t grain, index_t which) {
   return {begin, end};
 }
 
+/// Walks the flattened chunk `r` of a column-major `fast x slow` space,
+/// calling visit(fast_idx, slow_idx) with the fast index innermost.  Used
+/// by the threads backend when the slow extent alone is too narrow to feed
+/// every worker, so chunks must cut across column (or plane) boundaries
+/// without paying a div/mod per index.
+template <class Visit>
+void walk_flat_2d(range r, index_t fast, Visit&& visit) {
+  JACCX_ASSERT(fast > 0);
+  index_t i = r.begin % fast;
+  index_t j = r.begin / fast;
+  for (index_t idx = r.begin; idx < r.end; ++idx) {
+    visit(i, j);
+    if (++i == fast) {
+      i = 0;
+      ++j;
+    }
+  }
+}
+
+/// 3D variant over a `fast x mid x slow` space flattened with fast
+/// innermost: visit(fast_idx, mid_idx, slow_idx).
+template <class Visit>
+void walk_flat_3d(range r, index_t fast, index_t mid, Visit&& visit) {
+  JACCX_ASSERT(fast > 0 && mid > 0);
+  index_t i = r.begin % fast;
+  const index_t rest = r.begin / fast;
+  index_t j = rest % mid;
+  index_t k = rest / mid;
+  for (index_t idx = r.begin; idx < r.end; ++idx) {
+    visit(i, j, k);
+    if (++i == fast) {
+      i = 0;
+      if (++j == mid) {
+        j = 0;
+        ++k;
+      }
+    }
+  }
+}
+
 } // namespace jaccx::pool

@@ -1,8 +1,54 @@
 #include "threadpool/thread_pool.hpp"
 
+#include <chrono>
+
 #include "support/env.hpp"
 
 namespace jaccx::pool {
+
+namespace {
+
+/// Default spin budget before a waiter parks.  Chosen to cover the typical
+/// inter-region gap of a hot solver loop without burning meaningful CPU
+/// when the pool goes idle.
+constexpr long default_spin_us = 50;
+
+/// Polite busy-wait hint: de-pipelines the spin loop so a hyperthread
+/// sibling (or, with the periodic yield below, another runnable thread)
+/// can make progress.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+} // namespace
+
+std::optional<schedule> parse_schedule(std::string_view spec) {
+  schedule s;
+  const auto comma = spec.find(',');
+  const std::string_view head = spec.substr(0, comma);
+  if (head == "static") {
+    s.kind = schedule_kind::static_chunks;
+  } else if (head == "dynamic") {
+    s.kind = schedule_kind::dynamic_chunks;
+  } else {
+    return std::nullopt;
+  }
+  if (comma != std::string_view::npos) {
+    if (s.kind != schedule_kind::dynamic_chunks) {
+      return std::nullopt; // a grain only makes sense for dynamic
+    }
+    const auto grain = parse_long(spec.substr(comma + 1));
+    if (!grain || *grain <= 0) {
+      return std::nullopt;
+    }
+    s.grain = static_cast<index_t>(*grain);
+  }
+  return s;
+}
 
 thread_pool::thread_pool(unsigned threads) {
   if (threads == 0) {
@@ -12,6 +58,22 @@ thread_pool::thread_pool(unsigned threads) {
     }
   }
   width_ = threads;
+
+  // Spinning is only productive when every worker can actually run at
+  // once; on an oversubscribed machine a spinning caller just steals the
+  // core its workers need, so park immediately there.
+  const unsigned cores = std::thread::hardware_concurrency();
+  long spin = (cores != 0 && width_ > cores) ? 0 : default_spin_us;
+  if (const auto us = get_env_long("JACC_SPIN_US"); us && *us >= 0) {
+    spin = *us;
+  }
+  spin_us_.store(spin, std::memory_order_relaxed);
+  if (const auto spec = get_env("JACC_SCHEDULE")) {
+    if (const auto s = parse_schedule(*spec)) {
+      sched_ = *s;
+    }
+  }
+
   workers_.reserve(width_ - 1);
   for (unsigned w = 1; w < width_; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -19,13 +81,79 @@ thread_pool::thread_pool(unsigned threads) {
 }
 
 thread_pool::~thread_pool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  start_cv_.notify_all();
+  shutdown_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_.notify_all();
   for (auto& t : workers_) {
     t.join();
+  }
+}
+
+bool thread_pool::spin_while_epoch_is(std::uint64_t seen) const {
+  const long budget = spin_us_.load(std::memory_order_relaxed);
+  if (budget <= 0) {
+    return epoch_.load(std::memory_order_seq_cst) != seen;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget);
+  int polls = 0;
+  for (;;) {
+    for (int i = 0; i < 64; ++i) {
+      if (epoch_.load(std::memory_order_seq_cst) != seen) {
+        return true;
+      }
+      cpu_relax();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    if ((++polls & 7) == 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool thread_pool::spin_until_done(unsigned target) const {
+  const long budget = spin_us_.load(std::memory_order_relaxed);
+  if (budget <= 0) {
+    return done_.load(std::memory_order_seq_cst) == target;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget);
+  int polls = 0;
+  for (;;) {
+    for (int i = 0; i < 64; ++i) {
+      if (done_.load(std::memory_order_seq_cst) == target) {
+        return true;
+      }
+      cpu_relax();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    if ((++polls & 7) == 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void thread_pool::run_chunks(region_fn fn, void* ctx, index_t n,
+                             unsigned worker, schedule s) {
+  if (s.kind == schedule_kind::static_chunks) {
+    const range r = static_chunk(n, width_, worker);
+    if (!r.empty()) {
+      fn(ctx, worker, r);
+    }
+    return;
+  }
+  const index_t grain = s.grain;
+  for (;;) {
+    const index_t begin = cursor_.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) {
+      return;
+    }
+    const index_t end = begin + grain < n ? begin + grain : n;
+    fn(ctx, worker, range{begin, end});
   }
 }
 
@@ -34,56 +162,88 @@ void thread_pool::run_region(index_t n, region_fn fn, void* ctx) {
   if (n == 0) {
     return;
   }
-  if (width_ == 1) {
+  // Fewer indices than workers: forking costs more than the region.  The
+  // caller runs the whole range as worker 0 in one chunk, which is a legal
+  // distribution under either schedule.
+  if (width_ == 1 || n < static_cast<index_t>(width_)) {
     fn(ctx, 0, range{0, n});
     return;
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    fn_ = fn;
-    ctx_ = ctx;
-    n_ = n;
-    remaining_ = width_ - 1;
-    ++generation_;
+  schedule s = sched_;
+  if (s.kind == schedule_kind::dynamic_chunks && s.grain <= 0) {
+    const index_t auto_grain = n / (8 * static_cast<index_t>(width_));
+    s.grain = auto_grain > 0 ? auto_grain : 1;
   }
-  start_cv_.notify_all();
 
-  // The caller is worker 0 and executes its chunk in place.
-  fn(ctx, 0, static_chunk(n, width_, 0));
+  // Publish the region: descriptor stores happen-before the release
+  // increment of epoch_, which is the start signal workers acquire.
+  fn_ = fn;
+  ctx_ = ctx;
+  n_ = n;
+  region_sched_ = s;
+  done_.store(0, std::memory_order_relaxed);
+  cursor_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake parked workers only when someone is actually parked; the seq_cst
+  // ordering against the parked_ increment in worker_loop guarantees a
+  // worker either observes the new epoch before sleeping or is counted
+  // here and woken.
+  if (parked_.load(std::memory_order_seq_cst) != 0) {
+    epoch_.notify_all();
+  }
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  // The caller is worker 0 and executes chunks in place.
+  run_chunks(fn, ctx, n, 0, s);
+
+  // Join: atomic countdown, spin first, park on the slow path.  The
+  // acquire-reads of done_ synchronize with every worker's release
+  // increment, so all kernel writes are visible once the count is full.
+  const unsigned target = width_ - 1;
+  if (done_.load(std::memory_order_seq_cst) != target &&
+      !spin_until_done(target)) {
+    caller_waiting_.store(1, std::memory_order_seq_cst);
+    for (;;) {
+      const unsigned d = done_.load(std::memory_order_seq_cst);
+      if (d == target) {
+        break;
+      }
+      done_.wait(d, std::memory_order_seq_cst);
+    }
+    caller_waiting_.store(0, std::memory_order_relaxed);
+  }
 }
 
 void thread_pool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
-  while (true) {
-    region_fn fn = nullptr;
-    void* ctx = nullptr;
-    index_t n = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) {
-        return;
+  for (;;) {
+    if (!spin_while_epoch_is(seen)) {
+      // Park.  parked_ is incremented before the epoch re-check inside
+      // wait(); combined with the caller's seq_cst epoch increment this
+      // makes "sleep forever while a region is pending" impossible.
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      while (epoch_.load(std::memory_order_seq_cst) == seen) {
+        epoch_.wait(seen, std::memory_order_seq_cst);
       }
-      seen = generation_;
-      fn = fn_;
-      ctx = ctx_;
-      n = n_;
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    // The epoch moves at most one step past `seen` while this worker has
+    // not finished the current region, so the new epoch is exactly seen+1.
+    ++seen;
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
     }
 
-    fn(ctx, worker, static_chunk(n, width_, worker));
+    run_chunks(fn_, ctx_, n_, worker, region_sched_);
 
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      last = --remaining_ == 0;
-    }
-    if (last) {
-      done_cv_.notify_one();
+    // seq_cst (not acq_rel) so this increment is ordered against the
+    // caller's caller_waiting_ store / done_ load pair: either the caller
+    // sees the full count before parking or the last finisher sees the
+    // waiting flag and issues the wake.
+    const unsigned finished = done_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (finished == width_ - 1 &&
+        caller_waiting_.load(std::memory_order_seq_cst) != 0) {
+      done_.notify_one();
     }
   }
 }

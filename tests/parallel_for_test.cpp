@@ -3,8 +3,12 @@
 // portability claim).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -151,6 +155,113 @@ TEST_P(ParallelForAgreement, MatchesSerialBitwise) {
 
   for (index_t i = 0; i < n; ++i) {
     ASSERT_EQ(got.host_data()[i], ref.host_data()[i]) << "i=" << i;
+  }
+}
+
+// Regression tests for the threads decomposition when the slow dimension is
+// narrower than the pool: the seed serialized dims2{big, 2} onto two of N
+// workers.  These drive the detail helpers with an explicit 4-wide pool so
+// they are meaningful regardless of this machine's core count or the
+// default pool's width.
+
+TEST(ThreadsDecomposition, WideShort2DUsesAllWorkers) {
+  jaccx::pool::thread_pool p(4);
+  // Static chunking so "every worker gets a chunk" is deterministic even
+  // when JACC_SCHEDULE=dynamic is exported into the test run.
+  p.set_schedule({jaccx::pool::schedule_kind::static_chunks, 0});
+  const index_t rows = 1'000'000;
+  const index_t cols = 2;
+
+  std::atomic<long> checksum{0};
+  std::mutex m;
+  std::set<std::thread::id> participants;
+  detail::threads_for_2d(p, dims2{rows, cols}, [&](index_t i, index_t j) {
+    checksum.fetch_add(i + j * rows, std::memory_order_relaxed);
+    if ((i & 8191) == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      participants.insert(std::this_thread::get_id());
+    }
+  });
+
+  // Exact coverage: sum over the flattened space of its own linear index.
+  const long total = rows * cols;
+  EXPECT_EQ(checksum.load(), total * (total - 1) / 2);
+  // All four workers observe work (each owns a quarter of the flattened
+  // space, which spans many multiples of the sampling stride).
+  EXPECT_EQ(participants.size(), 4u);
+}
+
+TEST(ThreadsDecomposition, WideShort3DUsesAllWorkers) {
+  jaccx::pool::thread_pool p(4);
+  p.set_schedule({jaccx::pool::schedule_kind::static_chunks, 0});
+  const dims3 d{100'000, 2, 2};
+
+  std::atomic<long> checksum{0};
+  std::mutex m;
+  std::set<std::thread::id> participants;
+  detail::threads_for_3d(p, d, [&](index_t i, index_t j, index_t k) {
+    checksum.fetch_add(i + d.rows * (j + d.cols * k),
+                       std::memory_order_relaxed);
+    if ((i & 4095) == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      participants.insert(std::this_thread::get_id());
+    }
+  });
+
+  const long total = d.rows * d.cols * d.depth;
+  EXPECT_EQ(checksum.load(), total * (total - 1) / 2);
+  EXPECT_EQ(participants.size(), 4u);
+}
+
+TEST(ThreadsDecomposition, FullyFlattened3DCoversEveryCell) {
+  // depth < width and cols*depth < width forces the fully-flattened path.
+  jaccx::pool::thread_pool p(8);
+  const dims3 d{1000, 2, 2};
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(d.rows * d.cols * d.depth));
+  detail::threads_for_3d(p, d, [&](index_t i, index_t j, index_t k) {
+    hits[static_cast<std::size_t>(i + d.rows * (j + d.cols * k))].fetch_add(
+        1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadsDecomposition, TiledMatchesColumnwise2D) {
+  // The same kernel through a 4-wide pool (tiled, cols < width) and a
+  // 1-wide pool (columnwise) must write identical arrays.
+  const index_t rows = 4097;
+  const index_t cols = 3;
+  std::vector<double> tiled(static_cast<std::size_t>(rows * cols));
+  std::vector<double> columnwise(tiled.size());
+
+  jaccx::pool::thread_pool wide(4);
+  detail::threads_for_2d(wide, dims2{rows, cols}, [&](index_t i, index_t j) {
+    tiled[static_cast<std::size_t>(i + j * rows)] =
+        std::sin(0.1 * static_cast<double>(i)) + static_cast<double>(j);
+  });
+  jaccx::pool::thread_pool narrow(1);
+  detail::threads_for_2d(narrow, dims2{rows, cols},
+                         [&](index_t i, index_t j) {
+    columnwise[static_cast<std::size_t>(i + j * rows)] =
+        std::sin(0.1 * static_cast<double>(i)) + static_cast<double>(j);
+  });
+  EXPECT_EQ(tiled, columnwise);
+}
+
+TEST(ThreadsDecomposition, DynamicScheduleCovers2D) {
+  jaccx::pool::thread_pool p(4);
+  p.set_schedule({jaccx::pool::schedule_kind::dynamic_chunks, 16});
+  const dims2 d{512, 2};
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(d.rows * d.cols));
+  detail::threads_for_2d(p, d, [&](index_t i, index_t j) {
+    hits[static_cast<std::size_t>(i + j * d.rows)].fetch_add(
+        1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
   }
 }
 
