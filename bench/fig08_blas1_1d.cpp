@@ -84,6 +84,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+  const jaccx::bench::bench_session session("fig08_blas1_1d");
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -77,6 +77,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+  const jaccx::bench::bench_session session("fig09_blas1_2d");
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

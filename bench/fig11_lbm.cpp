@@ -64,6 +64,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+  const jaccx::bench::bench_session session("fig11_lbm");
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "fig_common.hpp"
+#include "threadpool/thread_pool.hpp"
 
 namespace {
 
@@ -26,7 +27,30 @@ void bench_point(benchmark::State& state, arch a, bool via_jacc, index_t n) {
   state.counters["sim_us"] = us;
 }
 
+/// Wall-clock reference on the real `threads` back end (default-measured
+/// time, not simulated).  Not a paper figure, but it puts the portable
+/// layer's host-side cost on the same sweep — and under JACC_PROFILE=trace
+/// it is what populates the trace with real threads-backend kernels and
+/// pool worker busy/park slices alongside the simulated timelines.
+void bench_threads_wallclock(benchmark::State& state, index_t n) {
+  jacc::scoped_backend sb(jacc::backend::threads);
+  jaccx::cg::paper_state st(n);
+  jaccx::cg::paper_iteration(st); // warm-up
+  for (auto _ : state) {
+    jaccx::cg::paper_iteration(st);
+  }
+}
+
 void register_all() {
+  for (index_t n : sizes) {
+    const std::string name =
+        "fig13/cg/threads_wallclock/jacc/" + std::to_string(n);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [n](benchmark::State& st) { bench_threads_wallclock(st, n); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
   for (const auto& a : all_archs) {
     for (bool via_jacc : {false, true}) {
       for (index_t n : sizes) {
@@ -65,6 +89,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+  const jaccx::bench::bench_session session("fig13_cg");
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

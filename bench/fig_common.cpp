@@ -1,6 +1,12 @@
 #include "fig_common.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "prof/prof.hpp"
+#include "support/env.hpp"
+#include "threadpool/thread_pool.hpp"
 
 namespace jaccx::bench {
 namespace {
@@ -242,6 +248,108 @@ std::string row(const char* figure, const char* device, const char* model,
   std::snprintf(buf, sizeof(buf), "%-6s %-8s %-7s %-6s n=%-10lld %12.2f us",
                 figure, device, model, op, static_cast<long long>(n), us);
   return buf;
+}
+
+namespace {
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace
+
+bench_session::bench_session(std::string name) : name_(std::move(name)) {
+  prof::enable_collection();
+}
+
+bench_session::~bench_session() {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_session: cannot write %s\n", path.c_str());
+  } else {
+    out << "{\n  \"bench\": " << json_str(name_) << ",\n  \"config\": {";
+    out << "\"backend\": "
+        << json_str(std::string(jacc::to_string(jacc::current_backend())));
+    out << ", \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency();
+    const auto env = [&](const char* var) {
+      const auto v = get_env(var);
+      return v ? json_str(*v) : std::string("null");
+    };
+    out << ", \"JACC_NUM_THREADS\": " << env("JACC_NUM_THREADS")
+        << ", \"JACC_SCHEDULE\": " << env("JACC_SCHEDULE")
+        << ", \"JACC_SPIN_US\": " << env("JACC_SPIN_US")
+        << ", \"JACC_PROFILE\": " << env("JACC_PROFILE") << "},\n";
+
+    out << "  \"kernels\": [";
+    bool first = true;
+    char buf[512];
+    for (const auto& k : prof::aggregate_kernels()) {
+      const double mean =
+          k.count != 0 ? k.total_us / static_cast<double>(k.count) : 0.0;
+      std::snprintf(
+          buf, sizeof buf,
+          "%s\n    {\"name\": %s, \"construct\": \"%s\", \"backend\": %s, "
+          "\"count\": %llu, \"units\": %llu, \"total_us\": %.3f, "
+          "\"min_us\": %.3f, \"mean_us\": %.3f, \"max_us\": %.3f, "
+          "\"gbytes_per_s\": %.3f, \"gflops_per_s\": %.3f}",
+          first ? "" : ",", json_str(k.name).c_str(),
+          prof::to_string(k.kind), json_str(k.backend).c_str(),
+          static_cast<unsigned long long>(k.count),
+          static_cast<unsigned long long>(k.units), k.total_us, k.min_us,
+          mean, k.max_us, k.gbytes_per_s, k.gflops_per_s);
+      out << buf;
+      first = false;
+    }
+    out << "\n  ],\n  \"pools\": [";
+    first = true;
+    for (const auto& p : prof::aggregate_pools()) {
+      out << (first ? "" : ",") << "\n    {\"width\": " << p.width
+          << ", \"schedule\": " << json_str(p.schedule)
+          << ", \"regions\": " << p.regions << ", \"workers\": [";
+      bool wfirst = true;
+      for (const auto& w : p.workers) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"worker\": %u, \"busy_us\": %.1f, \"spin_us\": "
+                      "%.1f, \"park_us\": %.1f, \"parks\": %llu, "
+                      "\"chunks\": %llu}",
+                      wfirst ? "" : ", ", w.worker,
+                      static_cast<double>(w.busy_ns) * 1e-3,
+                      static_cast<double>(w.spin_ns) * 1e-3,
+                      static_cast<double>(w.park_ns) * 1e-3,
+                      static_cast<unsigned long long>(w.parks),
+                      static_cast<unsigned long long>(w.chunks));
+        out << buf;
+        wfirst = false;
+      }
+      out << "]}";
+      first = false;
+    }
+    const auto m = prof::aggregate_memory();
+    std::snprintf(buf, sizeof buf,
+                  "\n  ],\n  \"memory\": {\"allocs\": %llu, \"alloc_bytes\": "
+                  "%llu, \"frees\": %llu, \"h2d_copies\": %llu, "
+                  "\"h2d_bytes\": %llu, \"d2h_copies\": %llu, "
+                  "\"d2h_bytes\": %llu}\n}\n",
+                  static_cast<unsigned long long>(m.allocs),
+                  static_cast<unsigned long long>(m.alloc_bytes),
+                  static_cast<unsigned long long>(m.frees),
+                  static_cast<unsigned long long>(m.h2d_copies),
+                  static_cast<unsigned long long>(m.h2d_bytes),
+                  static_cast<unsigned long long>(m.d2h_copies),
+                  static_cast<unsigned long long>(m.d2h_bytes));
+    out << buf;
+  }
+  jacc::finalize();
 }
 
 } // namespace jaccx::bench

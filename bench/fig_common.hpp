@@ -83,4 +83,21 @@ double cg_iteration_us(const arch& a, bool via_jacc, index_t n);
 std::string row(const char* figure, const char* device, const char* model,
                 const char* op, index_t n, double us);
 
+/// Machine-readable per-benchmark output.  Construct at the top of a bench
+/// main(); forces profiler collection so the per-kernel aggregator is
+/// populated regardless of JACC_PROFILE, and at destruction writes
+/// `BENCH_<name>.json` (run config + per-kernel stats + pool counters) next
+/// to the working directory, then flushes the profiler's own outputs via
+/// jacc::finalize().
+class bench_session {
+public:
+  explicit bench_session(std::string name);
+  ~bench_session();
+  bench_session(const bench_session&) = delete;
+  bench_session& operator=(const bench_session&) = delete;
+
+private:
+  std::string name_;
+};
+
 } // namespace jaccx::bench

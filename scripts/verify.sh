@@ -32,10 +32,15 @@ cmake --build build-tsan -j"$JOBS" --target tests_substrate tests_core
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 JACC_NUM_THREADS=4 ./build-tsan/tests/tests_substrate --gtest_filter='ThreadPool.*'
 JACC_NUM_THREADS=4 ./build-tsan/tests/tests_core \
-  --gtest_filter='*ParallelFor*:*ThreadsDecomposition*'
+  --gtest_filter='*ParallelFor*:*ThreadsDecomposition*:Prof.*'
 JACC_NUM_THREADS=4 JACC_SCHEDULE=dynamic,16 ./build-tsan/tests/tests_substrate \
   --gtest_filter='ThreadPool.*'
 JACC_NUM_THREADS=4 JACC_SCHEDULE=dynamic,16 JACC_SPIN_US=0 \
-  ./build-tsan/tests/tests_core --gtest_filter='*ParallelFor*'
+  ./build-tsan/tests/tests_core --gtest_filter='*ParallelFor*:Prof.*'
+
+# Profiler collection concurrent with the pool's instrumented fast paths:
+# rings, pool counters, and the sim-event tee all race-checked under load.
+JACC_NUM_THREADS=4 JACC_PROFILE=collect ./build-tsan/tests/tests_core \
+  --gtest_filter='Prof.*:*ParallelFor*'
 
 echo "verify: OK"

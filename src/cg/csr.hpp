@@ -77,7 +77,8 @@ struct csr_system {
   void apply(const darray& x, darray& y) const {
     jacc::parallel_for(
         jacc::hints{.name = "jacc.csr_spmv",
-                    .flops_per_index = 2.0 * avg_row_nnz},
+                    .flops_per_index = 2.0 * avg_row_nnz,
+                    .bytes_per_index = 20.0 * avg_row_nnz + 24.0},
         rows, csr_spmv_kernel, row_ptr, col_idx, values, x, y);
   }
 };

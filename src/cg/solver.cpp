@@ -16,45 +16,55 @@ cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
   // r = b - A x;  p = r.
   apply(x, s);
   jacc::parallel_for(
-      jacc::hints{.name = "cg.residual", .flops_per_index = 2.0}, n,
+      jacc::hints{.name = "cg.residual", .flops_per_index = 2.0,
+                  .bytes_per_index = 24.0},
+      n,
       [](index_t i, const darray& b_, const darray& s_, darray& r_) {
         r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
       },
       b, s, r);
-  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, r, p);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                     n, copy_kernel, r, p);
 
   const double bb = jacc::parallel_reduce(
-      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot, b,
-      b);
+      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                  .bytes_per_index = 16.0},
+      n, blas::dot, b, b);
   if (bb == 0.0) {
     // b = 0: x = 0 is exact.
     jacc::parallel_for(
-        jacc::hints{.name = "cg.zero"}, n,
+        jacc::hints{.name = "cg.zero", .bytes_per_index = 8.0}, n,
         [](index_t i, darray& x_) { x_[i] = 0.0; }, x);
     return {0, 0.0, true};
   }
 
   double rr = jacc::parallel_reduce(
-      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot, r,
-      r);
+      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                  .bytes_per_index = 16.0},
+      n, blas::dot, r, r);
   const double stop = opts.tolerance * opts.tolerance * bb;
 
   cg_result out;
   while (out.iterations < opts.max_iterations && rr > stop) {
     apply(p, s);
     const double ps = jacc::parallel_reduce(
-        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot,
-        p, s);
+        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                    .bytes_per_index = 16.0},
+        n, blas::dot, p, s);
     const double alpha = rr / ps;
-    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0},
+    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0,
+                                   .bytes_per_index = 24.0},
                        n, blas::axpy, alpha, x, p);
-    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0},
+    jacc::parallel_for(jacc::hints{.name = "cg.axpy", .flops_per_index = 2.0,
+                                   .bytes_per_index = 24.0},
                        n, blas::axpy, -alpha, r, s);
     const double rr_new = jacc::parallel_reduce(
-        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0}, n, blas::dot,
-        r, r);
+        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                    .bytes_per_index = 16.0},
+        n, blas::dot, r, r);
     const double beta = rr_new / rr;
-    jacc::parallel_for(jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0},
+    jacc::parallel_for(jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0,
+                                   .bytes_per_index = 24.0},
                        n, xpay_kernel, beta, r, p);
     rr = rr_new;
     ++out.iterations;
@@ -93,13 +103,18 @@ paper_state::paper_state(index_t n)
 }
 
 void paper_iteration(paper_state& st) {
+  // One Fig. 12 iteration shows up as a single nesting region in traces,
+  // bracketing its 1 matvec + 5 dots + 3 axpys + 3 copies.
+  const jaccx::prof::scoped_region prof_region("cg.iteration");
   const index_t n = st.A.n;
-  const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0};
-  const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0};
+  const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0,
+                          .bytes_per_index = 16.0};
+  const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0,
+                           .bytes_per_index = 24.0};
 
   // r_old = copy(r)
-  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r,
-                     st.r_old);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                     n, copy_kernel, st.r, st.r_old);
   // s = A p
   st.A.apply(st.p, st.s);
   // alpha = (r . r) / (p . s)
@@ -116,11 +131,11 @@ void paper_iteration(paper_state& st) {
   const double beta = beta0 / beta1;
   // r_aux = copy(r) ; r_aux += beta p ; p = copy(r_aux) ; cond = r . r
   // (the listing's exact sequence: 1 matvec, 5 dots, 3 axpys, 3 copies)
-  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r,
-                     st.r_aux);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                     n, copy_kernel, st.r, st.r_aux);
   jacc::parallel_for(axpy_h, n, blas::axpy, beta, st.r_aux, st.p);
-  jacc::parallel_for(jacc::hints{.name = "cg.copy"}, n, copy_kernel, st.r_aux,
-                     st.p);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                     n, copy_kernel, st.r_aux, st.p);
   const double cond = jacc::parallel_reduce(dot_h, n, blas::dot, st.r, st.r);
   static_cast<void>(cond);
 }

@@ -69,7 +69,9 @@ struct tridiag_system {
   /// y = A x through the JACC front end.
   void apply(const darray& x, darray& y) const {
     jacc::parallel_for(
-        jacc::hints{.name = "jacc.tridiag_matvec", .flops_per_index = 5.0}, n,
+        jacc::hints{.name = "jacc.tridiag_matvec", .flops_per_index = 5.0,
+                    .bytes_per_index = 48.0},
+        n,
         tridiag_matvec_kernel, sub, diag, super, x, y, n);
   }
 };

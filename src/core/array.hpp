@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/span2d.hpp"
@@ -77,6 +78,9 @@ public:
     if (dev_ != nullptr) {
       dev_->charge_alloc(bytes(), "jacc.array");
     }
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_alloc("jacc.array", bytes());
+    }
   }
 
   array_base(const T* host, index_t count)
@@ -88,6 +92,10 @@ public:
     if (dev_ != nullptr) {
       dev_->charge_alloc(bytes(), "jacc.array");
       dev_->charge_h2d(bytes(), "jacc.array");
+    }
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_alloc("jacc.array", bytes());
+      jaccx::prof::note_copy("jacc.array", /*to_device=*/true, bytes());
     }
   }
 
@@ -125,6 +133,9 @@ public:
     }
     if (dev_ != nullptr) {
       dev_->charge_d2h(bytes(), "jacc.array");
+    }
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_copy("jacc.array", /*to_device=*/false, bytes());
     }
   }
 
@@ -165,6 +176,9 @@ private:
     if (dev_ != nullptr) {
       dev_->charge_free(bytes());
       dev_->arena_release();
+    }
+    if (data_ != nullptr && jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_free(bytes());
     }
     dev_ = nullptr;
     data_ = nullptr;

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 
+#include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -34,18 +35,6 @@ backend resolve_from_preferences() {
 }
 
 } // namespace
-
-std::string_view to_string(backend b) {
-  switch (b) {
-  case backend::serial: return "serial";
-  case backend::threads: return "threads";
-  case backend::cpu_rome: return "cpu_rome";
-  case backend::cuda_a100: return "cuda_a100";
-  case backend::hip_mi100: return "hip_mi100";
-  case backend::oneapi_max1550: return "oneapi_max1550";
-  }
-  return "?";
-}
 
 backend backend_from_string(std::string_view name) {
   if (name == "serial") {
@@ -124,5 +113,7 @@ void save_preferences(backend b, const std::string& path) {
       "backend", jaccx::toml::value(std::string(to_string(b))));
   jaccx::toml::write_file(root, path);
 }
+
+void finalize() { jaccx::prof::finalize(); }
 
 } // namespace jacc

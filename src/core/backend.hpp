@@ -48,8 +48,20 @@ inline constexpr backend all_backends[] = {
     backend::cuda_a100,     backend::hip_mi100, backend::oneapi_max1550,
 };
 
-/// Canonical name ("threads", "cuda_a100", ...).
-std::string_view to_string(backend b);
+/// Canonical name ("threads", "cuda_a100", ...).  Constexpr + pure so a
+/// profiling-disabled dispatch (which passes the name to a never-taken
+/// cold branch) pays nothing for it — the compiler sinks it entirely.
+constexpr std::string_view to_string(backend b) noexcept {
+  switch (b) {
+  case backend::serial: return "serial";
+  case backend::threads: return "threads";
+  case backend::cpu_rome: return "cpu_rome";
+  case backend::cuda_a100: return "cuda_a100";
+  case backend::hip_mi100: return "hip_mi100";
+  case backend::oneapi_max1550: return "oneapi_max1550";
+  }
+  return "?";
+}
 
 /// Parses a backend name; accepts canonical names plus the vendor aliases
 /// used in the paper ("cuda", "amdgpu", "oneapi", "rome").  Throws
@@ -96,5 +108,11 @@ private:
 /// No-op: every JACC construct is synchronous (paper Sec. IV), so there is
 /// never outstanding work.  Provided so ported code keeps its structure.
 inline void synchronize() {}
+
+/// Flushes the profiling layer: prints the JACC_PROFILE=summary table and/or
+/// writes the JACC_TRACE_FILE Chrome trace.  Safe to call any number of
+/// times; programs that never call it still get their report from an atexit
+/// hook.
+void finalize();
 
 } // namespace jacc

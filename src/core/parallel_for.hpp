@@ -26,17 +26,20 @@
 
 #include "core/array.hpp"
 #include "core/backend.hpp"
+#include "prof/prof.hpp"
 #include "sim/launch.hpp"
 #include "threadpool/thread_pool.hpp"
 
 namespace jacc {
 
-/// Optional accounting hints: a kernel name for traces and a flops-per-index
-/// estimate for the simulator's roofline term.  Purely observational — they
+/// Optional accounting hints: a kernel name for traces, a flops-per-index
+/// estimate for the simulator's roofline term, and a bytes-per-index
+/// estimate for profiler bandwidth columns.  Purely observational — they
 /// never change results.
 struct hints {
   std::string_view name = "jacc.parallel_for";
   double flops_per_index = 0.0;
+  double bytes_per_index = 0.0;
 };
 
 struct dims2 {
@@ -176,6 +179,10 @@ void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
     return;
   }
   const backend b = current_backend();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_for, h.name,
+      static_cast<std::uint64_t>(n), h.flops_per_index, h.bytes_per_index,
+      to_string(b));
   switch (b) {
   case backend::serial: {
     for (index_t i = 0; i < n; ++i) {
@@ -225,6 +232,10 @@ void parallel_for(const hints& h, dims2 d, F&& f, Args&&... args) {
     return;
   }
   const backend b = current_backend();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_for, h.name,
+      static_cast<std::uint64_t>(d.rows * d.cols), h.flops_per_index,
+      h.bytes_per_index, to_string(b));
   switch (b) {
   case backend::serial: {
     for (index_t j = 0; j < d.cols; ++j) {
@@ -277,6 +288,10 @@ void parallel_for(const hints& h, dims3 d, F&& f, Args&&... args) {
     return;
   }
   const backend b = current_backend();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_for, h.name,
+      static_cast<std::uint64_t>(d.rows * d.cols * d.depth),
+      h.flops_per_index, h.bytes_per_index, to_string(b));
   switch (b) {
   case backend::serial: {
     for (index_t k = 0; k < d.depth; ++k) {

@@ -188,6 +188,10 @@ auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
     return Op::template identity<R>();
   }
   const backend b = current_backend();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_reduce, h.name,
+      static_cast<std::uint64_t>(n), h.flops_per_index, h.bytes_per_index,
+      to_string(b));
   switch (b) {
   case backend::serial: {
     R acc = Op::template identity<R>();

@@ -61,7 +61,8 @@ void simulation::init_pulse(double rho0, double amplitude,
 
 void simulation::step() {
   jacc::parallel_for(
-      jacc::hints{.name = "jacc.lbm", .flops_per_index = site_flops},
+      jacc::hints{.name = "jacc.lbm", .flops_per_index = site_flops,
+                  .bytes_per_index = 144.0},
       jacc::dims2{cfg_.size, cfg_.size}, lbm_kernel, f_, f1_, f2_, cfg_.tau,
       w_, cx_, cy_, cfg_.size);
   std::swap(f1_, f2_);
@@ -76,7 +77,8 @@ void simulation::run(int steps) {
 
 double simulation::total_mass() {
   return jacc::parallel_reduce(
-      jacc::hints{.name = "jacc.lbm.mass", .flops_per_index = 1.0},
+      jacc::hints{.name = "jacc.lbm.mass", .flops_per_index = 1.0,
+                  .bytes_per_index = 8.0},
       f1_.size(),
       [](index_t i, const jacc::array<double>& f1) {
         return static_cast<double>(f1[i]);

@@ -66,7 +66,8 @@ void simulation3d::init_pulse(double rho0, double amplitude,
 
 void simulation3d::step() {
   jacc::parallel_for(
-      jacc::hints{.name = "jacc.lbm3", .flops_per_index = site_flops},
+      jacc::hints{.name = "jacc.lbm3", .flops_per_index = site_flops,
+                  .bytes_per_index = 304.0},
       jacc::dims3{cfg_.size, cfg_.size, cfg_.size}, lbm3_kernel, f_, f1_,
       f2_, cfg_.tau, w_, cx_, cy_, cz_, cfg_.size);
   std::swap(f1_, f2_);
@@ -81,7 +82,8 @@ void simulation3d::run(int steps) {
 
 double simulation3d::total_mass() {
   return jacc::parallel_reduce(
-      jacc::hints{.name = "jacc.lbm3.mass", .flops_per_index = 1.0},
+      jacc::hints{.name = "jacc.lbm3.mass", .flops_per_index = 1.0,
+                  .bytes_per_index = 8.0},
       f1_.size(),
       [](index_t i, const jacc::array<double>& f1) {
         return static_cast<double>(f1[i]);

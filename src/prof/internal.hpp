@@ -1,0 +1,32 @@
+// Bridge between prof.cpp (state owner) and report.cpp (aggregation and
+// output).  Not installed as public API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/prof.hpp"
+#include "prof/ring.hpp"
+
+namespace jaccx::prof::internal {
+
+/// Copies (not references) of the teed simulated-timeline events.
+struct sim_event_view {
+  std::string device;
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint64_t dram_bytes = 0, cache_bytes = 0, flops = 0, indices = 0;
+};
+
+std::vector<event_ring*> ring_snapshot();
+std::vector<sim_event_view> sim_snapshot();
+std::vector<pool_stats> pool_snapshot();
+
+/// Records `sig` as the last reported signature; returns true when it
+/// differs from the previous one (i.e. a report should be produced).
+bool report_signature_changed(std::uint64_t sig);
+
+} // namespace jaccx::prof::internal

@@ -1,0 +1,271 @@
+// jaccx::prof — a KokkosP-style profiling layer for the JACC front end.
+//
+// The paper's central claim (Sec. V) is that the portable layer adds
+// near-zero overhead over device-specific code.  This subsystem makes that
+// claim observable from the inside without recompiling user code, the way
+// Kokkos Tools does for Kokkos:
+//
+//   * a hook registry (begin/end_parallel_for, begin/end_parallel_reduce,
+//     alloc/free/copy, region_push/pop) invoked from the core dispatch and
+//     jacc::array, carrying the launch hints (name, flops, bytes);
+//   * per-thread lock-free event rings (see ring.hpp) plus fork/join pool
+//     counters (busy vs spin vs park time, chunks claimed);
+//   * an aggregator producing the per-kernel stats table printed at
+//     jacc::finalize() under JACC_PROFILE=summary, and a unified
+//     Chrome-trace JSON (JACC_PROFILE=trace + JACC_TRACE_FILE=...) merging
+//     real wall-clock events with every simulated device's timeline so one
+//     Perfetto view shows both worlds.
+//
+// Cost contract: everything is compiled in but branch-gated.  With
+// JACC_PROFILE unset and no tool registered, an instrumented site costs one
+// relaxed atomic load and a predictable not-taken branch — no allocation,
+// no time read (verified by bench/abl_dispatch_overhead and
+// tests/prof_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prof/ring.hpp"
+
+namespace jaccx::prof {
+
+// --- mode / gating ----------------------------------------------------------
+
+/// Bit flags resolved from JACC_PROFILE (or set_mode).  `collect` fills the
+/// event rings; `summary` and `trace` imply collect and choose what
+/// finalize() does with the data.
+inline constexpr unsigned mode_off = 0u;
+inline constexpr unsigned mode_collect = 1u;
+inline constexpr unsigned mode_summary = 2u;
+inline constexpr unsigned mode_trace = 4u;
+
+/// Parses a JACC_PROFILE spec: "off", "summary", "trace", "collect", or a
+/// comma list ("summary,trace").  Returns nullopt for unknown values.
+std::optional<unsigned> parse_mode_spec(std::string_view spec);
+
+namespace detail {
+extern std::atomic<unsigned> g_mode;
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// True when any instrumentation consumer exists (collection mode on or an
+/// external tool registered).  This is THE hot-path gate: one relaxed load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline unsigned mode() {
+  return detail::g_mode.load(std::memory_order_relaxed);
+}
+inline bool collecting() { return (mode() & mode_collect) != 0; }
+inline bool trace_enabled() { return (mode() & mode_trace) != 0; }
+
+/// Installs a mode programmatically (tests, benches).  `trace_path` is only
+/// consulted when `bits` includes mode_trace; empty keeps the current path.
+void set_mode(unsigned bits, std::string_view trace_path = {});
+
+/// ORs mode_collect into the current mode (benches force collection so the
+/// per-kernel JSON is populated regardless of JACC_PROFILE).
+void enable_collection();
+
+std::string trace_path();
+
+// --- tool hook registry (KokkosP analogue) ----------------------------------
+
+/// Metadata handed to kernel hooks: the dispatch-site hints plus the
+/// resolved backend and the iteration count.
+struct kernel_info {
+  std::string_view name;
+  construct kind = construct::parallel_for;
+  std::uint64_t indices = 0;
+  double flops_per_index = 0.0;
+  double bytes_per_index = 0.0;
+  std::string_view backend;
+};
+
+/// External tool callbacks.  Null members are skipped.  Mirrors KokkosP:
+/// begin hooks receive a kernel id that the matching end hook repeats.
+struct callbacks {
+  void* user = nullptr;
+  void (*begin_parallel_for)(void* user, const kernel_info&,
+                             std::uint64_t kid) = nullptr;
+  void (*end_parallel_for)(void* user, std::uint64_t kid) = nullptr;
+  void (*begin_parallel_reduce)(void* user, const kernel_info&,
+                                std::uint64_t kid) = nullptr;
+  void (*end_parallel_reduce)(void* user, std::uint64_t kid) = nullptr;
+  void (*alloc)(void* user, std::string_view name,
+                std::uint64_t bytes) = nullptr;
+  void (*free_)(void* user, std::uint64_t bytes) = nullptr;
+  void (*copy)(void* user, std::string_view name, bool to_device,
+               std::uint64_t bytes) = nullptr;
+  void (*region_push)(void* user, std::string_view name) = nullptr;
+  void (*region_pop)(void* user) = nullptr;
+};
+
+/// Registers a tool; returns its id.  Registration flips enabled() on.
+std::uint64_t register_callbacks(const callbacks& cb);
+void unregister_callbacks(std::uint64_t id);
+
+// --- instrumentation entry points (cold paths, called only when enabled) ---
+
+std::uint64_t now_ns();
+
+// `cold` keeps the never-taken call blocks out of the dispatch hot path's
+// register allocation and code layout (part of the disabled-cost contract).
+[[gnu::cold]] std::uint64_t begin_kernel(const kernel_info& info);
+[[gnu::cold]] void end_kernel(std::uint64_t kid, construct kind);
+
+void region_push(std::string_view name);
+void region_pop();
+
+void note_alloc(std::string_view name, std::uint64_t bytes);
+void note_free(std::uint64_t bytes);
+void note_copy(std::string_view name, bool to_device, std::uint64_t bytes);
+
+/// Names the calling thread's event ring in trace output ("pool.worker.3").
+void label_this_thread(std::string_view label);
+
+/// Fork/join pool worker slice (busy with chunk count, or park).
+void emit_pool_slice(construct kind, unsigned worker, std::uint64_t t0_ns,
+                     std::uint64_t t1_ns, std::uint64_t chunks);
+
+/// Tee for one simulated-timeline event; called by sim::timeline::record
+/// when trace mode is on so bench-time logging toggles and clock resets
+/// cannot lose the events the user asked to export.
+void note_sim_event(std::string_view device_label, std::string_view name,
+                    std::string_view category, double ts_us, double dur_us,
+                    std::uint64_t dram_bytes, std::uint64_t cache_bytes,
+                    std::uint64_t flops, std::uint64_t indices);
+
+// --- RAII helpers used by the dispatch layer --------------------------------
+
+/// Brackets one parallel_for / parallel_reduce.  Disabled cost: one relaxed
+/// load in the constructor and a predictable branch in each of ctor/dtor.
+class kernel_scope {
+public:
+  kernel_scope(construct kind, std::string_view name, std::uint64_t indices,
+               double flops_per_index, double bytes_per_index,
+               std::string_view backend)
+      : armed_(enabled()), kind_(kind) {
+    if (armed_) [[unlikely]] {
+      kid_ = begin_kernel(kernel_info{name, kind, indices, flops_per_index,
+                                      bytes_per_index, backend});
+    }
+  }
+  ~kernel_scope() {
+    if (armed_) [[unlikely]] {
+      end_kernel(kid_, kind_);
+    }
+  }
+  kernel_scope(const kernel_scope&) = delete;
+  kernel_scope& operator=(const kernel_scope&) = delete;
+
+private:
+  bool armed_;
+  construct kind_;
+  std::uint64_t kid_; // only written/read when armed_; no eager zeroing
+};
+
+/// User-facing named region (nests).
+class scoped_region {
+public:
+  explicit scoped_region(std::string_view name) : armed_(enabled()) {
+    if (armed_) [[unlikely]] {
+      region_push(name);
+    }
+  }
+  ~scoped_region() {
+    if (armed_) [[unlikely]] {
+      region_pop();
+    }
+  }
+  scoped_region(const scoped_region&) = delete;
+  scoped_region& operator=(const scoped_region&) = delete;
+
+private:
+  bool armed_;
+};
+
+// --- pool statistics --------------------------------------------------------
+
+struct pool_worker_stat {
+  unsigned worker = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t spin_ns = 0;
+  std::uint64_t park_ns = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t regions = 0;
+};
+
+struct pool_stats {
+  unsigned width = 0;
+  std::string schedule;
+  std::uint64_t regions = 0; ///< barrier regions run (sub-width ones inline)
+  std::vector<pool_worker_stat> workers;
+};
+
+/// A thread pool registers a stats fetcher at construction and unregisters
+/// at destruction; unregistering freezes a final snapshot so a pool that
+/// dies before finalize() still appears in the report.
+void register_pool(const void* owner, std::function<pool_stats()> fetch);
+void unregister_pool(const void* owner);
+
+// --- aggregation / output ---------------------------------------------------
+
+struct kernel_stats {
+  std::string name;
+  construct kind = construct::parallel_for;
+  std::string backend;
+  std::uint64_t count = 0;
+  std::uint64_t units = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  double gflops_per_s = 0.0; ///< from the flops_per_index hints; 0 if unhinted
+  double gbytes_per_s = 0.0; ///< from the bytes_per_index hints; 0 if unhinted
+};
+
+struct memory_stats {
+  std::uint64_t allocs = 0, alloc_bytes = 0;
+  std::uint64_t frees = 0, free_bytes = 0;
+  std::uint64_t h2d_copies = 0, h2d_bytes = 0;
+  std::uint64_t d2h_copies = 0, d2h_bytes = 0;
+};
+
+/// Per-kernel/region rows folded across every thread ring (exact even past
+/// ring capacity), sorted by total time descending.
+std::vector<kernel_stats> aggregate_kernels();
+memory_stats aggregate_memory();
+/// Live pools (fetched now) plus frozen snapshots, zero-region ones dropped.
+std::vector<pool_stats> aggregate_pools();
+
+/// The JACC_PROFILE=summary report.
+std::string summary_text();
+
+/// The unified Chrome-trace JSON: host rings as pid 1 (one tid per thread),
+/// each simulated device as its own pid, Perfetto/about:tracing loadable.
+std::string chrome_trace_json();
+
+/// Acts on the current mode: prints the summary (stdout) and/or writes the
+/// trace file.  Idempotent until new events arrive; called by
+/// jacc::finalize() and from an atexit hook when JACC_PROFILE requested
+/// output, so programs that never call finalize still get their report.
+void finalize();
+
+/// Test support: drops all collected events, sim tees, and frozen pool
+/// snapshots.  Must be called while no kernels are in flight.
+void reset();
+
+/// Test support: number of thread rings ever created (the disabled path
+/// must never create one) and events evicted from trace windows.
+std::size_t debug_ring_count();
+std::uint64_t debug_trace_dropped();
+
+} // namespace jaccx::prof

@@ -1,0 +1,345 @@
+// Aggregation and output for jaccx::prof: the per-kernel stats table
+// (JACC_PROFILE=summary) and the unified Chrome-trace JSON exporter
+// (JACC_PROFILE=trace + JACC_TRACE_FILE).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "prof/internal.hpp"
+#include "prof/prof.hpp"
+
+namespace jaccx::prof {
+
+namespace {
+
+bool is_kernel_kind(construct c) {
+  return c == construct::parallel_for || c == construct::parallel_reduce ||
+         c == construct::region;
+}
+
+/// Folds every ring (resident window + overflow aggregates) into one map.
+agg_map fold_all_rings() {
+  agg_map out;
+  for (const event_ring* ring : internal::ring_snapshot()) {
+    for (const auto& [key, value] : ring->overflow()) {
+      out[key].merge(value);
+    }
+    const std::uint64_t count = ring->count();
+    const std::uint64_t resident = ring->resident();
+    for (std::uint64_t i = count - resident; i < count; ++i) {
+      const record& r = ring->at(i);
+      out[agg_key{r.name, r.kind, r.backend.data()}].fold(r);
+    }
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+/// Chrome traces key on pid/tid; pid 1 is the host (real wall clock, one
+/// tid per event ring), and each simulated device gets its own pid so its
+/// simulated-microsecond timeline reads as a separate process track.
+constexpr int host_pid = 1;
+
+void append_meta(std::ostringstream& os, bool& first, int pid, int tid,
+                 std::string_view what, std::string_view name) {
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+     << json_escape(name) << "\"}}";
+}
+
+/// Signature of "what data exists right now" for finalize idempotence.
+std::uint64_t current_signature() {
+  std::uint64_t sig = 0x9e3779b97f4a7c15ull;
+  for (const event_ring* ring : internal::ring_snapshot()) {
+    sig = sig * 1099511628211ull + ring->count();
+  }
+  sig = sig * 1099511628211ull + internal::sim_snapshot().size();
+  return sig;
+}
+
+} // namespace
+
+std::vector<kernel_stats> aggregate_kernels() {
+  std::vector<kernel_stats> out;
+  for (const auto& [key, value] : fold_all_rings()) {
+    if (!is_kernel_kind(key.kind)) {
+      continue;
+    }
+    kernel_stats row;
+    row.name = key.name != nullptr ? *key.name : std::string("?");
+    row.kind = key.kind;
+    row.backend = key.backend != nullptr
+                      ? std::string(static_cast<const char*>(key.backend))
+                      : std::string();
+    row.count = value.count;
+    row.units = value.units;
+    row.total_us = static_cast<double>(value.total_ns) * 1e-3;
+    row.min_us = value.count != 0
+                     ? static_cast<double>(value.min_ns) * 1e-3
+                     : 0.0;
+    row.max_us = static_cast<double>(value.max_ns) * 1e-3;
+    if (value.total_ns != 0) {
+      // flops/ns == Gflop/s, bytes/ns == GB/s.
+      row.gflops_per_s = value.flops / static_cast<double>(value.total_ns);
+      row.gbytes_per_s = value.bytes / static_cast<double>(value.total_ns);
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const kernel_stats& a, const kernel_stats& b) {
+              if (a.total_us != b.total_us) {
+                return a.total_us > b.total_us;
+              }
+              return a.name < b.name;
+            });
+  return out;
+}
+
+memory_stats aggregate_memory() {
+  memory_stats m;
+  for (const auto& [key, value] : fold_all_rings()) {
+    switch (key.kind) {
+    case construct::alloc:
+      m.allocs += value.count;
+      m.alloc_bytes += value.units;
+      break;
+    case construct::free_:
+      m.frees += value.count;
+      m.free_bytes += value.units;
+      break;
+    case construct::copy_h2d:
+      m.h2d_copies += value.count;
+      m.h2d_bytes += value.units;
+      break;
+    case construct::copy_d2h:
+      m.d2h_copies += value.count;
+      m.d2h_bytes += value.units;
+      break;
+    default:
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<pool_stats> aggregate_pools() {
+  std::vector<pool_stats> out = internal::pool_snapshot();
+  std::erase_if(out, [](const pool_stats& p) { return p.regions == 0; });
+  return out;
+}
+
+std::string summary_text() {
+  std::ostringstream os;
+  os << "== jaccx::prof summary ==\n";
+
+  const auto kernels = aggregate_kernels();
+  if (kernels.empty()) {
+    os << "(no kernels recorded)\n";
+  } else {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-28s %-16s %-12s %8s %12s %10s %10s %10s %8s %8s\n",
+                  "kernel", "construct", "backend", "count", "total_us",
+                  "min_us", "mean_us", "max_us", "GB/s", "GF/s");
+    os << line;
+    for (const kernel_stats& k : kernels) {
+      const double mean =
+          k.count != 0 ? k.total_us / static_cast<double>(k.count) : 0.0;
+      std::snprintf(line, sizeof line,
+                    "%-28s %-16s %-12s %8" PRIu64
+                    " %12.1f %10.2f %10.2f %10.2f %8.2f %8.2f\n",
+                    k.name.c_str(), to_string(k.kind),
+                    k.backend.empty() ? "-" : k.backend.c_str(), k.count,
+                    k.total_us, k.min_us, mean, k.max_us, k.gbytes_per_s,
+                    k.gflops_per_s);
+      os << line;
+    }
+  }
+
+  const memory_stats m = aggregate_memory();
+  if (m.allocs + m.frees + m.h2d_copies + m.d2h_copies != 0) {
+    os << "-- memory --\n";
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "alloc %" PRIu64 "x / %.1f MiB   free %" PRIu64
+                  "x / %.1f MiB   h2d %" PRIu64 "x / %.1f MiB   d2h %" PRIu64
+                  "x / %.1f MiB\n",
+                  m.allocs, static_cast<double>(m.alloc_bytes) / (1 << 20),
+                  m.frees, static_cast<double>(m.free_bytes) / (1 << 20),
+                  m.h2d_copies, static_cast<double>(m.h2d_bytes) / (1 << 20),
+                  m.d2h_copies, static_cast<double>(m.d2h_bytes) / (1 << 20));
+    os << line;
+  }
+
+  for (const pool_stats& p : aggregate_pools()) {
+    os << "-- pool (width " << p.width << ", schedule " << p.schedule << ", "
+       << p.regions << " regions) --\n";
+    char line[192];
+    for (const pool_worker_stat& w : p.workers) {
+      std::snprintf(line, sizeof line,
+                    "worker %-3u busy %10.1f us  spin %10.1f us  park %10.1f "
+                    "us  parks %6" PRIu64 "  chunks %8" PRIu64 "\n",
+                    w.worker, static_cast<double>(w.busy_ns) * 1e-3,
+                    static_cast<double>(w.spin_ns) * 1e-3,
+                    static_cast<double>(w.park_ns) * 1e-3, w.parks, w.chunks);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  append_meta(os, first, host_pid, 0, "process_name", "jacc host (wall clock)");
+
+  const auto rings = internal::ring_snapshot();
+  for (const event_ring* ring : rings) {
+    append_meta(os, first, host_pid, static_cast<int>(ring->tid()),
+                "thread_name", ring->label());
+  }
+
+  for (const event_ring* ring : rings) {
+    const int tid = static_cast<int>(ring->tid());
+    const std::uint64_t count = ring->count();
+    const std::uint64_t resident = ring->resident();
+    for (std::uint64_t i = count - resident; i < count; ++i) {
+      const record& r = ring->at(i);
+      if (!first) {
+        os << ",\n";
+      }
+      first = false;
+      const double ts = static_cast<double>(r.t0_ns) * 1e-3;
+      const double dur = static_cast<double>(r.t1_ns - r.t0_ns) * 1e-3;
+      const char* name = r.name != nullptr ? r.name->c_str() : "?";
+      if (r.t1_ns == r.t0_ns) {
+        os << "  {\"ph\":\"i\",\"s\":\"t\",\"pid\":" << host_pid
+           << ",\"tid\":" << tid << ",\"ts\":" << ts << ",\"name\":\""
+           << json_escape(name) << "\",\"cat\":\"" << to_string(r.kind)
+           << "\",\"args\":{\"bytes\":" << r.units << "}}";
+        continue;
+      }
+      os << "  {\"ph\":\"X\",\"pid\":" << host_pid << ",\"tid\":" << tid
+         << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"name\":\""
+         << json_escape(name) << "\",\"cat\":\"" << to_string(r.kind)
+         << "\",\"args\":{";
+      if (r.kind == construct::pool_busy || r.kind == construct::pool_park) {
+        os << "\"worker\":" << r.worker << ",\"chunks\":" << r.units;
+      } else {
+        os << "\"indices\":" << r.units
+           << ",\"flops_per_index\":" << r.flops_per_index
+           << ",\"bytes_per_index\":" << r.bytes_per_index;
+        if (!r.backend.empty()) {
+          os << ",\"backend\":\"" << json_escape(r.backend) << "\"";
+        }
+      }
+      os << "}}";
+    }
+  }
+
+  // Simulated devices: one pid per device label, events at their simulated
+  // timestamps (already microseconds, the trace's native unit).
+  const auto sims = internal::sim_snapshot();
+  std::vector<std::string> device_order;
+  for (const auto& ev : sims) {
+    if (std::find(device_order.begin(), device_order.end(), ev.device) ==
+        device_order.end()) {
+      device_order.push_back(ev.device);
+    }
+  }
+  for (std::size_t d = 0; d < device_order.size(); ++d) {
+    append_meta(os, first, host_pid + 1 + static_cast<int>(d), 0,
+                "process_name", "sim:" + device_order[d]);
+  }
+  for (const auto& ev : sims) {
+    const auto it =
+        std::find(device_order.begin(), device_order.end(), ev.device);
+    const int pid =
+        host_pid + 1 +
+        static_cast<int>(std::distance(device_order.begin(), it));
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ev.ts_us
+       << ",\"dur\":" << ev.dur_us << ",\"name\":\"" << json_escape(ev.name)
+       << "\",\"cat\":\"sim." << json_escape(ev.category)
+       << "\",\"args\":{\"dram_bytes\":" << ev.dram_bytes
+       << ",\"cache_bytes\":" << ev.cache_bytes << ",\"flops\":" << ev.flops
+       << ",\"indices\":" << ev.indices << "}}";
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+void finalize() {
+  const unsigned m = mode();
+  if ((m & (mode_summary | mode_trace)) == 0) {
+    return;
+  }
+  if (!internal::report_signature_changed(current_signature())) {
+    return;
+  }
+  if ((m & mode_summary) != 0) {
+    const std::string text = summary_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+  }
+  if ((m & mode_trace) != 0) {
+    std::string path = trace_path();
+    if (path.empty()) {
+      path = "jacc_trace.json";
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << chrome_trace_json();
+    } else {
+      std::fprintf(stderr, "jaccx::prof: cannot write trace file '%s'\n",
+                   path.c_str());
+    }
+  }
+}
+
+} // namespace jaccx::prof

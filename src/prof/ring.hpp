@@ -1,0 +1,170 @@
+// Per-thread event storage for the jaccx::prof profiling layer.
+//
+// Each thread that emits profiling events owns one event_ring: a
+// fixed-capacity single-producer buffer written with plain stores and
+// published with one release increment per event, so the hot path never
+// takes a lock and never allocates after the ring exists.  When the ring
+// wraps, the evicted record is folded into a per-ring aggregate before
+// being overwritten — summaries therefore stay exact over arbitrarily long
+// runs while traces keep the most recent `capacity` events per thread.
+//
+// Rings are created lazily on a thread's first profiled event, registered
+// with the process-wide profiler state, and intentionally never freed:
+// a pool worker may emit its final park/busy accounting during process
+// teardown, after the profiler has already been drained, and a leaked ring
+// is the only lifetime that makes that unconditionally safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jaccx::prof {
+
+/// What a profiling record describes.  The first three mirror the public
+/// constructs; the pool_* kinds are fork/join worker slices; the rest are
+/// memory-traffic markers from jacc::array.
+enum class construct : unsigned char {
+  parallel_for,
+  parallel_reduce,
+  region,
+  pool_busy,
+  pool_park,
+  alloc,
+  free_,
+  copy_h2d,
+  copy_d2h,
+};
+
+const char* to_string(construct c);
+
+/// One profiled interval (or instant, when t0 == t1).  `name` points into
+/// the profiler's intern table and `backend` into static storage, so the
+/// record itself is trivially copyable.
+struct record {
+  const std::string* name = nullptr;
+  construct kind = construct::parallel_for;
+  std::uint16_t worker = 0;     ///< pool worker index for pool_* records
+  std::string_view backend;     ///< dispatching backend; empty for non-kernels
+  std::uint64_t t0_ns = 0;      ///< steady-clock, relative to the trace epoch
+  std::uint64_t t1_ns = 0;
+  std::uint64_t units = 0;      ///< indices (kernels), bytes (memory),
+                                ///< chunks (pool_busy)
+  double flops_per_index = 0.0;
+  double bytes_per_index = 0.0;
+};
+
+/// Aggregation key: one row of the per-kernel stats table.  Interned name
+/// and literal backend pointers make pointer equality sufficient.
+struct agg_key {
+  const std::string* name = nullptr;
+  construct kind = construct::parallel_for;
+  const void* backend = nullptr;
+
+  friend bool operator==(const agg_key&, const agg_key&) = default;
+};
+
+struct agg_key_hash {
+  std::size_t operator()(const agg_key& k) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(k.name);
+    const auto b = reinterpret_cast<std::uintptr_t>(k.backend);
+    return static_cast<std::size_t>(a * 0x9e3779b97f4a7c15ull) ^
+           static_cast<std::size_t>(b >> 3) ^
+           static_cast<std::size_t>(k.kind);
+  }
+};
+
+/// Folded statistics for one key.
+struct agg_value {
+  std::uint64_t count = 0;
+  std::uint64_t units = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = ~std::uint64_t{0};
+  std::uint64_t max_ns = 0;
+  double flops = 0.0; ///< Σ units · flops_per_index
+  double bytes = 0.0; ///< Σ units · bytes_per_index
+
+  void fold(const record& r) {
+    const std::uint64_t d = r.t1_ns - r.t0_ns;
+    ++count;
+    units += r.units;
+    total_ns += d;
+    min_ns = d < min_ns ? d : min_ns;
+    max_ns = d > max_ns ? d : max_ns;
+    flops += static_cast<double>(r.units) * r.flops_per_index;
+    bytes += static_cast<double>(r.units) * r.bytes_per_index;
+  }
+
+  void merge(const agg_value& o) {
+    count += o.count;
+    units += o.units;
+    total_ns += o.total_ns;
+    min_ns = o.min_ns < min_ns ? o.min_ns : min_ns;
+    max_ns = o.max_ns > max_ns ? o.max_ns : max_ns;
+    flops += o.flops;
+    bytes += o.bytes;
+  }
+};
+
+using agg_map = std::unordered_map<agg_key, agg_value, agg_key_hash>;
+
+class event_ring {
+public:
+  /// 16K records ≈ 1 MiB per emitting thread; summaries never lose data
+  /// (overflow folds into overflow_), traces keep the newest `capacity`.
+  static constexpr std::uint64_t capacity = std::uint64_t{1} << 14;
+
+  event_ring(unsigned tid, std::string label)
+      : buf_(capacity), label_(std::move(label)), tid_(tid) {}
+
+  /// Single-producer append.  The release store publishes the record to a
+  /// quiescent-time drain (acquire on count()).
+  void push(const record& r) {
+    const std::uint64_t c = count_.load(std::memory_order_relaxed);
+    if (c >= capacity) {
+      const record& evicted = buf_[c % capacity];
+      overflow_[agg_key{evicted.name, evicted.kind, evicted.backend.data()}]
+          .fold(evicted);
+    }
+    buf_[c % capacity] = r;
+    count_.store(c + 1, std::memory_order_release);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  const record& at(std::uint64_t i) const { return buf_[i % capacity]; }
+
+  /// Records currently resident (the newest min(count, capacity)).
+  std::uint64_t resident() const {
+    const std::uint64_t c = count();
+    return c < capacity ? c : capacity;
+  }
+  std::uint64_t dropped_from_trace() const {
+    const std::uint64_t c = count();
+    return c > capacity ? c - capacity : 0;
+  }
+
+  const agg_map& overflow() const { return overflow_; }
+  const std::string& label() const { return label_; }
+  void set_label(std::string l) { label_ = std::move(l); }
+  unsigned tid() const { return tid_; }
+
+  /// Test-only rewind; caller guarantees the owning thread is not pushing.
+  void clear() {
+    count_.store(0, std::memory_order_release);
+    overflow_.clear();
+  }
+
+private:
+  std::vector<record> buf_;
+  std::atomic<std::uint64_t> count_{0};
+  agg_map overflow_;
+  std::string label_;
+  unsigned tid_ = 0;
+};
+
+} // namespace jaccx::prof

@@ -10,7 +10,9 @@ namespace jaccx::sim {
 
 device::device(device_model model)
     : model_(std::move(model)),
-      cache_(model_.cache_bytes, model_.cache_line_bytes, model_.cache_assoc) {}
+      cache_(model_.cache_bytes, model_.cache_line_bytes, model_.cache_assoc) {
+  timeline_.set_label(model_.name);
+}
 
 device::~device() = default;
 

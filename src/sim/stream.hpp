@@ -31,6 +31,7 @@ namespace jaccx::sim {
 class stream {
 public:
   explicit stream(device& dev) : dev_(&dev) {
+    tl_.set_label(dev.model().name + ".stream");
     // Work enqueued on a fresh stream cannot start before device time.
     const double origin = dev.tl().now_us();
     if (origin > 0.0) {

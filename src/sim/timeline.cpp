@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "prof/prof.hpp"
+
 namespace jaccx::sim {
 
 const char* to_string(event_kind k) {
@@ -16,6 +18,15 @@ const char* to_string(event_kind k) {
 
 void timeline::record(std::string name, event_kind kind, double duration_us,
                       const work_tally& tally) {
+  // Tee into the profiler's unified trace, independent of the logging_
+  // flag: benchmarks disable logging and reset clocks between samples,
+  // which must not lose the events a JACC_PROFILE=trace run asked for.
+  if (jaccx::prof::trace_enabled()) [[unlikely]] {
+    jaccx::prof::note_sim_event(label_.empty() ? "sim" : label_, name,
+                                to_string(kind), now_us_, duration_us,
+                                tally.dram_bytes, tally.cache_bytes,
+                                tally.flops, tally.indices);
+  }
   if (logging_) {
     events_.push_back(
         event{std::move(name), kind, now_us_, duration_us, tally});

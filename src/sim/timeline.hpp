@@ -46,12 +46,19 @@ public:
   void set_logging(bool enabled) { logging_ = enabled; }
   bool logging() const { return logging_; }
 
+  /// Device label used by the profiler's unified trace ("a100",
+  /// "a100.stream", ...).  Empty timelines stay anonymous and are teed as
+  /// "sim".
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
   /// Serializes the event log in Chrome trace-event JSON format.
   std::string to_chrome_trace() const;
 
 private:
   double now_us_ = 0.0;
   bool logging_ = true;
+  std::string label_;
   std::vector<event> events_;
 };
 

@@ -1,7 +1,9 @@
 #include "threadpool/thread_pool.hpp"
 
 #include <chrono>
+#include <string>
 
+#include "prof/prof.hpp"
 #include "support/env.hpp"
 
 namespace jaccx::pool {
@@ -74,10 +76,14 @@ thread_pool::thread_pool(unsigned threads) {
     }
   }
 
+  counters_ = std::make_unique<worker_counters[]>(width_);
+
   workers_.reserve(width_ - 1);
   for (unsigned w = 1; w < width_; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+
+  jaccx::prof::register_pool(this, [this] { return stats(); });
 }
 
 thread_pool::~thread_pool() {
@@ -87,6 +93,38 @@ thread_pool::~thread_pool() {
   for (auto& t : workers_) {
     t.join();
   }
+  // Freezes a final stats snapshot in the profiler; must come after the
+  // joins so every worker's accounting is complete.
+  jaccx::prof::unregister_pool(this);
+}
+
+jaccx::prof::pool_stats thread_pool::stats() const {
+  jaccx::prof::pool_stats s;
+  s.width = width_;
+  const schedule sc = sched_;
+  if (sc.kind == schedule_kind::static_chunks) {
+    s.schedule = "static";
+  } else {
+    s.schedule = "dynamic";
+    if (sc.grain > 0) {
+      s.schedule += "," + std::to_string(sc.grain);
+    }
+  }
+  s.regions = regions_.load(std::memory_order_relaxed);
+  s.workers.reserve(width_);
+  for (unsigned w = 0; w < width_; ++w) {
+    const worker_counters& c = counters_[w];
+    jaccx::prof::pool_worker_stat ws;
+    ws.worker = w;
+    ws.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    ws.spin_ns = c.spin_ns.load(std::memory_order_relaxed);
+    ws.park_ns = c.park_ns.load(std::memory_order_relaxed);
+    ws.parks = c.parks.load(std::memory_order_relaxed);
+    ws.chunks = c.chunks.load(std::memory_order_relaxed);
+    ws.regions = c.regions.load(std::memory_order_relaxed);
+    s.workers.push_back(ws);
+  }
+  return s;
 }
 
 bool thread_pool::spin_while_epoch_is(std::uint64_t seen) const {
@@ -137,23 +175,26 @@ bool thread_pool::spin_until_done(unsigned target) const {
   }
 }
 
-void thread_pool::run_chunks(region_fn fn, void* ctx, index_t n,
-                             unsigned worker, schedule s) {
+std::uint64_t thread_pool::run_chunks(region_fn fn, void* ctx, index_t n,
+                                      unsigned worker, schedule s) {
   if (s.kind == schedule_kind::static_chunks) {
     const range r = static_chunk(n, width_, worker);
     if (!r.empty()) {
       fn(ctx, worker, r);
+      return 1;
     }
-    return;
+    return 0;
   }
   const index_t grain = s.grain;
+  std::uint64_t claimed = 0;
   for (;;) {
     const index_t begin = cursor_.fetch_add(grain, std::memory_order_relaxed);
     if (begin >= n) {
-      return;
+      return claimed;
     }
     const index_t end = begin + grain < n ? begin + grain : n;
     fn(ctx, worker, range{begin, end});
+    ++claimed;
   }
 }
 
@@ -193,8 +234,26 @@ void thread_pool::run_region(index_t n, region_fn fn, void* ctx) {
     epoch_.notify_all();
   }
 
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  const bool instrument = jaccx::prof::enabled();
+  std::uint64_t t_busy0 = 0;
+  if (instrument) [[unlikely]] {
+    t_busy0 = jaccx::prof::now_ns();
+  }
+
   // The caller is worker 0 and executes chunks in place.
-  run_chunks(fn, ctx, n, 0, s);
+  const std::uint64_t claimed = run_chunks(fn, ctx, n, 0, s);
+
+  std::uint64_t t_busy1 = 0;
+  if (instrument) [[unlikely]] {
+    t_busy1 = jaccx::prof::now_ns();
+    worker_counters& c = counters_[0];
+    c.busy_ns.fetch_add(t_busy1 - t_busy0, std::memory_order_relaxed);
+    c.chunks.fetch_add(claimed, std::memory_order_relaxed);
+    c.regions.fetch_add(1, std::memory_order_relaxed);
+    jaccx::prof::emit_pool_slice(jaccx::prof::construct::pool_busy, 0,
+                                 t_busy0, t_busy1, claimed);
+  }
 
   // Join: atomic countdown, spin first, park on the slow path.  The
   // acquire-reads of done_ synchronize with every worker's release
@@ -212,12 +271,35 @@ void thread_pool::run_region(index_t n, region_fn fn, void* ctx) {
     }
     caller_waiting_.store(0, std::memory_order_relaxed);
   }
+  if (instrument) [[unlikely]] {
+    // Caller-side join wait (spin + park) books as spin time: from the
+    // caller's view it is all "waiting for the barrier".
+    counters_[0].spin_ns.fetch_add(jaccx::prof::now_ns() - t_busy1,
+                                   std::memory_order_relaxed);
+  }
 }
 
 void thread_pool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
+  bool labeled = false;
   for (;;) {
+    // Sampled once per region; a mode flip mid-wait books that one wait to
+    // the old mode, which is fine for accounting.
+    const bool instrument = jaccx::prof::enabled();
+    std::uint64_t t_wait0 = 0;
+    if (instrument) [[unlikely]] {
+      t_wait0 = jaccx::prof::now_ns();
+      if (!labeled) {
+        jaccx::prof::label_this_thread("pool.worker." +
+                                       std::to_string(worker));
+        labeled = true;
+      }
+    }
     if (!spin_while_epoch_is(seen)) {
+      std::uint64_t t_park0 = 0;
+      if (instrument) [[unlikely]] {
+        t_park0 = jaccx::prof::now_ns();
+      }
       // Park.  parked_ is incremented before the epoch re-check inside
       // wait(); combined with the caller's seq_cst epoch increment this
       // makes "sleep forever while a region is pending" impossible.
@@ -226,6 +308,18 @@ void thread_pool::worker_loop(unsigned worker) {
         epoch_.wait(seen, std::memory_order_seq_cst);
       }
       parked_.fetch_sub(1, std::memory_order_relaxed);
+      if (instrument) [[unlikely]] {
+        const std::uint64_t t_park1 = jaccx::prof::now_ns();
+        worker_counters& c = counters_[worker];
+        c.spin_ns.fetch_add(t_park0 - t_wait0, std::memory_order_relaxed);
+        c.park_ns.fetch_add(t_park1 - t_park0, std::memory_order_relaxed);
+        c.parks.fetch_add(1, std::memory_order_relaxed);
+        jaccx::prof::emit_pool_slice(jaccx::prof::construct::pool_park,
+                                     worker, t_park0, t_park1, 0);
+      }
+    } else if (instrument) [[unlikely]] {
+      counters_[worker].spin_ns.fetch_add(jaccx::prof::now_ns() - t_wait0,
+                                          std::memory_order_relaxed);
     }
     // The epoch moves at most one step past `seen` while this worker has
     // not finished the current region, so the new epoch is exactly seen+1.
@@ -234,7 +328,21 @@ void thread_pool::worker_loop(unsigned worker) {
       return;
     }
 
-    run_chunks(fn_, ctx_, n_, worker, region_sched_);
+    std::uint64_t t_busy0 = 0;
+    if (instrument) [[unlikely]] {
+      t_busy0 = jaccx::prof::now_ns();
+    }
+    const std::uint64_t claimed =
+        run_chunks(fn_, ctx_, n_, worker, region_sched_);
+    if (instrument) [[unlikely]] {
+      const std::uint64_t t_busy1 = jaccx::prof::now_ns();
+      worker_counters& c = counters_[worker];
+      c.busy_ns.fetch_add(t_busy1 - t_busy0, std::memory_order_relaxed);
+      c.chunks.fetch_add(claimed, std::memory_order_relaxed);
+      c.regions.fetch_add(1, std::memory_order_relaxed);
+      jaccx::prof::emit_pool_slice(jaccx::prof::construct::pool_busy, worker,
+                                   t_busy0, t_busy1, claimed);
+    }
 
     // seq_cst (not acq_rel) so this increment is ordered against the
     // caller's caller_waiting_ store / done_ load pair: either the caller

@@ -23,11 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/span2d.hpp"
 #include "threadpool/partition.hpp"
@@ -118,10 +120,28 @@ public:
     run_region(n, trampoline, const_cast<void*>(static_cast<const void*>(&body)));
   }
 
+  /// Profiling snapshot: pool width, schedule, region count, and per-worker
+  /// busy/spin/park accounting.  The time counters only advance while
+  /// jaccx::prof::enabled(); region and chunk counts always advance (one
+  /// relaxed increment per region on the barrier path — noise next to the
+  /// barrier itself, and the sub-width inline path skips even that).
+  jaccx::prof::pool_stats stats() const;
+
 private:
+  /// Per-worker accounting, one cache line each so workers never share.
+  struct alignas(cache_line_bytes) worker_counters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> spin_ns{0};
+    std::atomic<std::uint64_t> park_ns{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> regions{0};
+  };
+
   void worker_loop(unsigned worker);
-  void run_chunks(region_fn fn, void* ctx, index_t n, unsigned worker,
-                  schedule s);
+  /// Returns the number of chunks this worker executed.
+  std::uint64_t run_chunks(region_fn fn, void* ctx, index_t n,
+                           unsigned worker, schedule s);
   bool spin_while_epoch_is(std::uint64_t seen) const;
   bool spin_until_done(unsigned target) const;
 
@@ -146,6 +166,8 @@ private:
   unsigned width_ = 1;
   std::atomic<long> spin_us_{0};
   schedule sched_{};
+  std::unique_ptr<worker_counters[]> counters_; // width_ entries
+  alignas(cache_line_bytes) std::atomic<std::uint64_t> regions_{0};
   std::vector<std::thread> workers_; // width_ - 1 helper threads
 };
 

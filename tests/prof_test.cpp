@@ -1,0 +1,336 @@
+// Tests for the jaccx::prof profiling layer: mode parsing, KokkosP-style
+// hook ordering/nesting, counter correctness across schedules, trace
+// validity across real and simulated backends, and the disabled-path
+// no-allocation guard.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "cg/solver.hpp"
+#include "core/jacc.hpp"
+#include "prof/prof.hpp"
+#include "threadpool/thread_pool.hpp"
+
+namespace jaccx::prof {
+namespace {
+
+/// Restores the profiler to off and drops collected events around a test.
+class prof_sandbox {
+public:
+  prof_sandbox() {
+    set_mode(mode_off);
+    reset();
+  }
+  ~prof_sandbox() {
+    set_mode(mode_off);
+    reset();
+  }
+};
+
+TEST(Prof, ParseModeSpec) {
+  EXPECT_EQ(parse_mode_spec("off"), mode_off);
+  EXPECT_EQ(parse_mode_spec("collect"), mode_collect);
+  EXPECT_EQ(parse_mode_spec("summary"), mode_summary | mode_collect);
+  EXPECT_EQ(parse_mode_spec("trace"), mode_trace | mode_collect);
+  EXPECT_EQ(parse_mode_spec("summary,trace"),
+            mode_summary | mode_trace | mode_collect);
+  EXPECT_FALSE(parse_mode_spec("bogus").has_value());
+  EXPECT_FALSE(parse_mode_spec("summary,bogus").has_value());
+}
+
+/// Tool that logs every hook invocation as a compact string.
+struct hook_log {
+  std::vector<std::string> events;
+
+  static callbacks make(hook_log* self) {
+    callbacks cb;
+    cb.user = self;
+    cb.begin_parallel_for = [](void* u, const kernel_info& info,
+                               std::uint64_t) {
+      static_cast<hook_log*>(u)->events.push_back("begin_for:" +
+                                                  std::string(info.name));
+    };
+    cb.end_parallel_for = [](void* u, std::uint64_t) {
+      static_cast<hook_log*>(u)->events.push_back("end_for");
+    };
+    cb.begin_parallel_reduce = [](void* u, const kernel_info& info,
+                                  std::uint64_t) {
+      static_cast<hook_log*>(u)->events.push_back("begin_reduce:" +
+                                                  std::string(info.name));
+    };
+    cb.end_parallel_reduce = [](void* u, std::uint64_t) {
+      static_cast<hook_log*>(u)->events.push_back("end_reduce");
+    };
+    cb.region_push = [](void* u, std::string_view name) {
+      static_cast<hook_log*>(u)->events.push_back("push:" +
+                                                  std::string(name));
+    };
+    cb.region_pop = [](void* u) {
+      static_cast<hook_log*>(u)->events.push_back("pop");
+    };
+    cb.alloc = [](void* u, std::string_view, std::uint64_t bytes) {
+      static_cast<hook_log*>(u)->events.push_back("alloc:" +
+                                                  std::to_string(bytes));
+    };
+    cb.free_ = [](void* u, std::uint64_t bytes) {
+      static_cast<hook_log*>(u)->events.push_back("free:" +
+                                                  std::to_string(bytes));
+    };
+    return cb;
+  }
+};
+
+TEST(Prof, HookOrderingAndNesting) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::serial);
+
+  hook_log log;
+  const std::uint64_t id = register_callbacks(hook_log::make(&log));
+  EXPECT_TRUE(enabled()); // a registered tool arms the gate by itself
+
+  {
+    scoped_region outer("outer");
+    jacc::parallel_for(jacc::hints{.name = "k1"}, 4,
+                       [](jacc::index_t) {});
+    const double s = jacc::parallel_reduce(
+        jacc::hints{.name = "k2"}, 4,
+        [](jacc::index_t) { return 1.0; });
+    EXPECT_DOUBLE_EQ(s, 4.0);
+  }
+  {
+    jacc::array<double> a(8); // alloc + free hooks around the block
+  }
+  unregister_callbacks(id);
+  EXPECT_FALSE(enabled());
+  jacc::parallel_for(jacc::hints{.name = "after"}, 4,
+                     [](jacc::index_t) {});
+
+  const std::vector<std::string> expect = {
+      "begin_for:k1", "end_for",  "begin_reduce:k2", "end_reduce",
+      "pop",          "alloc:64", "free:64",
+  };
+  // "push:outer" precedes everything.
+  ASSERT_FALSE(log.events.empty());
+  EXPECT_EQ(log.events.front(), "push:outer");
+  EXPECT_EQ(std::vector<std::string>(log.events.begin() + 1,
+                                     log.events.end()),
+            expect);
+}
+
+TEST(Prof, SummaryCountsKernelsAcrossSchedules) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::threads);
+  set_mode(mode_collect);
+
+  auto& pool = jaccx::pool::default_pool();
+  const jaccx::pool::schedule saved = pool.current_schedule();
+  for (const auto kind : {jaccx::pool::schedule_kind::static_chunks,
+                          jaccx::pool::schedule_kind::dynamic_chunks}) {
+    pool.set_schedule({kind, 0});
+    jacc::parallel_for(
+        jacc::hints{.name = "prof.k", .flops_per_index = 2.0,
+                    .bytes_per_index = 8.0},
+        1 << 12, [](jacc::index_t) {});
+  }
+  pool.set_schedule(saved);
+
+  bool found = false;
+  for (const auto& k : aggregate_kernels()) {
+    if (k.name == "prof.k") {
+      found = true;
+      EXPECT_EQ(k.count, 2u);
+      EXPECT_EQ(k.units, 2u << 12);
+      EXPECT_EQ(k.backend, "threads");
+      EXPECT_GT(k.total_us, 0.0);
+      EXPECT_LE(k.min_us, k.max_us);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const std::string text = summary_text();
+  EXPECT_NE(text.find("prof.k"), std::string::npos);
+  EXPECT_NE(text.find("threads"), std::string::npos);
+}
+
+TEST(Prof, PoolCountersStaticVsDynamic) {
+  prof_sandbox sandbox;
+  set_mode(mode_collect);
+
+  const jacc::index_t n = 1 << 10;
+  // Static region: exactly one chunk per worker (4).  Dynamic with grain
+  // 16 over 1024 indices: exactly 64 claimed chunks across workers.
+  const std::uint64_t expect_chunks = 4 + (n + 15) / 16;
+
+  std::uint64_t live_busy_ns = 0;
+  {
+    jaccx::pool::thread_pool pool(4);
+    pool.set_schedule({jaccx::pool::schedule_kind::static_chunks, 0});
+    pool.parallel_for_index(n, [](jacc::index_t) {});
+    pool.set_schedule({jaccx::pool::schedule_kind::dynamic_chunks, 16});
+    pool.parallel_for_index(n, [](jacc::index_t) {});
+
+    const pool_stats live = pool.stats();
+    EXPECT_EQ(live.width, 4u);
+    EXPECT_EQ(live.regions, 2u);
+    ASSERT_EQ(live.workers.size(), 4u);
+    std::uint64_t live_chunks = 0;
+    for (const auto& w : live.workers) {
+      live_chunks += w.chunks;
+      live_busy_ns += w.busy_ns;
+    }
+    EXPECT_EQ(live_chunks, expect_chunks);
+    EXPECT_GT(live_busy_ns, 0u);
+  }
+  // The pool froze its final snapshot at destruction.  aggregate_pools()
+  // also lists any other live pool (e.g. the default one, if earlier tests
+  // in this process ran threads-backend kernels), so find this test's pool
+  // by its distinctive signature rather than by position.
+  bool frozen_found = false;
+  for (const pool_stats& p : aggregate_pools()) {
+    std::uint64_t chunks = 0;
+    for (const auto& w : p.workers) {
+      chunks += w.chunks;
+    }
+    if (p.width == 4 && p.regions == 2 && p.schedule == "dynamic,16" &&
+        chunks == expect_chunks) {
+      frozen_found = true;
+    }
+  }
+  EXPECT_TRUE(frozen_found);
+}
+
+/// Minimal structural JSON validator: object/array/string/number nesting.
+/// Returns false on the first malformed token.  (No external JSON dep in
+/// the image, and the trace format is machine-generated and regular.)
+bool json_is_valid(const std::string& s) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  };
+  std::vector<char> stack;
+  bool expect_value = true;
+  skip_ws();
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '{' || c == '[') {
+      stack.push_back(c);
+      ++i;
+      expect_value = true;
+    } else if (c == '}' || c == ']') {
+      if (stack.empty()) {
+        return false;
+      }
+      const char open = stack.back();
+      stack.pop_back();
+      if ((c == '}' && open != '{') || (c == ']' && open != '[')) {
+        return false;
+      }
+      ++i;
+      expect_value = false;
+    } else if (c == '"') {
+      ++i;
+      while (i < s.size() && s[i] != '"') {
+        i += s[i] == '\\' ? 2 : 1;
+      }
+      if (i >= s.size()) {
+        return false;
+      }
+      ++i;
+      expect_value = false;
+    } else if (c == ',' || c == ':') {
+      ++i;
+      expect_value = true;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '.' || c == '+') {
+      ++i;
+      expect_value = false;
+    } else {
+      return false;
+    }
+    skip_ws();
+  }
+  return stack.empty() && !expect_value;
+}
+
+TEST(Prof, TraceJsonIsValidAndMergesBackends) {
+  prof_sandbox sandbox;
+  set_mode(mode_collect | mode_trace);
+
+  {
+    jacc::scoped_backend sb(jacc::backend::threads);
+    jacc::parallel_for(jacc::hints{.name = "trace.threads_kernel"}, 64,
+                       [](jacc::index_t) {});
+  }
+  {
+    jacc::scoped_backend sb(jacc::backend::cuda_a100);
+    jacc::array<double> x(256);
+    jacc::parallel_for(jacc::hints{.name = "trace.sim_kernel"}, 256,
+                       [](jacc::index_t i, jacc::array<double>& x_) {
+                         x_[i] = 1.0;
+                       },
+                       x);
+  }
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_is_valid(json)) << json.substr(0, 400);
+  // Host wall-clock kernels from the threads backend...
+  EXPECT_NE(json.find("trace.threads_kernel"), std::string::npos);
+  // ...and the simulated device's own timeline, as a separate process.
+  EXPECT_NE(json.find("\"sim:a100\""), std::string::npos);
+  EXPECT_NE(json.find("trace.sim_kernel"), std::string::npos);
+  EXPECT_NE(json.find("sim.kernel"), std::string::npos);
+}
+
+TEST(Prof, DisabledDispatchLeavesNoTrace) {
+  prof_sandbox sandbox;
+  ASSERT_FALSE(enabled());
+
+  // Rings are created lazily on a thread's first *enabled* event; with the
+  // profiler off, a dispatch must not create one (the no-allocation
+  // guard — the remaining disabled-path cost is the one gate branch, held
+  // within noise by the abl_dispatch_overhead numbers in EXPERIMENTS.md).
+  const std::size_t rings_before = debug_ring_count();
+  jacc::scoped_backend sb(jacc::backend::serial);
+  for (int rep = 0; rep < 100; ++rep) {
+    jacc::parallel_for(jacc::hints{.name = "dark"}, 16,
+                       [](jacc::index_t) {});
+  }
+  EXPECT_EQ(debug_ring_count(), rings_before);
+  for (const auto& k : aggregate_kernels()) {
+    EXPECT_NE(k.name, "dark");
+  }
+}
+
+TEST(Prof, RegionsNestInCgIteration) {
+  prof_sandbox sandbox;
+  set_mode(mode_collect);
+  jacc::scoped_backend sb(jacc::backend::serial);
+
+  jaccx::cg::paper_state st(128);
+  jaccx::cg::paper_iteration(st);
+
+  bool region_found = false;
+  double region_us = 0.0;
+  double kernels_us = 0.0;
+  for (const auto& k : aggregate_kernels()) {
+    if (k.kind == construct::region && k.name == "cg.iteration") {
+      region_found = true;
+      EXPECT_EQ(k.count, 1u);
+      region_us = k.total_us;
+    } else if (k.name == "cg.dot" || k.name == "cg.axpy" ||
+               k.name == "cg.copy" || k.name == "jacc.tridiag_matvec") {
+      kernels_us += k.total_us;
+    }
+  }
+  EXPECT_TRUE(region_found);
+  // The enclosing region covers at least its nested kernels' time.
+  EXPECT_GE(region_us, kernels_us * 0.5);
+  EXPECT_GT(kernels_us, 0.0);
+}
+
+} // namespace
+} // namespace jaccx::prof

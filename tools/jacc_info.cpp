@@ -1,11 +1,93 @@
 // jacc_info: prints the configured backend, the preference-resolution
-// chain, and the device-model table — the "what am I running on?" CLI.
+// chain, the resolved runtime tuning state, and the device-model table —
+// the "what am I running on?" CLI.
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "core/auto_backend.hpp"
 #include "core/jacc.hpp"
+#include "prof/prof.hpp"
 #include "support/env.hpp"
+#include "threadpool/thread_pool.hpp"
+
+namespace {
+
+/// Prints one env var plus the value the runtime resolves from it, without
+/// instantiating the pool or profiler (inspection must not change state).
+void print_tuning(const char* var, const std::string& resolved) {
+  if (const auto v = jaccx::get_env(var)) {
+    std::printf("  %-17s : %-14s -> %s\n", var, v->c_str(),
+                resolved.c_str());
+  } else {
+    std::printf("  %-17s : %-14s -> %s\n", var, "(unset)", resolved.c_str());
+  }
+}
+
+void print_runtime_tuning() {
+  std::printf("runtime tuning\n");
+
+  unsigned width = std::thread::hardware_concurrency();
+  if (width == 0) {
+    width = 1;
+  }
+  if (const auto n = jaccx::get_env_long("JACC_NUM_THREADS"); n && *n > 0) {
+    width = static_cast<unsigned>(*n);
+  }
+  print_tuning("JACC_NUM_THREADS",
+               "pool width " + std::to_string(width) +
+                   (jaccx::get_env_long("JACC_NUM_THREADS")
+                        ? ""
+                        : " (hardware concurrency)"));
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  long spin = (cores != 0 && width > cores) ? 0 : 50;
+  if (const auto us = jaccx::get_env_long("JACC_SPIN_US"); us && *us >= 0) {
+    spin = *us;
+  }
+  print_tuning("JACC_SPIN_US", "spin " + std::to_string(spin) +
+                                   " us before futex park");
+
+  std::string sched = "static (default)";
+  if (const auto spec = jaccx::get_env("JACC_SCHEDULE")) {
+    if (const auto s = jaccx::pool::parse_schedule(*spec)) {
+      sched = s->kind == jaccx::pool::schedule_kind::static_chunks
+                  ? "static"
+                  : (s->grain > 0
+                         ? "dynamic, grain " + std::to_string(s->grain)
+                         : "dynamic, auto grain");
+    } else {
+      sched = "unparseable; static";
+    }
+  }
+  print_tuning("JACC_SCHEDULE", sched);
+
+  std::string prof = "off";
+  if (const auto spec = jaccx::get_env("JACC_PROFILE")) {
+    if (const auto bits = jaccx::prof::parse_mode_spec(*spec)) {
+      prof.clear();
+      if ((*bits & jaccx::prof::mode_summary) != 0) {
+        prof = "summary";
+      }
+      if ((*bits & jaccx::prof::mode_trace) != 0) {
+        prof += prof.empty() ? "trace" : "+trace";
+      }
+      if (prof.empty()) {
+        prof = (*bits & jaccx::prof::mode_collect) != 0 ? "collect" : "off";
+      }
+    } else {
+      prof = "unparseable; off";
+    }
+  }
+  print_tuning("JACC_PROFILE", prof);
+
+  const auto trace = jaccx::get_env("JACC_TRACE_FILE");
+  print_tuning("JACC_TRACE_FILE",
+               trace ? *trace : std::string("jacc_trace.json when tracing"));
+  std::printf("\n");
+}
+
+} // namespace
 
 int main() {
   jacc::initialize();
@@ -22,6 +104,8 @@ int main() {
   }
   std::printf("  resolved backend      : %s\n\n",
               std::string(jacc::to_string(jacc::current_backend())).c_str());
+
+  print_runtime_tuning();
 
   std::printf("%-9s %-5s %6s %9s %9s %9s %8s %8s\n", "model", "kind",
               "units", "dram GB/s", "cache MiB", "flop GF/s", "launch",
