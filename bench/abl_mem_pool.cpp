@@ -1,0 +1,139 @@
+// Ablation for the mem-pool subsystem (src/mem): JACC_MEM_POOL=bucket vs
+// none on the two operations the pool was built for.
+//
+//   dot   one parallel_reduce per call.  Under `none` every call pays the
+//         seed path (fresh partials+result allocation and two fill kernels
+//         on a GPU; a fresh slot vector on threads).  Under `bucket` the
+//         persistent workspace absorbs all of it after the first call.
+//   cg    the paper's Fig. 12 iteration: two reductions plus five
+//         elementwise kernels per iteration, the shape that made the
+//         small-size DOT overhead visible in Figs. 8/9.
+//
+// Two measurement domains, matching the repo convention: simulated time on
+// one GPU (a100) where the saving is the skipped fill kernels + alloc
+// events, and real wall-clock on the threads back end where the saving is
+// malloc/free churn and reduction-scratch reuse.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "mem/pool.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::mem::pool_mode;
+using jaccx::mem::scoped_mode;
+
+constexpr index_t sizes[] = {1 << 12, 1 << 16, 1 << 20};
+constexpr const char* mode_names[] = {"bucket", "none"};
+constexpr pool_mode modes[] = {pool_mode::bucket, pool_mode::none};
+constexpr arch gpu = all_archs[2]; // a100
+
+double sim_us(pool_mode m, bool is_cg, index_t n) {
+  const scoped_mode pin(m);
+  // timed_us warms up once before timing, so under `bucket` the timed run
+  // sees a populated pool (steady state), exactly like the figure benches.
+  return is_cg ? cg_iteration_us(gpu, true, n)
+               : blas1_1d_us(gpu, true, true, n);
+}
+
+/// Wall-clock mean per op on the real threads back end.  The state is
+/// reconstructed every rep so array acquire/release churn goes through the
+/// pool too, not just the reduction scratch.
+double threads_us(pool_mode m, bool is_cg, index_t n) {
+  const scoped_mode pin(m);
+  jacc::scoped_backend sb(jacc::backend::threads);
+  const int reps = n >= (1 << 20) ? 20 : 200;
+  const std::vector<double> host(static_cast<std::size_t>(n), 1.0);
+  const auto op = [&] {
+    if (is_cg) {
+      jaccx::cg::paper_state st(n);
+      jaccx::cg::paper_iteration(st);
+    } else {
+      jaccx::blas::darray x(host), y(host);
+      benchmark::DoNotOptimize(jaccx::blas::jacc_dot(n, x, y));
+    }
+  };
+  op(); // warm-up: populates the pool (bucket) / faults in pages (none)
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    op();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+}
+
+void register_all() {
+  for (int mi = 0; mi < 2; ++mi) {
+    for (const bool is_cg : {false, true}) {
+      for (const index_t n : sizes) {
+        const char* op = is_cg ? "cg" : "dot";
+        const std::string sim_name = std::string("abl_mem_pool/a100/") + op +
+                                     "/" + mode_names[mi] + "/" +
+                                     std::to_string(n);
+        benchmark::RegisterBenchmark(
+            sim_name.c_str(),
+            [mi, is_cg, n](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = sim_us(modes[mi], is_cg, n);
+                st.SetIterationTime(us * 1e-6);
+              }
+              st.counters["sim_us"] = us;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+        const std::string thr_name = std::string("abl_mem_pool/threads/") +
+                                     op + "/" + mode_names[mi] + "/" +
+                                     std::to_string(n);
+        benchmark::RegisterBenchmark(
+            thr_name.c_str(),
+            [mi, is_cg, n](benchmark::State& st) {
+              double us = 0.0;
+              for (auto _ : st) {
+                us = threads_us(modes[mi], is_cg, n);
+                st.SetIterationTime(us * 1e-6);
+              }
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+void print_summary() {
+  std::puts("\n=== mem-pool ablation summary: JACC_MEM_POOL bucket vs none "
+            "===");
+  for (const bool is_cg : {false, true}) {
+    const char* op = is_cg ? "cg " : "dot";
+    for (const index_t n : sizes) {
+      const double sim_none = sim_us(pool_mode::none, is_cg, n);
+      const double sim_bucket = sim_us(pool_mode::bucket, is_cg, n);
+      const double thr_none = threads_us(pool_mode::none, is_cg, n);
+      const double thr_bucket = threads_us(pool_mode::bucket, is_cg, n);
+      std::printf("%s n=%-8lld a100(sim): none %9.2f us, bucket %9.2f us "
+                  "(%+6.1f%%) | threads(wall): none %9.2f us, bucket "
+                  "%9.2f us (%+6.1f%%)\n",
+                  op, static_cast<long long>(n), sim_none, sim_bucket,
+                  (sim_bucket / sim_none - 1.0) * 100.0, thr_none,
+                  thr_bucket, (thr_bucket / thr_none - 1.0) * 100.0);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const jaccx::bench::bench_session session("abl_mem_pool");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

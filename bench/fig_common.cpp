@@ -4,6 +4,7 @@
 #include <fstream>
 #include <thread>
 
+#include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "support/env.hpp"
 #include "threadpool/thread_pool.hpp"
@@ -288,7 +289,9 @@ bench_session::~bench_session() {
     out << ", \"JACC_NUM_THREADS\": " << env("JACC_NUM_THREADS")
         << ", \"JACC_SCHEDULE\": " << env("JACC_SCHEDULE")
         << ", \"JACC_SPIN_US\": " << env("JACC_SPIN_US")
-        << ", \"JACC_PROFILE\": " << env("JACC_PROFILE") << "},\n";
+        << ", \"JACC_PROFILE\": " << env("JACC_PROFILE")
+        << ", \"mem_pool_mode\": "
+        << json_str(std::string(mem::to_string(mem::mode()))) << "},\n";
 
     out << "  \"kernels\": [";
     bool first = true;
@@ -332,6 +335,26 @@ bench_session::~bench_session() {
         wfirst = false;
       }
       out << "]}";
+      first = false;
+    }
+    out << "\n  ],\n  \"mem_pools\": [";
+    first = true;
+    for (const auto& mp : prof::aggregate_mem_pools()) {
+      std::snprintf(buf, sizeof buf,
+                    "%s\n    {\"pool\": %s, \"mode\": %s, \"hits\": %llu, "
+                    "\"misses\": %llu, \"bytes_cached\": %llu, "
+                    "\"bytes_live\": %llu, \"workspace_bytes\": %llu, "
+                    "\"high_water_bytes\": %llu, \"live_blocks\": %llu}",
+                    first ? "" : ",", json_str(mp.label).c_str(),
+                    json_str(mp.mode).c_str(),
+                    static_cast<unsigned long long>(mp.hits),
+                    static_cast<unsigned long long>(mp.misses),
+                    static_cast<unsigned long long>(mp.bytes_cached),
+                    static_cast<unsigned long long>(mp.bytes_live),
+                    static_cast<unsigned long long>(mp.workspace_bytes),
+                    static_cast<unsigned long long>(mp.high_water_bytes),
+                    static_cast<unsigned long long>(mp.live_blocks));
+      out << buf;
       first = false;
     }
     const auto m = prof::aggregate_memory();

@@ -20,6 +20,9 @@ if [[ $RUN_FULL -eq 1 ]]; then
   cmake -B build -S .
   cmake --build build -j"$JOBS"
   ctest --test-dir build --output-on-failure -j"$JOBS"
+  # Both mem-pool modes are supported configurations; `none` must keep the
+  # seed's exact allocation behavior.
+  JACC_MEM_POOL=none ctest --test-dir build --output-on-failure -j"$JOBS"
 fi
 
 cmake -B build-tsan -S . -DJACCX_SANITIZE=thread \
@@ -42,5 +45,18 @@ JACC_NUM_THREADS=4 JACC_SCHEDULE=dynamic,16 JACC_SPIN_US=0 \
 # rings, pool counters, and the sim-event tee all race-checked under load.
 JACC_NUM_THREADS=4 JACC_PROFILE=collect ./build-tsan/tests/tests_core \
   --gtest_filter='Prof.*:*ParallelFor*'
+
+# The mem pool's mutex-guarded free lists and the pooled reduction paths
+# (device workspace reuse + host scratch lease) under concurrent load, in
+# both modes. Mem.ConcurrentAcquireReleaseIsRaceFree is the dedicated
+# stress; the ReduceAgreement filters drive the pooled host scratch from
+# the worker pool. WorkspaceGrowthZeroesTail and the large sim-GPU sweeps
+# stay out: block-sized SIMT fibers (raw context switches, 64 KiB stacks)
+# are not TSan-instrumentable, a pre-existing simulator limitation that
+# the non-TSan ctest runs cover.
+JACC_NUM_THREADS=4 ./build-tsan/tests/tests_core \
+  --gtest_filter='Mem.*:*ReduceAgreement*serial*:*ReduceAgreement*threads*:-Mem.WorkspaceGrowthZeroesTail'
+JACC_NUM_THREADS=4 JACC_MEM_POOL=none ./build-tsan/tests/tests_core \
+  --gtest_filter='Mem.*:*ReduceAgreement*serial*:*ReduceAgreement*threads*:-Mem.WorkspaceGrowthZeroesTail'
 
 echo "verify: OK"

@@ -9,9 +9,12 @@ namespace {
 template <class Apply>
 cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
                   const cg_options& opts) {
-  darray r(n);
-  darray p(n);
-  darray s(n);
+  // Iteration scratch is fully overwritten before its first read (s by
+  // apply, r by cg.residual, p by cg.copy), so skip the zero fill; under
+  // JACC_MEM_POOL=bucket the storage itself is recycled across solves.
+  darray r(jacc::uninit, n);
+  darray p(jacc::uninit, n);
+  darray s(jacc::uninit, n);
 
   // r = b - A x;  p = r.
   apply(x, s);

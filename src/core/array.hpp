@@ -15,18 +15,40 @@
 // mirroring how a CuArray cannot be consumed by an AMDGPU kernel.
 #pragma once
 
+#include <cstring>
 #include <initializer_list>
+#include <type_traits>
 #include <vector>
 
 #include "core/backend.hpp"
+#include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/span2d.hpp"
+#include "threadpool/thread_pool.hpp"
 
 namespace jacc {
 
 using jaccx::index_t;
+
+/// Tag selecting uninitialized construction — the CuArray{T}(undef, n)
+/// analogue: storage is acquired (and charged) but not filled, so every
+/// element must be written before it is read.  Pairs with the caching
+/// allocator: recycled scratch need not be zeroed just to be overwritten.
+struct uninit_t {
+  explicit uninit_t() = default;
+};
+inline constexpr uninit_t uninit{};
+
+namespace detail {
+
+/// Host arrays at or above this size zero-fill / copy through the PR-1
+/// worker pool on the threads back end, so pages are first-touched by the
+/// workers that will process them (NUMA first-touch placement).
+inline constexpr std::uint64_t parallel_init_min_bytes = 256u * 1024u;
+
+} // namespace detail
 
 namespace detail {
 
@@ -72,45 +94,38 @@ public:
   explicit array_base(index_t count)
       : dev_(backend_device(current_backend())) {
     acquire(count);
-    for (index_t i = 0; i < count; ++i) {
-      data_[i] = T{};
-    }
-    if (dev_ != nullptr) {
-      dev_->charge_alloc(bytes(), "jacc.array");
-    }
-    if (jaccx::prof::enabled()) [[unlikely]] {
-      jaccx::prof::note_alloc("jacc.array", bytes());
-    }
+    fill_default();
+    note_construct(/*h2d=*/false);
   }
 
   array_base(const T* host, index_t count)
       : dev_(backend_device(current_backend())) {
     acquire(count);
-    for (index_t i = 0; i < count; ++i) {
-      data_[i] = host[i];
-    }
+    copy_in(host);
     if (dev_ != nullptr) {
-      dev_->charge_alloc(bytes(), "jacc.array");
       dev_->charge_h2d(bytes(), "jacc.array");
     }
-    if (jaccx::prof::enabled()) [[unlikely]] {
-      jaccx::prof::note_alloc("jacc.array", bytes());
-      jaccx::prof::note_copy("jacc.array", /*to_device=*/true, bytes());
-    }
+    note_construct(/*h2d=*/true);
+  }
+
+  array_base(uninit_t, index_t count)
+      : dev_(backend_device(current_backend())) {
+    acquire(count);
+    note_construct(/*h2d=*/false);
   }
 
   array_base(const array_base&) = delete;
   array_base& operator=(const array_base&) = delete;
   array_base(array_base&& other) noexcept
       : dev_(std::exchange(other.dev_, nullptr)),
-        host_buf_(std::move(other.host_buf_)),
+        blk_(std::exchange(other.blk_, jaccx::mem::block{})),
         data_(std::exchange(other.data_, nullptr)),
         count_(std::exchange(other.count_, 0)) {}
   array_base& operator=(array_base&& other) noexcept {
     if (this != &other) {
       release();
       dev_ = std::exchange(other.dev_, nullptr);
-      host_buf_ = std::move(other.host_buf_);
+      blk_ = std::exchange(other.blk_, jaccx::mem::block{});
       data_ = std::exchange(other.data_, nullptr);
       count_ = std::exchange(other.count_, 0);
     }
@@ -126,10 +141,21 @@ public:
   bool is_simulated() const { return dev_ != nullptr; }
 
   /// Copies the contents back to host storage; on a simulated GPU this
-  /// charges the D2H transfer (the semantic path for results).
+  /// charges the D2H transfer (the semantic path for results).  Large
+  /// host arrays on the threads back end copy out through the worker pool
+  /// in parallel chunks, mirroring the copy-in path.
   void copy_to_host(T* dst) const {
-    for (index_t i = 0; i < count_; ++i) {
-      dst[i] = data_[i];
+    if (use_workers()) {
+      const T* src = data_;
+      jaccx::pool::default_pool().parallel_chunks(
+          count_, [src, dst](unsigned, jaccx::pool::range r) {
+            std::memcpy(dst + r.begin, src + r.begin,
+                        static_cast<std::size_t>(r.size()) * sizeof(T));
+          });
+    } else {
+      for (index_t i = 0; i < count_; ++i) {
+        dst[i] = data_[i];
+      }
     }
     if (dev_ != nullptr) {
       dev_->charge_d2h(bytes(), "jacc.array");
@@ -157,36 +183,82 @@ protected:
   }
 
 private:
-  /// Storage: simulated back ends draw from the device's deterministic
-  /// arena (so cache-model conflicts are reproducible); real back ends use
-  /// plain aligned host memory.
+  /// Storage goes through the jaccx::mem caching pool: simulated back ends
+  /// draw from the device's deterministic arena (so cache-model conflicts
+  /// are reproducible), real back ends from aligned host memory; under
+  /// JACC_MEM_POOL=bucket a recycled block skips the backing store (and the
+  /// simulated allocation charge) entirely.
   void acquire(index_t count) {
     JACCX_ASSERT(count >= 0);
     count_ = count;
-    if (dev_ != nullptr) {
-      data_ = static_cast<T*>(
-          dev_->arena_allocate(static_cast<std::size_t>(count) * sizeof(T)));
-    } else {
-      host_buf_ = jaccx::aligned_buffer<T>(static_cast<std::size_t>(count));
-      data_ = host_buf_.data();
-    }
+    blk_ = jaccx::mem::acquire(
+        dev_, static_cast<std::size_t>(count) * sizeof(T), "jacc.array");
+    data_ = static_cast<T*>(blk_.ptr);
   }
 
   void release() noexcept {
-    if (dev_ != nullptr) {
-      dev_->charge_free(bytes());
-      dev_->arena_release();
-    }
     if (data_ != nullptr && jaccx::prof::enabled()) [[unlikely]] {
       jaccx::prof::note_free(bytes());
     }
+    jaccx::mem::release(blk_);
     dev_ = nullptr;
     data_ = nullptr;
     count_ = 0;
   }
 
+  /// True when initialization / copies should run on the worker pool:
+  /// large host arrays under the threads back end (first-touch placement
+  /// plus memory-bandwidth parallelism).
+  bool use_workers() const {
+    if constexpr (!std::is_trivially_copyable_v<T>) {
+      return false;
+    }
+    return dev_ == nullptr && bytes() >= detail::parallel_init_min_bytes &&
+           current_backend() == backend::threads;
+  }
+
+  void fill_default() {
+    if (use_workers()) {
+      T* d = data_;
+      jaccx::pool::default_pool().parallel_chunks(
+          count_, [d](unsigned, jaccx::pool::range r) {
+            for (index_t i = r.begin; i < r.end; ++i) {
+              d[i] = T{};
+            }
+          });
+    } else {
+      for (index_t i = 0; i < count_; ++i) {
+        data_[i] = T{};
+      }
+    }
+  }
+
+  void copy_in(const T* host) {
+    if (use_workers()) {
+      T* d = data_;
+      jaccx::pool::default_pool().parallel_chunks(
+          count_, [d, host](unsigned, jaccx::pool::range r) {
+            std::memcpy(d + r.begin, host + r.begin,
+                        static_cast<std::size_t>(r.size()) * sizeof(T));
+          });
+    } else {
+      for (index_t i = 0; i < count_; ++i) {
+        data_[i] = host[i];
+      }
+    }
+  }
+
+  void note_construct(bool h2d) {
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_alloc("jacc.array", bytes());
+      if (h2d) {
+        jaccx::prof::note_copy("jacc.array", /*to_device=*/true, bytes());
+      }
+    }
+  }
+
   jaccx::sim::device* dev_ = nullptr;
-  jaccx::aligned_buffer<T> host_buf_; ///< backing store for real back ends
+  jaccx::mem::block blk_; ///< pool claim ticket owning the storage
   T* data_ = nullptr;
   index_t count_ = 0;
 };
@@ -201,6 +273,8 @@ public:
 
   /// Zero-initialized array of n elements.
   explicit array(index_t n) : base(n) {}
+  /// Uninitialized array (scratch that is fully overwritten before use).
+  array(uninit_t, index_t n) : base(uninit, n) {}
   /// Host -> device construction (charges H2D under simulated back ends).
   array(const T* host, index_t n) : base(host, n) {}
   explicit array(const std::vector<T>& host)

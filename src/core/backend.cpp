@@ -1,10 +1,12 @@
 #include "core/backend.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <string>
 
+#include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "support/env.hpp"
@@ -32,6 +34,31 @@ backend resolve_from_preferences() {
     }
   }
   return backend::threads; // paper Sec. III: Base.Threads is the default
+}
+
+jaccx::mem::pool_mode resolve_mem_pool() {
+  if (const auto env = jaccx::get_env("JACC_MEM_POOL")) {
+    if (const auto m = jaccx::mem::parse_mode(*env)) {
+      return *m;
+    }
+    jaccx::throw_config_error("unknown JACC_MEM_POOL '" + *env +
+                              "' (known: bucket, none)");
+  }
+  std::string path = "LocalPreferences.toml";
+  if (const auto p = jaccx::get_env("JACC_PREFERENCES_FILE")) {
+    path = *p;
+  }
+  if (std::filesystem::exists(path)) {
+    const auto prefs = jaccx::toml::parse_file(path);
+    if (const auto name = jaccx::toml::find_string(prefs, "JACC.mem_pool")) {
+      if (const auto m = jaccx::mem::parse_mode(*name)) {
+        return *m;
+      }
+      jaccx::throw_config_error("unknown JACC.mem_pool '" + *name +
+                                "' (known: bucket, none)");
+    }
+  }
+  return jaccx::mem::pool_mode::bucket;
 }
 
 } // namespace
@@ -82,13 +109,20 @@ jaccx::sim::device* backend_device(backend b) {
 void initialize() {
   g_backend.store(static_cast<int>(resolve_from_preferences()),
                   std::memory_order_release);
+  jaccx::mem::set_mode(resolve_mem_pool());
 }
 
 backend current_backend() {
   int b = g_backend.load(std::memory_order_acquire);
   if (b < 0) {
     static std::once_flag once;
-    std::call_once(once, initialize);
+    // Unlike an explicit initialize(), the lazy path must not clobber a
+    // mem-pool mode that was already pinned programmatically.
+    std::call_once(once, [] {
+      g_backend.store(static_cast<int>(resolve_from_preferences()),
+                      std::memory_order_release);
+      jaccx::mem::set_default_mode(resolve_mem_pool());
+    });
     b = g_backend.load(std::memory_order_acquire);
   }
   return static_cast<backend>(b);
@@ -114,6 +148,19 @@ void save_preferences(backend b, const std::string& path) {
   jaccx::toml::write_file(root, path);
 }
 
-void finalize() { jaccx::prof::finalize(); }
+void finalize() {
+  // Profiling report first so its pool rows still show the cached bytes;
+  // then return every cached block and workspace to the backing stores.
+  jaccx::prof::finalize();
+  jaccx::mem::drain();
+  const std::uint64_t live = jaccx::mem::live_blocks();
+  if (live != 0) {
+    std::fprintf(stderr,
+                 "[jacc] warning: %llu jacc::array block(s) still live at "
+                 "finalize (freed on release, but cannot be drained)\n",
+                 static_cast<unsigned long long>(live));
+  }
+  JACCX_ASSERT(live == 0 && "jacc::finalize: live jacc::array blocks leaked");
+}
 
 } // namespace jacc

@@ -8,15 +8,21 @@
 // shared-memory tree reduction + scalar D2H transfer the paper's Fig. 3
 // shows — which is exactly why DOT trails AXPY on every GPU in Figs. 8/9.
 //
-// The GPU path allocates its partials/result buffers per call, as both
-// JACC.jl and the paper's hand-written comparator do (CUDA.zeros in Fig. 3);
-// that allocation traffic is part of the measured small-size overhead.
+// Under JACC_MEM_POOL=none the GPU path allocates its partials/result
+// buffers per call, as both JACC.jl and the paper's hand-written comparator
+// do (CUDA.zeros in Fig. 3); that allocation traffic is part of the
+// measured small-size overhead.  Under the default bucket mode the scratch
+// persists per (device, element size) — no per-call allocation, and the
+// two zero-fill kernels are skipped (see mem/workspace.hpp).
 #pragma once
 
+#include <cstring>
 #include <limits>
 #include <type_traits>
 
 #include "core/parallel_for.hpp"
+#include "mem/pool.hpp"
+#include "mem/workspace.hpp"
 
 namespace jacc {
 
@@ -89,14 +95,31 @@ template <class R, class Op, class Eval>
 R reduce_sim_gpu(jaccx::sim::device& dev, const hints& h, index_t n, Op op,
                  const Eval& eval) {
   const std::int64_t blocks = jaccx::sim::ceil_div(n, reduce_block);
-  jaccx::sim::device_buffer<R> partials(dev, blocks, "jacc.reduce.partials");
-  jaccx::sim::device_buffer<R> result(dev, 1, "jacc.reduce.result");
-  auto ps = partials.span();
-  auto rs = result.span();
-  // JACC.jl materializes its scratch with <vendor>.zeros, paying two fill
-  // kernels per reduction just like the hand-written Fig. 3 code.
-  fill_zero_sim(dev, ps);
-  fill_zero_sim(dev, rs);
+  const bool pooled = jaccx::mem::pooling();
+  jaccx::sim::device_buffer<R> partials;
+  jaccx::sim::device_buffer<R> result;
+  jaccx::sim::device_span<R> ps;
+  jaccx::sim::device_span<R> rs;
+  if (pooled) {
+    // Persistent workspace: no per-call allocation, and no fill kernels —
+    // the first kernel overwrites every partial slot it owns and the
+    // combine kernel reads only those; the tail was zeroed at growth.
+    const auto ws =
+        jaccx::mem::device_reduce_workspace(dev, sizeof(R), blocks);
+    ps = jaccx::sim::device_span<R>(static_cast<R*>(ws.partials), blocks,
+                                    &dev);
+    rs = jaccx::sim::device_span<R>(static_cast<R*>(ws.result), 1, &dev);
+  } else {
+    partials =
+        jaccx::sim::device_buffer<R>(dev, blocks, "jacc.reduce.partials");
+    result = jaccx::sim::device_buffer<R>(dev, 1, "jacc.reduce.result");
+    ps = partials.span();
+    rs = result.span();
+    // JACC.jl materializes its scratch with <vendor>.zeros, paying two fill
+    // kernels per reduction just like the hand-written Fig. 3 code.
+    fill_zero_sim(dev, ps);
+    fill_zero_sim(dev, rs);
+  }
 
   jaccx::sim::launch_config cfg;
   cfg.grid = jaccx::sim::dim3{blocks};
@@ -148,34 +171,83 @@ R reduce_sim_gpu(jaccx::sim::device& dev, const hints& h, index_t n, Op op,
   });
 
   R out{};
-  result.copy_to_host(&out, "jacc.reduce.d2h");
+  if (pooled) {
+    std::memcpy(&out, rs.data(), sizeof(R));
+    dev.charge_d2h(sizeof(R), "jacc.reduce.d2h");
+  } else {
+    result.copy_to_host(&out, "jacc.reduce.d2h");
+  }
   return out;
 }
 
-/// Real thread-pool reduction: one cache-line-padded partial per worker.
-/// Under dynamic scheduling a worker receives several chunks, so each
-/// chunk folds into the worker's slot rather than overwriting it; the slot
-/// stays worker-private either way.
-template <class R, class Op, class Eval>
-R reduce_threads(index_t n, Op op, const Eval& eval) {
+/// Real thread-pool reduction plumbing: one cache-line-padded partial per
+/// worker, with `fold(acc, chunk)` accumulating one chunk into a worker's
+/// slot.  Under dynamic scheduling a worker receives several chunks, so
+/// each chunk folds into the slot rather than overwriting it; the slot
+/// stays worker-private either way.  Under JACC_MEM_POOL=bucket the slot
+/// array is the persistent mem scratch (leased for the whole reduction);
+/// under none it is the seed's per-call vector.
+template <class R, class Op, class Fold>
+R reduce_threads_impl(index_t n, Op op, const Fold& fold) {
+  static_assert(sizeof(R) <= jaccx::cache_line_bytes);
   auto& pool = jaccx::pool::default_pool();
-  struct alignas(jaccx::cache_line_bytes) slot {
+  const unsigned width = pool.size();
+  if (jaccx::mem::pooling()) {
+    jaccx::mem::host_scratch_lease lease(static_cast<std::size_t>(width) *
+                                         jaccx::cache_line_bytes);
+    auto* base = static_cast<std::byte*>(lease.data());
+    const auto slot = [base](unsigned w) -> R* {
+      return reinterpret_cast<R*>(base +
+                                  std::size_t{w} * jaccx::cache_line_bytes);
+    };
+    for (unsigned w = 0; w < width; ++w) {
+      *slot(w) = Op::template identity<R>();
+    }
+    pool.parallel_chunks(n, [&](unsigned worker, jaccx::pool::range chunk) {
+      *slot(worker) = fold(*slot(worker), chunk);
+    });
+    R out = Op::template identity<R>();
+    for (unsigned w = 0; w < width; ++w) {
+      out = op(out, *slot(w));
+    }
+    return out;
+  }
+  struct alignas(jaccx::cache_line_bytes) slot_t {
     R value;
   };
-  std::vector<slot> partials(pool.size(),
-                             slot{Op::template identity<R>()});
+  std::vector<slot_t> partials(width, slot_t{Op::template identity<R>()});
   pool.parallel_chunks(n, [&](unsigned worker, jaccx::pool::range chunk) {
-    R acc = partials[worker].value;
-    for (index_t i = chunk.begin; i < chunk.end; ++i) {
-      acc = op(acc, eval(i));
-    }
-    partials[worker].value = acc;
+    partials[worker].value = fold(partials[worker].value, chunk);
   });
   R out = Op::template identity<R>();
   for (const auto& s : partials) {
     out = op(out, s.value);
   }
   return out;
+}
+
+template <class R, class Op, class Eval>
+R reduce_threads(index_t n, Op op, const Eval& eval) {
+  return reduce_threads_impl<R>(
+      n, op, [&](R acc, jaccx::pool::range chunk) {
+        for (index_t i = chunk.begin; i < chunk.end; ++i) {
+          acc = op(acc, eval(i));
+        }
+        return acc;
+      });
+}
+
+/// 2D threads reduction: chunks of the flattened (i fastest) space walked
+/// row-stepped — one div/mod per chunk instead of two per element.
+template <class R, class Op, class Eval2>
+R reduce_threads_2d(dims2 d, Op op, const Eval2& eval) {
+  return reduce_threads_impl<R>(
+      d.rows * d.cols, op, [&](R acc, jaccx::pool::range chunk) {
+        jaccx::pool::walk_flat_2d(chunk, d.rows, [&](index_t i, index_t j) {
+          acc = op(acc, eval(i, j));
+        });
+        return acc;
+      });
 }
 
 /// Core dispatch shared by the 1D/2D front ends.
@@ -219,6 +291,39 @@ auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
   return Op::template identity<R>();
 }
 
+/// Row-stepped 2D reduction for the real CPU back ends: serial runs a
+/// plain column-major double loop, threads walks each flattened chunk with
+/// walk_flat_2d.  The linearized path (kept for the simulated-GPU lanes,
+/// where it mirrors the paper's index mapping) pays `idx % rows` and
+/// `idx / rows` per element; here that is one div/mod per chunk.  Visit
+/// order (i fastest) is identical, so sums associate in the same order and
+/// results match the linearized path bit for bit.
+template <class Op, class Eval2>
+auto reduce_cpu_2d(const hints& h, dims2 d, backend b, Op op,
+                   const Eval2& eval) {
+  using R = std::remove_cvref_t<decltype(eval(index_t{0}, index_t{0}))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  const index_t total = d.rows * d.cols;
+  if (total == 0) {
+    return Op::template identity<R>();
+  }
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_reduce, h.name,
+      static_cast<std::uint64_t>(total), h.flops_per_index, h.bytes_per_index,
+      to_string(b));
+  if (b == backend::serial) {
+    R acc = Op::template identity<R>();
+    for (index_t j = 0; j < d.cols; ++j) {
+      for (index_t i = 0; i < d.rows; ++i) {
+        acc = op(acc, eval(i, j));
+      }
+    }
+    return acc;
+  }
+  return reduce_threads_2d<R>(d, op, eval);
+}
+
 } // namespace detail
 
 /// 1D sum-reduction with hints: returns sum over i of f(i, args...).
@@ -258,6 +363,13 @@ auto parallel_reduce_max(index_t n, F&& f, Args&&... args) {
 template <class F, class... Args>
 auto parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
   JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  const backend b = current_backend();
+  if (b == backend::serial || b == backend::threads) {
+    return detail::reduce_cpu_2d(h, d, b, plus_reducer{},
+                                 [&](index_t i, index_t j) {
+                                   return f(i, j, args...);
+                                 });
+  }
   const index_t total = d.rows * d.cols;
   return detail::reduce_dispatch(h, total, plus_reducer{}, [&](index_t idx) {
     const index_t i = idx % d.rows;

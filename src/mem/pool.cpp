@@ -1,0 +1,407 @@
+#include "mem/pool.hpp"
+#include "mem/workspace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "sim/device.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace jaccx::mem {
+namespace {
+
+constexpr std::size_t host_align = 64;    // matches jaccx::aligned_buffer
+constexpr std::size_t device_align = 256; // matches the device arena
+
+std::size_t round_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+void* host_alloc(std::size_t bytes) {
+  void* p = std::aligned_alloc(host_align, round_up(bytes, host_align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+/// Counters + free lists for one backing store.  All fields are guarded by
+/// state_t::mu; `dev == nullptr` is the shared host pool.
+struct backing_pool {
+  sim::device* dev = nullptr;
+  /// Cached blocks keyed by backing size (power-of-two buckets and
+  /// exact-size large blocks share one map — the key IS the size class).
+  std::map<std::size_t, std::vector<void*>> free_lists;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_cached = 0;
+  std::uint64_t bytes_live = 0;
+  std::uint64_t live_blocks = 0;
+  std::uint64_t workspace_bytes = 0;
+  std::uint64_t high_water = 0;
+
+  bool touched() const {
+    return hits + misses + live_blocks + workspace_bytes + high_water != 0;
+  }
+  void bump_high_water() {
+    high_water = std::max(high_water, bytes_live + bytes_cached + workspace_bytes);
+  }
+};
+
+struct workspace_entry {
+  void* partials = nullptr;
+  std::size_t partial_bytes = 0;
+  void* result = nullptr;
+  std::size_t result_bytes = 0;
+};
+
+struct state_t {
+  std::mutex mu;
+  backing_pool host;
+  std::map<sim::device*, backing_pool> device_pools;
+  std::map<std::pair<sim::device*, std::size_t>, workspace_entry> workspaces;
+
+  /// Persistent host reduction scratch; `scratch_mu` is the lease — held
+  /// for a whole threads reduction, ordered strictly before `mu`.
+  std::mutex scratch_mu;
+  void* host_scratch = nullptr;
+  std::size_t host_scratch_capacity = 0;
+
+  state_t() {
+    prof::register_mem_pool_source([] { return stats(); });
+  }
+};
+
+// Leaked (never destroyed): release() runs from array destructors that may
+// outlive any static destruction order.
+state_t& st() {
+  static state_t* s = new state_t();
+  return *s;
+}
+
+backing_pool& pool_for_locked(state_t& s, sim::device* dev) {
+  if (dev == nullptr) {
+    return s.host;
+  }
+  backing_pool& p = s.device_pools[dev];
+  p.dev = dev;
+  return p;
+}
+
+std::atomic<int> g_mode{-1}; // -1: not yet resolved
+
+pool_mode resolve_env_mode() {
+  if (const auto env = get_env("JACC_MEM_POOL")) {
+    if (const auto m = parse_mode(*env)) {
+      return *m;
+    }
+    // Lazy path stays non-throwing (it runs inside allocation calls);
+    // jacc::initialize() rejects unknown values loudly.
+  }
+  return pool_mode::bucket;
+}
+
+void drain_locked(state_t& s) {
+  const auto drain_pool = [](backing_pool& p) {
+    for (auto& [size, list] : p.free_lists) {
+      for (void* ptr : list) {
+        if (p.dev != nullptr) {
+          p.dev->charge_free(size);
+          p.dev->arena_release();
+        } else {
+          std::free(ptr);
+        }
+      }
+      p.bytes_cached -= size * list.size();
+    }
+    p.free_lists.clear();
+    JACCX_ASSERT(p.bytes_cached == 0);
+  };
+  drain_pool(s.host);
+  for (auto& [dev, p] : s.device_pools) {
+    drain_pool(p);
+  }
+  for (auto& [key, ws] : s.workspaces) {
+    sim::device* dev = key.first;
+    backing_pool& p = pool_for_locked(s, dev);
+    if (ws.partials != nullptr) {
+      dev->charge_free(ws.partial_bytes);
+      dev->arena_release();
+      p.workspace_bytes -= ws.partial_bytes;
+    }
+    if (ws.result != nullptr) {
+      dev->charge_free(ws.result_bytes);
+      dev->arena_release();
+      p.workspace_bytes -= ws.result_bytes;
+    }
+  }
+  s.workspaces.clear();
+  std::free(s.host_scratch);
+  s.host_scratch = nullptr;
+  s.host_scratch_capacity = 0;
+  s.host.workspace_bytes = 0;
+}
+
+} // namespace
+
+std::optional<pool_mode> parse_mode(std::string_view spec) {
+  if (spec == "bucket" || spec == "pool" || spec == "on") {
+    return pool_mode::bucket;
+  }
+  if (spec == "none" || spec == "off") {
+    return pool_mode::none;
+  }
+  return std::nullopt;
+}
+
+pool_mode mode() {
+  int m = g_mode.load(std::memory_order_acquire);
+  if (m < 0) {
+    int expected = -1;
+    g_mode.compare_exchange_strong(expected,
+                                   static_cast<int>(resolve_env_mode()),
+                                   std::memory_order_acq_rel);
+    m = g_mode.load(std::memory_order_acquire);
+  }
+  return static_cast<pool_mode>(m);
+}
+
+void set_mode(pool_mode m) {
+  const int prev = g_mode.exchange(static_cast<int>(m),
+                                   std::memory_order_acq_rel);
+  if (prev != static_cast<int>(m)) {
+    drain();
+  }
+}
+
+void set_default_mode(pool_mode m) {
+  // No drain needed on success: an unresolved mode means no allocation has
+  // gone through the pool yet (mode() resolves on first acquire).
+  int expected = -1;
+  g_mode.compare_exchange_strong(expected, static_cast<int>(m),
+                                 std::memory_order_acq_rel);
+}
+
+std::size_t bucket_bytes(std::size_t bytes) {
+  if (bytes <= min_bucket_bytes) {
+    return min_bucket_bytes;
+  }
+  if (bytes <= max_pow2_bucket_bytes) {
+    return std::bit_ceil(bytes);
+  }
+  return round_up(bytes, device_align);
+}
+
+block acquire(sim::device* dev, std::size_t bytes, std::string_view name) {
+  block b;
+  b.dev = dev;
+  if (mode() == pool_mode::none || bytes == 0) {
+    // Seed-exact passthrough (also the zero-byte degenerate case in
+    // bucket mode: the arena still hands out a distinct address, matching
+    // the seed, and a null host pointer stays null).
+    b.bytes = bytes;
+    if (dev != nullptr) {
+      b.ptr = dev->arena_allocate(bytes);
+      dev->charge_alloc(bytes, name);
+    } else if (bytes != 0) {
+      b.ptr = host_alloc(bytes);
+    }
+    if (b.ptr != nullptr || dev != nullptr) {
+      state_t& s = st();
+      const std::lock_guard lock(s.mu);
+      backing_pool& p = pool_for_locked(s, dev);
+      p.bytes_live += bytes;
+      ++p.live_blocks;
+      p.bump_high_water();
+    }
+    return b;
+  }
+
+  const std::size_t rounded = bucket_bytes(bytes);
+  b.bytes = rounded;
+  b.pooled = true;
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  backing_pool& p = pool_for_locked(s, dev);
+  if (const auto it = p.free_lists.find(rounded);
+      it != p.free_lists.end() && !it->second.empty()) {
+    b.ptr = it->second.back();
+    it->second.pop_back();
+    b.from_cache = true;
+    ++p.hits;
+    p.bytes_cached -= rounded;
+  } else {
+    // Miss: the backing store is charged for the full size class, exactly
+    // as a caching allocator requests rounded blocks from the driver.
+    b.ptr = dev != nullptr ? dev->arena_allocate(rounded) : host_alloc(rounded);
+    if (dev != nullptr) {
+      dev->charge_alloc(rounded, name);
+    }
+    ++p.misses;
+  }
+  p.bytes_live += rounded;
+  ++p.live_blocks;
+  p.bump_high_water();
+  return b;
+}
+
+void release(block& b) noexcept {
+  if (b.ptr == nullptr && b.dev == nullptr) {
+    b = block{};
+    return;
+  }
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  backing_pool& p = pool_for_locked(s, b.dev);
+  if (b.pooled && mode() == pool_mode::bucket) {
+    p.free_lists[b.bytes].push_back(b.ptr);
+    p.bytes_cached += b.bytes;
+  } else if (b.dev != nullptr) {
+    // Unpooled (none mode / zero-byte) or pooled-but-mode-switched blocks
+    // go straight back; either way the charge matches what acquire took.
+    b.dev->charge_free(b.bytes);
+    b.dev->arena_release();
+  } else {
+    std::free(b.ptr);
+  }
+  JACCX_ASSERT(p.live_blocks > 0 && p.bytes_live >= b.bytes);
+  p.bytes_live -= b.bytes;
+  --p.live_blocks;
+  b = block{};
+}
+
+void drain() {
+  state_t& s = st();
+  // Both locks: the host scratch is freed too, and a concurrent
+  // host_scratch_lease must not see its storage vanish mid-reduction.
+  const std::scoped_lock lock(s.scratch_mu, s.mu);
+  drain_locked(s);
+}
+
+std::uint64_t live_blocks() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  std::uint64_t n = s.host.live_blocks;
+  for (const auto& [dev, p] : s.device_pools) {
+    n += p.live_blocks;
+  }
+  return n;
+}
+
+std::uint64_t cached_bytes() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  std::uint64_t n = s.host.bytes_cached;
+  for (const auto& [dev, p] : s.device_pools) {
+    n += p.bytes_cached;
+  }
+  return n;
+}
+
+std::uint64_t host_scratch_bytes() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  return s.host_scratch_capacity;
+}
+
+std::vector<prof::mem_pool_stats> stats() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  std::vector<prof::mem_pool_stats> out;
+  const auto row = [&out](const backing_pool& p, std::string label) {
+    if (!p.touched()) {
+      return;
+    }
+    prof::mem_pool_stats r;
+    r.label = std::move(label);
+    r.mode = std::string(to_string(mode()));
+    r.hits = p.hits;
+    r.misses = p.misses;
+    r.bytes_cached = p.bytes_cached;
+    r.bytes_live = p.bytes_live;
+    r.high_water_bytes = p.high_water;
+    r.workspace_bytes = p.workspace_bytes;
+    r.live_blocks = p.live_blocks;
+    out.push_back(std::move(r));
+  };
+  row(s.host, "host");
+  for (const auto& [dev, p] : s.device_pools) {
+    row(p, dev->model().name);
+  }
+  return out;
+}
+
+// --- persistent reduction workspaces (workspace.hpp) ------------------------
+
+reduce_workspace device_reduce_workspace(sim::device& dev,
+                                         std::size_t elem_size,
+                                         std::int64_t min_elems) {
+  JACCX_ASSERT(elem_size > 0 && min_elems >= 0);
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  backing_pool& p = pool_for_locked(s, &dev);
+  workspace_entry& ws = s.workspaces[{&dev, elem_size}];
+  const std::size_t need = static_cast<std::size_t>(min_elems) * elem_size;
+  if (ws.partial_bytes < need) {
+    std::size_t grown = std::max({need, ws.partial_bytes * 2,
+                                  std::size_t{4096}});
+    grown = round_up(grown, device_align);
+    if (ws.partials != nullptr) {
+      dev.charge_free(ws.partial_bytes);
+      dev.arena_release();
+      p.workspace_bytes -= ws.partial_bytes;
+    }
+    ws.partials = dev.arena_allocate(grown);
+    dev.charge_alloc(grown, "jacc.reduce.workspace");
+    // Zero the whole buffer once at growth: the reduce kernel overwrites
+    // [0, blocks) each call, so everything past any call's write extent
+    // stays zero from here on (the invariant replacing per-call zeros).
+    std::memset(ws.partials, 0, grown);
+    ws.partial_bytes = grown;
+    p.workspace_bytes += grown;
+  }
+  if (ws.result == nullptr) {
+    ws.result = dev.arena_allocate(elem_size);
+    dev.charge_alloc(elem_size, "jacc.reduce.result");
+    std::memset(ws.result, 0, elem_size);
+    ws.result_bytes = elem_size;
+    p.workspace_bytes += elem_size;
+  }
+  p.bump_high_water();
+  return {ws.partials, ws.result,
+          static_cast<std::int64_t>(ws.partial_bytes / elem_size)};
+}
+
+host_scratch_lease::host_scratch_lease(std::size_t bytes) {
+  state_t& s = st();
+  s.scratch_mu.lock();
+  if (s.host_scratch_capacity < bytes) {
+    const std::lock_guard lock(s.mu);
+    std::free(s.host_scratch);
+    const std::size_t grown =
+        round_up(std::max(bytes, s.host_scratch_capacity * 2), host_align);
+    s.host_scratch = std::aligned_alloc(host_align, grown);
+    if (s.host_scratch == nullptr) {
+      s.host_scratch_capacity = 0;
+      s.host.workspace_bytes = 0;
+      s.scratch_mu.unlock();
+      throw std::bad_alloc();
+    }
+    s.host_scratch_capacity = grown;
+    s.host.workspace_bytes = grown;
+    s.host.bump_high_water();
+  }
+  data_ = s.host_scratch;
+}
+
+host_scratch_lease::~host_scratch_lease() { st().scratch_mu.unlock(); }
+
+} // namespace jaccx::mem

@@ -1,0 +1,63 @@
+// Persistent reduction workspaces (bucket mode only).
+//
+// The paper's Fig. 3 reduction pays, per call: one partials allocation,
+// one result allocation, and two <vendor>.zeros fill kernels.  The
+// combine kernel only ever reads the partial slots the first kernel just
+// wrote, so once the workspace persists the fills are pure overhead:
+// reduce_sim_gpu reuses one geometrically-grown partials buffer and one
+// result slot per (device, element size), skipping both zero fills on
+// recycled calls.  The whole buffer is zeroed once when it grows, so the
+// tail beyond any call's live slots stays zero — the invariant
+// tests/mem_pool_test.cpp pins.
+//
+// The threads back end analogue: reduce_threads used to build a
+// std::vector of cache-line-padded partial slots per call; host_scratch_lease
+// hands out one persistent padded slot array instead.  The lease holds a
+// dedicated mutex for its lifetime, so two host threads racing reductions
+// serialize instead of sharing slots (the seed's per-call vectors were
+// private; the persistent array must be too).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jaccx::sim {
+class device;
+}
+
+namespace jaccx::mem {
+
+/// View of the persistent per-(device, element-size) reduction workspace.
+/// `partials` holds `capacity` elements of `elem_size` bytes, all beyond
+/// the last kernel's write extent guaranteed zero; `result` is one
+/// element.  Both live until drain().
+struct reduce_workspace {
+  void* partials = nullptr;
+  void* result = nullptr;
+  std::int64_t capacity = 0; ///< partials capacity, in elements
+};
+
+/// Returns the workspace for `dev`/`elem_size`, grown (geometrically,
+/// charged as "jacc.reduce.workspace"/"jacc.reduce.result" allocations and
+/// zero-filled) so that capacity >= min_elems.
+reduce_workspace device_reduce_workspace(sim::device& dev,
+                                         std::size_t elem_size,
+                                         std::int64_t min_elems);
+
+/// Exclusive lease on the persistent host reduction scratch, grown to at
+/// least `bytes` (64-B aligned, geometric growth).  The storage — and the
+/// serialization mutex — are released to the pool when the lease dies.
+class host_scratch_lease {
+public:
+  explicit host_scratch_lease(std::size_t bytes);
+  ~host_scratch_lease();
+  host_scratch_lease(const host_scratch_lease&) = delete;
+  host_scratch_lease& operator=(const host_scratch_lease&) = delete;
+
+  void* data() const { return data_; }
+
+private:
+  void* data_ = nullptr;
+};
+
+} // namespace jaccx::mem

@@ -83,6 +83,8 @@ struct state_t {
   std::vector<pool_entry> pools;
   std::vector<pool_stats> frozen_pools;
 
+  std::function<std::vector<mem_pool_stats>()> mem_pool_source;
+
   std::string trace_path;
 
   /// finalize() idempotence: the event signature last acted upon.
@@ -455,6 +457,25 @@ void unregister_pool(const void* owner) {
     std::lock_guard<std::mutex> lock(s.mu);
     s.frozen_pools.push_back(std::move(snap));
   }
+}
+
+void register_mem_pool_source(
+    std::function<std::vector<mem_pool_stats>()> fetch) {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.mem_pool_source = std::move(fetch);
+}
+
+std::vector<mem_pool_stats> aggregate_mem_pools() {
+  state_t& s = st();
+  std::function<std::vector<mem_pool_stats>()> fetch;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    fetch = s.mem_pool_source;
+  }
+  // Outside the lock: the fetcher takes the allocator's own mutex, and the
+  // allocator charges devices (which can tee back into prof) under it.
+  return fetch ? fetch() : std::vector<mem_pool_stats>{};
 }
 
 void reset() {

@@ -217,6 +217,33 @@ struct pool_stats {
 void register_pool(const void* owner, std::function<pool_stats()> fetch);
 void unregister_pool(const void* owner);
 
+// --- memory-pool statistics -------------------------------------------------
+
+/// Counters for one jaccx::mem caching pool: one row per backing store
+/// ("host" plus each simulated device by model name).  Hit/miss count
+/// free-list lookups; bytes_cached is parked on free lists right now;
+/// high_water_bytes is the peak of live + cached + workspace bytes.
+struct mem_pool_stats {
+  std::string label;
+  std::string mode; ///< resolved JACC_MEM_POOL mode ("bucket" / "none")
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_cached = 0;
+  std::uint64_t bytes_live = 0;
+  std::uint64_t high_water_bytes = 0;
+  std::uint64_t workspace_bytes = 0; ///< persistent reduction workspaces
+  std::uint64_t live_blocks = 0;
+};
+
+/// The mem subsystem registers one process-wide fetcher (an empty function
+/// clears it); prof stays independent of the allocator layer the same way
+/// register_pool keeps it independent of the thread pool.
+void register_mem_pool_source(std::function<std::vector<mem_pool_stats>()> fetch);
+
+/// Current mem-pool rows (fetched now, outside the profiler lock); empty
+/// when no source is registered or no pool has been touched.
+std::vector<mem_pool_stats> aggregate_mem_pools();
+
 // --- aggregation / output ---------------------------------------------------
 
 struct kernel_stats {

@@ -208,6 +208,29 @@ std::string summary_text() {
     os << line;
   }
 
+  const auto mem_pools = aggregate_mem_pools();
+  if (!mem_pools.empty()) {
+    os << "-- memory pool (mode " << mem_pools.front().mode << ") --\n";
+    char line[224];
+    for (const mem_pool_stats& p : mem_pools) {
+      const std::uint64_t lookups = p.hits + p.misses;
+      const double rate =
+          lookups != 0 ? 100.0 * static_cast<double>(p.hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+      std::snprintf(line, sizeof line,
+                    "%-10s hits %8" PRIu64 "  misses %6" PRIu64
+                    "  hit-rate %5.1f%%  cached %8.1f KiB  live %8.1f KiB  "
+                    "workspace %8.1f KiB  high-water %8.1f KiB\n",
+                    p.label.c_str(), p.hits, p.misses, rate,
+                    static_cast<double>(p.bytes_cached) / 1024.0,
+                    static_cast<double>(p.bytes_live) / 1024.0,
+                    static_cast<double>(p.workspace_bytes) / 1024.0,
+                    static_cast<double>(p.high_water_bytes) / 1024.0);
+      os << line;
+    }
+  }
+
   for (const pool_stats& p : aggregate_pools()) {
     os << "-- pool (width " << p.width << ", schedule " << p.schedule << ", "
        << p.regions << " regions) --\n";

@@ -27,6 +27,9 @@ void reset_device(backend b) {
 }
 
 TEST(Integration, FullAxpyDotWorkflowOnGpu) {
+  // The asserted timeline shape (per-call reduce scratch + zero fills) is
+  // the paper-fidelity JACC_MEM_POOL=none contract.
+  const jaccx::mem::scoped_mode fidelity(jaccx::mem::pool_mode::none);
   jacc::scoped_backend sb(backend::cuda_a100);
   reset_device(backend::cuda_a100);
 
@@ -88,6 +91,9 @@ TEST(Integration, LbmChargesOneKernelPerStep) {
 }
 
 TEST(Integration, CgIterationLaunchCountMatchesFig12) {
+  // Fig. 12's 27-launch iteration counts the per-reduce zero fills: pin
+  // the paper-fidelity allocation mode.
+  const jaccx::mem::scoped_mode fidelity(jaccx::mem::pool_mode::none);
   jacc::scoped_backend sb(backend::cuda_a100);
   jaccx::cg::paper_state st(1 << 12);
   reset_device(backend::cuda_a100);

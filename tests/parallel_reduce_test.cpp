@@ -165,6 +165,10 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ReduceCharging, GpuReduceChargesTwoKernelsAndD2h) {
+  // Paper-fidelity charging (Fig. 3: per-call scratch + two zero fills) is
+  // the JACC_MEM_POOL=none contract; the pooled counterpart lives in
+  // mem_pool_test.cpp.
+  const jaccx::mem::scoped_mode fidelity(jaccx::mem::pool_mode::none);
   scoped_backend sb(backend::cuda_a100);
   auto& dev = *backend_device(backend::cuda_a100);
   array<double> x(std::vector<double>(1000, 1.0));

@@ -7,6 +7,7 @@
 
 #include "core/auto_backend.hpp"
 #include "core/jacc.hpp"
+#include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "support/env.hpp"
 #include "threadpool/thread_pool.hpp"
@@ -84,6 +85,35 @@ void print_runtime_tuning() {
   const auto trace = jaccx::get_env("JACC_TRACE_FILE");
   print_tuning("JACC_TRACE_FILE",
                trace ? *trace : std::string("jacc_trace.json when tracing"));
+
+  // initialize() already installed the env+TOML resolution, so mode() is
+  // the authoritative answer here.
+  std::string pool = std::string(jaccx::mem::to_string(jaccx::mem::mode()));
+  if (pool == "bucket") {
+    pool += " (caching allocator + persistent reduce workspaces)";
+  } else {
+    pool += " (seed-fidelity passthrough)";
+  }
+  print_tuning("JACC_MEM_POOL", pool);
+  std::printf("\n");
+}
+
+void print_mem_pools() {
+  const auto rows = jaccx::mem::stats();
+  if (rows.empty()) {
+    return;
+  }
+  std::printf("memory pools (this process)\n");
+  std::printf("  %-8s %8s %8s %12s %12s %12s\n", "pool", "hits", "misses",
+              "cached KiB", "wspace KiB", "hi-water KiB");
+  for (const auto& r : rows) {
+    std::printf("  %-8s %8llu %8llu %12.1f %12.1f %12.1f\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.misses),
+                static_cast<double>(r.bytes_cached) / 1024.0,
+                static_cast<double>(r.workspace_bytes) / 1024.0,
+                static_cast<double>(r.high_water_bytes) / 1024.0);
+  }
   std::printf("\n");
 }
 
@@ -106,6 +136,7 @@ int main() {
               std::string(jacc::to_string(jacc::current_backend())).c_str());
 
   print_runtime_tuning();
+  print_mem_pools();
 
   std::printf("%-9s %-5s %6s %9s %9s %9s %8s %8s\n", "model", "kind",
               "units", "dram GB/s", "cache MiB", "flop GF/s", "launch",
