@@ -23,6 +23,10 @@ if [[ $RUN_FULL -eq 1 ]]; then
   # Both mem-pool modes are supported configurations; `none` must keep the
   # seed's exact allocation behavior.
   JACC_MEM_POOL=none ctest --test-dir build --output-on-failure -j"$JOBS"
+  # Forcing a single async lane degrades every queued submission to the
+  # synchronous path; the whole suite must be equivalent under it (ISSUE 4
+  # acceptance: default-queue == sync semantics).
+  JACC_QUEUES=1 ctest --test-dir build --output-on-failure -j"$JOBS"
 fi
 
 cmake -B build-tsan -S . -DJACCX_SANITIZE=thread \
@@ -58,5 +62,14 @@ JACC_NUM_THREADS=4 ./build-tsan/tests/tests_core \
   --gtest_filter='Mem.*:*ReduceAgreement*serial*:*ReduceAgreement*threads*:-Mem.WorkspaceGrowthZeroesTail'
 JACC_NUM_THREADS=4 JACC_MEM_POOL=none ./build-tsan/tests/tests_core \
   --gtest_filter='Mem.*:*ReduceAgreement*serial*:*ReduceAgreement*threads*:-Mem.WorkspaceGrowthZeroesTail'
+
+# Queue front end under real async lanes: JACC_QUEUES=2 forces two dispatcher
+# threads regardless of core count, so submission, completion signalling,
+# events, and the two-host-thread stress (TwoQueuesStressFromTwoHostThreads)
+# all run with genuine concurrency under TSan.
+JACC_NUM_THREADS=4 JACC_QUEUES=2 ./build-tsan/tests/tests_core \
+  --gtest_filter='QueueTest.*'
+JACC_NUM_THREADS=4 JACC_QUEUES=2 JACC_MEM_POOL=none \
+  ./build-tsan/tests/tests_core --gtest_filter='QueueTest.*'
 
 echo "verify: OK"

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/event.hpp"
+#include "core/queue.hpp"
 #include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "sim/device.hpp"
@@ -144,25 +146,25 @@ public:
   /// charges the D2H transfer (the semantic path for results).  Large
   /// host arrays on the threads back end copy out through the worker pool
   /// in parallel chunks, mirroring the copy-in path.
-  void copy_to_host(T* dst) const {
-    if (use_workers()) {
-      const T* src = data_;
-      jaccx::pool::default_pool().parallel_chunks(
-          count_, [src, dst](unsigned, jaccx::pool::range r) {
-            std::memcpy(dst + r.begin, src + r.begin,
-                        static_cast<std::size_t>(r.size()) * sizeof(T));
-          });
-    } else {
-      for (index_t i = 0; i < count_; ++i) {
-        dst[i] = data_[i];
-      }
-    }
-    if (dev_ != nullptr) {
-      dev_->charge_d2h(bytes(), "jacc.array");
-    }
-    if (jaccx::prof::enabled()) [[unlikely]] {
-      jaccx::prof::note_copy("jacc.array", /*to_device=*/false, bytes());
-    }
+  void copy_to_host(T* dst) const { copy_out(dst, nullptr); }
+
+  /// Overwrites the contents from host storage; on a simulated GPU this
+  /// charges the H2D transfer — the post-construction update path
+  /// (`copyto!(JACC.Array, host)`), symmetric with copy_to_host.
+  void copy_from_host(const T* src) { copy_in_full(src, nullptr); }
+
+  /// Queued copies: enqueued on `q`, returning the completion event.  On
+  /// the default queue these are exactly the synchronous copies above.
+  /// `dst`/`src` must stay valid until the event completes.
+  event copy_to_host(queue& q, T* dst) const {
+    return detail::enqueue_common(
+        q, current_backend(), /*is_copy=*/true,
+        [this, dst](jaccx::pool::thread_pool* pl) { copy_out(dst, pl); });
+  }
+  event copy_from_host(queue& q, const T* src) {
+    return detail::enqueue_common(
+        q, current_backend(), /*is_copy=*/true,
+        [this, src](jaccx::pool::thread_pool* pl) { copy_in_full(src, pl); });
   }
 
   std::vector<T> to_host() const {
@@ -191,19 +193,59 @@ private:
   void acquire(index_t count) {
     JACCX_ASSERT(count >= 0);
     count_ = count;
-    blk_ = jaccx::mem::acquire(
-        dev_, static_cast<std::size_t>(count) * sizeof(T), "jacc.array");
+    blk_ = jaccx::mem::acquire(dev_,
+                               static_cast<std::size_t>(count) * sizeof(T),
+                               "jacc.array", detail::alloc_ctx(dev_));
     data_ = static_cast<T*>(blk_.ptr);
+    if (blk_.stall_us > 0.0) {
+      // Pool reuse across queues: the consuming clock waits for the
+      // releasing queue (the implicit sync of a stream-ordered pool).
+      detail::note_pool_stall(dev_, blk_.stall_us);
+    }
   }
 
   void release() noexcept {
     if (data_ != nullptr && jaccx::prof::enabled()) [[unlikely]] {
       jaccx::prof::note_free(bytes());
     }
-    jaccx::mem::release(blk_);
+    jaccx::mem::release(blk_, detail::release_ctx(dev_));
     dev_ = nullptr;
     data_ = nullptr;
     count_ = 0;
+  }
+
+  /// Full D2H path (memcpy + device charge + prof note).  `pl` overrides
+  /// the worker pool (queue lanes); null = default pool.
+  void copy_out(T* dst, jaccx::pool::thread_pool* pl) const {
+    if (use_workers()) {
+      const T* src = data_;
+      auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+      pool.parallel_chunks(count_, [src, dst](unsigned, jaccx::pool::range r) {
+        std::memcpy(dst + r.begin, src + r.begin,
+                    static_cast<std::size_t>(r.size()) * sizeof(T));
+      });
+    } else {
+      for (index_t i = 0; i < count_; ++i) {
+        dst[i] = data_[i];
+      }
+    }
+    if (dev_ != nullptr) {
+      dev_->charge_d2h(bytes(), "jacc.array");
+    }
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_copy("jacc.array", /*to_device=*/false, bytes());
+    }
+  }
+
+  /// Full H2D path, symmetric with copy_out.
+  void copy_in_full(const T* src, jaccx::pool::thread_pool* pl) {
+    copy_in(src, pl);
+    if (dev_ != nullptr) {
+      dev_->charge_h2d(bytes(), "jacc.array");
+    }
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      jaccx::prof::note_copy("jacc.array", /*to_device=*/true, bytes());
+    }
   }
 
   /// True when initialization / copies should run on the worker pool:
@@ -233,10 +275,11 @@ private:
     }
   }
 
-  void copy_in(const T* host) {
+  void copy_in(const T* host, jaccx::pool::thread_pool* pl = nullptr) {
     if (use_workers()) {
       T* d = data_;
-      jaccx::pool::default_pool().parallel_chunks(
+      auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+      pool.parallel_chunks(
           count_, [d, host](unsigned, jaccx::pool::range r) {
             std::memcpy(d + r.begin, host + r.begin,
                         static_cast<std::size_t>(r.size()) * sizeof(T));

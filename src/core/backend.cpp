@@ -149,8 +149,12 @@ void save_preferences(backend b, const std::string& path) {
 }
 
 void finalize() {
-  // Profiling report first so its pool rows still show the cached bytes;
-  // then return every cached block and workspace to the backing stores.
+  // Queues first: outstanding async work may still hold pool blocks, so the
+  // drain/live assertions below are only meaningful once every queue is
+  // quiescent.  Then the profiling report, so its pool rows still show the
+  // cached bytes; then return every cached block and workspace to the
+  // backing stores.
+  synchronize();
   jaccx::prof::finalize();
   jaccx::mem::drain();
   const std::uint64_t live = jaccx::mem::live_blocks();

@@ -105,14 +105,17 @@ private:
   backend saved_;
 };
 
-/// No-op: every JACC construct is synchronous (paper Sec. IV), so there is
-/// never outstanding work.  Provided so ported code keeps its structure.
-inline void synchronize() {}
+/// Waits for every jacc::queue's outstanding work and aligns all simulated
+/// queue streams with their device clocks (see core/queue.hpp).  Under the
+/// paper's fully synchronous model — no user queues — there is never
+/// outstanding work and this stays a cheap no-op, so ported code keeps its
+/// structure.
+void synchronize();
 
-/// Flushes the profiling layer: prints the JACC_PROFILE=summary table and/or
-/// writes the JACC_TRACE_FILE Chrome trace.  Safe to call any number of
-/// times; programs that never call it still get their report from an atexit
-/// hook.
+/// Synchronizes every queue, then flushes the profiling layer: prints the
+/// JACC_PROFILE=summary table and/or writes the JACC_TRACE_FILE Chrome
+/// trace.  Safe to call any number of times; programs that never call it
+/// still get their report from an atexit hook.
 void finalize();
 
 } // namespace jacc

@@ -1,0 +1,118 @@
+// jacc::event — the completion handle returned by queued launches.
+//
+// An event is a lightweight shared handle (copyable, two pointer-size
+// members) marking one enqueued operation.  On the simulated back ends the
+// operation executes functionally at enqueue time and only its *charge*
+// lands in the future, so the event completes immediately and carries the
+// simulated completion timestamp of the queue's stream; on the real threads
+// back end with async lanes the event completes when the lane task finishes
+// and wait() blocks the host.  A default-constructed event (and everything
+// launched on the default queue) is trivially complete — the sync model's
+// "there is never outstanding work" invariant expressed as a value.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace jaccx::sim {
+class device;
+}
+
+namespace jacc {
+
+namespace detail {
+
+/// Shared completion state.  `complete` is the fast flag; the mutex/cv pair
+/// only exists for host-blocking waits on the async threads lanes.
+struct event_state {
+  std::atomic<bool> complete{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Simulated stream clock at completion (0 for real back ends).
+  double sim_done_us = 0.0;
+  /// The simulated device the operation charged, when any.
+  jaccx::sim::device* dev = nullptr;
+  /// Id of the queue that issued the operation (0 = default queue).
+  std::uint64_t queue_id = 0;
+
+  void mark_complete() {
+    {
+      const std::lock_guard lock(mu);
+      complete.store(true, std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    if (complete.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::unique_lock lock(mu);
+    cv.wait(lock, [this] {
+      return complete.load(std::memory_order_acquire);
+    });
+  }
+};
+
+struct event_access;
+
+} // namespace detail
+
+/// Completion handle for one queued operation.  Null (default-constructed)
+/// events are trivially complete, so sync code can treat every launch as
+/// returning an event without ever touching shared state.
+class event {
+public:
+  event() = default;
+
+  /// True once the operation has finished (always true for null events and
+  /// for anything issued on the default queue or a simulated back end).
+  bool complete() const {
+    return state_ == nullptr ||
+           state_->complete.load(std::memory_order_acquire);
+  }
+
+  /// Host-blocks until complete (no-op when already complete).
+  void wait() const {
+    if (state_ != nullptr) {
+      state_->wait();
+    }
+  }
+
+  /// Simulated-clock position of the issuing queue's stream when this
+  /// operation completes; 0 for real back ends and null events.  Used by
+  /// queue::wait() to order cross-queue dependencies, and by tests.
+  double sim_time_us() const {
+    return state_ != nullptr ? state_->sim_done_us : 0.0;
+  }
+
+  /// True when this handle refers to an actual enqueued operation.
+  bool valid() const { return state_ != nullptr; }
+
+private:
+  friend class queue;
+  friend struct detail::event_access;
+  explicit event(std::shared_ptr<detail::event_state> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<detail::event_state> state_;
+};
+
+namespace detail {
+
+/// Internal constructor/accessor bridge: the dispatch layer (template code
+/// in parallel_for.hpp) mints events without being a friend of each
+/// instantiation site.
+struct event_access {
+  static event make(std::shared_ptr<event_state> s) {
+    return event(std::move(s));
+  }
+  static const std::shared_ptr<event_state>& state(const event& e) {
+    return e.state_;
+  }
+};
+
+} // namespace detail
+} // namespace jacc

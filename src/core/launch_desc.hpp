@@ -1,0 +1,67 @@
+// Launch descriptors shared by every jacc dispatch front end.
+//
+// The public overload surface (1D/2D/3D x hinted/unhinted x sync/queued)
+// funnels into one internal shape, detail::launch_desc: an iteration range,
+// its rank, and the accounting hints.  Each public signature only fills the
+// descriptor; the per-backend execution bodies in parallel_for.hpp /
+// parallel_reduce.hpp consume it.  Adding a queue, a new rank, or a new
+// hint therefore touches the descriptor once instead of nine overloads.
+#pragma once
+
+#include <string_view>
+
+#include "support/span2d.hpp"
+
+namespace jacc {
+
+using jaccx::index_t;
+
+/// Optional accounting hints: a kernel name for traces, a flops-per-index
+/// estimate for the simulator's roofline term, and a bytes-per-index
+/// estimate for profiler bandwidth columns.  Purely observational — they
+/// never change results.
+struct hints {
+  std::string_view name = "jacc.parallel_for";
+  double flops_per_index = 0.0;
+  double bytes_per_index = 0.0;
+};
+
+struct dims2 {
+  index_t rows = 0; ///< M: the fast, column-major index (i)
+  index_t cols = 0; ///< N: the slow index (j)
+};
+
+struct dims3 {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t depth = 0;
+};
+
+namespace detail {
+
+/// The one internal launch shape every public overload lowers to.  Unused
+/// trailing dimensions are 1 so count() is always the product.
+struct launch_desc {
+  hints h;
+  index_t rows = 0;
+  index_t cols = 1;
+  index_t depth = 1;
+  int rank = 1;
+
+  index_t count() const { return rows * cols * depth; }
+  dims2 as_2d() const { return dims2{rows, cols}; }
+  dims3 as_3d() const { return dims3{rows, cols, depth}; }
+
+  static launch_desc d1(const hints& h, index_t n) {
+    return launch_desc{h, n, 1, 1, 1};
+  }
+  static launch_desc d2(const hints& h, dims2 d) {
+    return launch_desc{h, d.rows, d.cols, 1, 2};
+  }
+  static launch_desc d3(const hints& h, dims3 d) {
+    return launch_desc{h, d.rows, d.cols, d.depth, 3};
+  }
+};
+
+} // namespace detail
+} // namespace jacc

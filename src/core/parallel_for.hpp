@@ -1,15 +1,23 @@
 // jacc::parallel_for — the paper's primary construct (Sec. III, Fig. 2).
 //
+// Canonical forms (each also takes a leading `jacc::hints`):
+//
 //   jacc::parallel_for(n, f, args...)            calls f(i, args...)
 //   jacc::parallel_for(dims2{M, N}, f, args...)  calls f(i, j, args...)
 //   jacc::parallel_for(dims3{M,N,K}, f, args...) calls f(i, j, k, args...)
+//   jacc::parallel_for(q, ..., f, args...)       enqueues on jacc::queue q
+//                                                and returns a jacc::event
 //
 // Indices are 0-based (Julia's are 1-based; everything else matches the
 // paper).  The kernel function is defined separately and passed with its
-// parameters, exactly as JACC prescribes.  Each call is synchronous and
-// dispatches on jacc::current_backend(); the kernel is compiled once per
-// backend family by the switch below, which is how a JIT-free language gets
-// JACC's "one source, every target" property.
+// parameters, exactly as JACC prescribes.  Synchronous calls are the
+// paper's model: each completes before returning.  Queue calls are the
+// stream-ordered extension (queue.hpp); on the default queue they are
+// exactly the synchronous calls.
+//
+// Internally every public overload lowers to one detail::launch_desc and
+// one per-rank execution body, so the 1D/2D/3D x hinted/unhinted x
+// sync/queued surface shares a single dispatch switch per rank.
 //
 // Back-end mapping (paper Sec. IV):
 //   serial/threads      coarse chunks; 2D/3D decompose over the slowest
@@ -22,38 +30,33 @@
 //                       coalescing
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 
 #include "core/array.hpp"
 #include "core/backend.hpp"
+#include "core/launch_desc.hpp"
+#include "core/queue.hpp"
 #include "prof/prof.hpp"
 #include "sim/launch.hpp"
 #include "threadpool/thread_pool.hpp"
 
 namespace jacc {
-
-/// Optional accounting hints: a kernel name for traces, a flops-per-index
-/// estimate for the simulator's roofline term, and a bytes-per-index
-/// estimate for profiler bandwidth columns.  Purely observational — they
-/// never change results.
-struct hints {
-  std::string_view name = "jacc.parallel_for";
-  double flops_per_index = 0.0;
-  double bytes_per_index = 0.0;
-};
-
-struct dims2 {
-  index_t rows = 0; ///< M: the fast, column-major index (i)
-  index_t cols = 0; ///< N: the slow index (j)
-};
-
-struct dims3 {
-  index_t rows = 0;
-  index_t cols = 0;
-  index_t depth = 0;
-};
-
 namespace detail {
+
+/// How a queued launch captures its trailing kernel arguments: copyable
+/// types (scalars, views, jacc::array2d/3d shells) are copied into the
+/// task; move-only lvalues (jacc::array) are held by reference and must
+/// outlive completion — the natural contract for device data that the
+/// queue's synchronize point already guards.  Rvalues are moved in.
+template <class A>
+using async_arg_t = std::conditional_t<
+    std::is_lvalue_reference_v<A> &&
+        !std::is_copy_constructible_v<std::remove_cvref_t<A>>,
+    std::remove_reference_t<A>&, std::remove_cvref_t<A>>;
 
 inline jaccx::sim::launch_config gpu_config_1d(const jaccx::sim::device& dev,
                                                index_t n, const hints& h) {
@@ -169,20 +172,18 @@ void threads_for_3d(jaccx::pool::thread_pool& pool, dims3 d, F&& f,
   });
 }
 
-} // namespace detail
+// --- per-rank execution bodies: one dispatch switch each --------------------
+// `pl` overrides the worker pool on the threads backend (queue lanes hand
+// their private pool in); null means the default pool, the sync path.
 
-/// 1D parallel_for with accounting hints.
 template <class F, class... Args>
-void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
-  JACCX_ASSERT(n >= 0);
-  if (n == 0) {
-    return;
-  }
-  const backend b = current_backend();
+void execute_for_1d(backend b, jaccx::pool::thread_pool* pl,
+                    const launch_desc& d, F&& f, Args&&... args) {
+  const index_t n = d.rows;
   const jaccx::prof::kernel_scope prof_scope(
-      jaccx::prof::construct::parallel_for, h.name,
-      static_cast<std::uint64_t>(n), h.flops_per_index, h.bytes_per_index,
-      to_string(b));
+      jaccx::prof::construct::parallel_for, d.h.name,
+      static_cast<std::uint64_t>(n), d.h.flops_per_index,
+      d.h.bytes_per_index, to_string(b));
   switch (b) {
   case backend::serial: {
     for (index_t i = 0; i < n; ++i) {
@@ -191,13 +192,13 @@ void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
     return;
   }
   case backend::threads: {
-    jaccx::pool::default_pool().parallel_for_index(
-        n, [&](index_t i) { f(i, args...); });
+    auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+    pool.parallel_for_index(n, [&](index_t i) { f(i, args...); });
     return;
   }
   case backend::cpu_rome: {
     auto& dev = *backend_device(b);
-    jaccx::sim::cpu_parallel_range(dev, detail::cpu_config(h), n,
+    jaccx::sim::cpu_parallel_range(dev, cpu_config(d.h), n,
                                    [&](index_t i) { f(i, args...); });
     return;
   }
@@ -205,7 +206,7 @@ void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
   case backend::hip_mi100:
   case backend::oneapi_max1550: {
     auto& dev = *backend_device(b);
-    const auto cfg = detail::gpu_config_1d(dev, n, h);
+    const auto cfg = gpu_config_1d(dev, n, d.h);
     jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
       const index_t i = ctx.global_x();
       if (i < n) {
@@ -215,6 +216,237 @@ void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
     return;
   }
   }
+}
+
+template <class F, class... Args>
+void execute_for_2d(backend b, jaccx::pool::thread_pool* pl,
+                    const launch_desc& d, F&& f, Args&&... args) {
+  const dims2 d2 = d.as_2d();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_for, d.h.name,
+      static_cast<std::uint64_t>(d2.rows * d2.cols), d.h.flops_per_index,
+      d.h.bytes_per_index, to_string(b));
+  switch (b) {
+  case backend::serial: {
+    for (index_t j = 0; j < d2.cols; ++j) {
+      for (index_t i = 0; i < d2.rows; ++i) {
+        f(i, j, args...);
+      }
+    }
+    return;
+  }
+  case backend::threads: {
+    auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+    threads_for_2d(pool, d2, f, args...);
+    return;
+  }
+  case backend::cpu_rome: {
+    auto& dev = *backend_device(b);
+    jaccx::sim::cpu_parallel_range_2d(
+        dev, cpu_config(d.h), d2.rows, d2.cols,
+        [&](index_t i, index_t j) { f(i, j, args...); });
+    return;
+  }
+  case backend::cuda_a100:
+  case backend::hip_mi100:
+  case backend::oneapi_max1550: {
+    auto& dev = *backend_device(b);
+    const auto cfg = gpu_config_2d(d2.rows, d2.cols, d.h);
+    jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
+      const index_t i = ctx.global_x();
+      const index_t j = ctx.global_y();
+      if (i < d2.rows && j < d2.cols) {
+        f(i, j, args...);
+      }
+    });
+    return;
+  }
+  }
+}
+
+template <class F, class... Args>
+void execute_for_3d(backend b, jaccx::pool::thread_pool* pl,
+                    const launch_desc& d, F&& f, Args&&... args) {
+  const dims3 d3 = d.as_3d();
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_for, d.h.name,
+      static_cast<std::uint64_t>(d3.rows * d3.cols * d3.depth),
+      d.h.flops_per_index, d.h.bytes_per_index, to_string(b));
+  switch (b) {
+  case backend::serial: {
+    for (index_t k = 0; k < d3.depth; ++k) {
+      for (index_t j = 0; j < d3.cols; ++j) {
+        for (index_t i = 0; i < d3.rows; ++i) {
+          f(i, j, k, args...);
+        }
+      }
+    }
+    return;
+  }
+  case backend::threads: {
+    auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+    threads_for_3d(pool, d3, f, args...);
+    return;
+  }
+  case backend::cpu_rome: {
+    auto& dev = *backend_device(b);
+    jaccx::sim::cpu_parallel_range_3d(
+        dev, cpu_config(d.h), d3.rows, d3.cols, d3.depth,
+        [&](index_t i, index_t j, index_t k) { f(i, j, k, args...); });
+    return;
+  }
+  case backend::cuda_a100:
+  case backend::hip_mi100:
+  case backend::oneapi_max1550: {
+    auto& dev = *backend_device(b);
+    const auto cfg = gpu_config_3d(d3, d.h);
+    jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
+      const index_t i = ctx.global_x();
+      const index_t j = ctx.global_y();
+      const index_t k = ctx.global_z();
+      if (i < d3.rows && j < d3.cols && k < d3.depth) {
+        f(i, j, k, args...);
+      }
+    });
+    return;
+  }
+  }
+}
+
+/// Builds the queued runner: the descriptor and kernel are copied, the hint
+/// name is captured as an owned std::string (so a caller-provided temporary
+/// is safe even when the task runs later on a lane thread), trailing args
+/// captured per async_arg_t, and the per-rank body is invoked with the
+/// lane's pool (null outside lanes).
+template <int Rank, class F, class... Args>
+event enqueue_for(queue& q, backend b, const launch_desc& d, F&& f,
+                  Args&&... args) {
+  return enqueue_common(
+      q, b, /*is_copy=*/false,
+      [d, b, name = std::string(d.h.name),
+       fn = std::decay_t<F>(std::forward<F>(f)),
+       tup = std::tuple<async_arg_t<Args&&>...>(std::forward<Args>(args)...)](
+          jaccx::pool::thread_pool* pl) mutable {
+        // Re-point the descriptor's name view at the closure-owned copy on
+        // every run: the closure may have been moved since capture.
+        launch_desc desc = d;
+        desc.h.name = name;
+        std::apply(
+            [&](auto&... as) {
+              if constexpr (Rank == 1) {
+                execute_for_1d(b, pl, desc, fn, as...);
+              } else if constexpr (Rank == 2) {
+                execute_for_2d(b, pl, desc, fn, as...);
+              } else {
+                execute_for_3d(b, pl, desc, fn, as...);
+              }
+            },
+            tup);
+      });
+}
+
+} // namespace detail
+
+// --- queued overloads: enqueue on `q`, return a jacc::event -----------------
+
+/// 1D parallel_for on a queue, with accounting hints.
+template <class F, class... Args>
+event parallel_for(queue& q, const hints& h, index_t n, F&& f,
+                   Args&&... args) {
+  JACCX_ASSERT(n >= 0);
+  if (n == 0) {
+    return event{};
+  }
+  const backend b = current_backend();
+  const detail::launch_desc d = detail::launch_desc::d1(h, n);
+  if (q.is_default()) {
+    // The sync model verbatim: run in place, full reference semantics.
+    detail::execute_for_1d(b, nullptr, d, std::forward<F>(f),
+                           std::forward<Args>(args)...);
+    return event{};
+  }
+  return detail::enqueue_for<1>(q, b, d, std::forward<F>(f),
+                                std::forward<Args>(args)...);
+}
+
+/// 1D parallel_for on a queue: f(i, args...) for i in [0, n).
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, Args&...>
+event parallel_for(queue& q, index_t n, F&& f, Args&&... args) {
+  return parallel_for(q, hints{}, n, std::forward<F>(f),
+                      std::forward<Args>(args)...);
+}
+
+/// 2D parallel_for on a queue, with hints.
+template <class F, class... Args>
+event parallel_for(queue& q, const hints& h, dims2 d, F&& f, Args&&... args) {
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  if (d.rows == 0 || d.cols == 0) {
+    return event{};
+  }
+  const backend b = current_backend();
+  const detail::launch_desc desc = detail::launch_desc::d2(h, d);
+  if (q.is_default()) {
+    detail::execute_for_2d(b, nullptr, desc, std::forward<F>(f),
+                           std::forward<Args>(args)...);
+    return event{};
+  }
+  return detail::enqueue_for<2>(q, b, desc, std::forward<F>(f),
+                                std::forward<Args>(args)...);
+}
+
+/// 2D parallel_for on a queue.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, Args&...>
+event parallel_for(queue& q, dims2 d, F&& f, Args&&... args) {
+  return parallel_for(q, hints{}, d, std::forward<F>(f),
+                      std::forward<Args>(args)...);
+}
+
+/// 3D parallel_for on a queue, with hints.
+template <class F, class... Args>
+event parallel_for(queue& q, const hints& h, dims3 d, F&& f, Args&&... args) {
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0 && d.depth >= 0);
+  if (d.rows == 0 || d.cols == 0 || d.depth == 0) {
+    return event{};
+  }
+  const backend b = current_backend();
+  const detail::launch_desc desc = detail::launch_desc::d3(h, d);
+  if (q.is_default()) {
+    detail::execute_for_3d(b, nullptr, desc, std::forward<F>(f),
+                           std::forward<Args>(args)...);
+    return event{};
+  }
+  return detail::enqueue_for<3>(q, b, desc, std::forward<F>(f),
+                                std::forward<Args>(args)...);
+}
+
+/// 3D parallel_for on a queue.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, index_t, Args&...>
+event parallel_for(queue& q, dims3 d, F&& f, Args&&... args) {
+  return parallel_for(q, hints{}, d, std::forward<F>(f),
+                      std::forward<Args>(args)...);
+}
+
+// --- synchronous overloads (the paper's API) --------------------------------
+// Inside a queue_scope these route to the scope's queue; otherwise they are
+// the direct execution bodies, unchanged from the pre-queue model.
+
+/// 1D parallel_for with accounting hints.
+template <class F, class... Args>
+void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
+  if (queue* q = detail::active_queue(); q != nullptr) [[unlikely]] {
+    parallel_for(*q, h, n, std::forward<F>(f), std::forward<Args>(args)...);
+    return;
+  }
+  JACCX_ASSERT(n >= 0);
+  if (n == 0) {
+    return;
+  }
+  detail::execute_for_1d(current_backend(), nullptr,
+                         detail::launch_desc::d1(h, n), std::forward<F>(f),
+                         std::forward<Args>(args)...);
 }
 
 /// 1D parallel_for: f(i, args...) for i in [0, n).
@@ -227,50 +459,17 @@ void parallel_for(index_t n, F&& f, Args&&... args) {
 /// 2D parallel_for with hints: f(i, j, args...) over rows x cols.
 template <class F, class... Args>
 void parallel_for(const hints& h, dims2 d, F&& f, Args&&... args) {
+  if (queue* q = detail::active_queue(); q != nullptr) [[unlikely]] {
+    parallel_for(*q, h, d, std::forward<F>(f), std::forward<Args>(args)...);
+    return;
+  }
   JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
   if (d.rows == 0 || d.cols == 0) {
     return;
   }
-  const backend b = current_backend();
-  const jaccx::prof::kernel_scope prof_scope(
-      jaccx::prof::construct::parallel_for, h.name,
-      static_cast<std::uint64_t>(d.rows * d.cols), h.flops_per_index,
-      h.bytes_per_index, to_string(b));
-  switch (b) {
-  case backend::serial: {
-    for (index_t j = 0; j < d.cols; ++j) {
-      for (index_t i = 0; i < d.rows; ++i) {
-        f(i, j, args...);
-      }
-    }
-    return;
-  }
-  case backend::threads: {
-    detail::threads_for_2d(jaccx::pool::default_pool(), d, f, args...);
-    return;
-  }
-  case backend::cpu_rome: {
-    auto& dev = *backend_device(b);
-    jaccx::sim::cpu_parallel_range_2d(
-        dev, detail::cpu_config(h), d.rows, d.cols,
-        [&](index_t i, index_t j) { f(i, j, args...); });
-    return;
-  }
-  case backend::cuda_a100:
-  case backend::hip_mi100:
-  case backend::oneapi_max1550: {
-    auto& dev = *backend_device(b);
-    const auto cfg = detail::gpu_config_2d(d.rows, d.cols, h);
-    jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
-      const index_t i = ctx.global_x();
-      const index_t j = ctx.global_y();
-      if (i < d.rows && j < d.cols) {
-        f(i, j, args...);
-      }
-    });
-    return;
-  }
-  }
+  detail::execute_for_2d(current_backend(), nullptr,
+                         detail::launch_desc::d2(h, d), std::forward<F>(f),
+                         std::forward<Args>(args)...);
 }
 
 /// 2D parallel_for: f(i, j, args...); i is the fast (column-major) index.
@@ -283,53 +482,17 @@ void parallel_for(dims2 d, F&& f, Args&&... args) {
 /// 3D parallel_for with hints: f(i, j, k, args...).
 template <class F, class... Args>
 void parallel_for(const hints& h, dims3 d, F&& f, Args&&... args) {
+  if (queue* q = detail::active_queue(); q != nullptr) [[unlikely]] {
+    parallel_for(*q, h, d, std::forward<F>(f), std::forward<Args>(args)...);
+    return;
+  }
   JACCX_ASSERT(d.rows >= 0 && d.cols >= 0 && d.depth >= 0);
   if (d.rows == 0 || d.cols == 0 || d.depth == 0) {
     return;
   }
-  const backend b = current_backend();
-  const jaccx::prof::kernel_scope prof_scope(
-      jaccx::prof::construct::parallel_for, h.name,
-      static_cast<std::uint64_t>(d.rows * d.cols * d.depth),
-      h.flops_per_index, h.bytes_per_index, to_string(b));
-  switch (b) {
-  case backend::serial: {
-    for (index_t k = 0; k < d.depth; ++k) {
-      for (index_t j = 0; j < d.cols; ++j) {
-        for (index_t i = 0; i < d.rows; ++i) {
-          f(i, j, k, args...);
-        }
-      }
-    }
-    return;
-  }
-  case backend::threads: {
-    detail::threads_for_3d(jaccx::pool::default_pool(), d, f, args...);
-    return;
-  }
-  case backend::cpu_rome: {
-    auto& dev = *backend_device(b);
-    jaccx::sim::cpu_parallel_range_3d(
-        dev, detail::cpu_config(h), d.rows, d.cols, d.depth,
-        [&](index_t i, index_t j, index_t k) { f(i, j, k, args...); });
-    return;
-  }
-  case backend::cuda_a100:
-  case backend::hip_mi100:
-  case backend::oneapi_max1550: {
-    auto& dev = *backend_device(b);
-    const auto cfg = detail::gpu_config_3d(d, h);
-    jaccx::sim::launch(dev, cfg, [&](jaccx::sim::kernel_ctx& ctx) {
-      const index_t i = ctx.global_x();
-      const index_t j = ctx.global_y();
-      const index_t k = ctx.global_z();
-      if (i < d.rows && j < d.cols && k < d.depth) {
-        f(i, j, k, args...);
-      }
-    });
-    return;
-  }
-  }
+  detail::execute_for_3d(current_backend(), nullptr,
+                         detail::launch_desc::d3(h, d), std::forward<F>(f),
+                         std::forward<Args>(args)...);
 }
 
 /// 3D parallel_for: f(i, j, k, args...).

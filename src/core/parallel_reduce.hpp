@@ -188,9 +188,10 @@ R reduce_sim_gpu(jaccx::sim::device& dev, const hints& h, index_t n, Op op,
 /// array is the persistent mem scratch (leased for the whole reduction);
 /// under none it is the seed's per-call vector.
 template <class R, class Op, class Fold>
-R reduce_threads_impl(index_t n, Op op, const Fold& fold) {
+R reduce_threads_impl(index_t n, Op op, const Fold& fold,
+                      jaccx::pool::thread_pool* pl = nullptr) {
   static_assert(sizeof(R) <= jaccx::cache_line_bytes);
-  auto& pool = jaccx::pool::default_pool();
+  auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
   const unsigned width = pool.size();
   if (jaccx::mem::pooling()) {
     jaccx::mem::host_scratch_lease lease(static_cast<std::size_t>(width) *
@@ -227,32 +228,40 @@ R reduce_threads_impl(index_t n, Op op, const Fold& fold) {
 }
 
 template <class R, class Op, class Eval>
-R reduce_threads(index_t n, Op op, const Eval& eval) {
+R reduce_threads(index_t n, Op op, const Eval& eval,
+                 jaccx::pool::thread_pool* pl = nullptr) {
   return reduce_threads_impl<R>(
-      n, op, [&](R acc, jaccx::pool::range chunk) {
+      n, op,
+      [&](R acc, jaccx::pool::range chunk) {
         for (index_t i = chunk.begin; i < chunk.end; ++i) {
           acc = op(acc, eval(i));
         }
         return acc;
-      });
+      },
+      pl);
 }
 
 /// 2D threads reduction: chunks of the flattened (i fastest) space walked
 /// row-stepped — one div/mod per chunk instead of two per element.
 template <class R, class Op, class Eval2>
-R reduce_threads_2d(dims2 d, Op op, const Eval2& eval) {
+R reduce_threads_2d(dims2 d, Op op, const Eval2& eval,
+                    jaccx::pool::thread_pool* pl = nullptr) {
   return reduce_threads_impl<R>(
-      d.rows * d.cols, op, [&](R acc, jaccx::pool::range chunk) {
+      d.rows * d.cols, op,
+      [&](R acc, jaccx::pool::range chunk) {
         jaccx::pool::walk_flat_2d(chunk, d.rows, [&](index_t i, index_t j) {
           acc = op(acc, eval(i, j));
         });
         return acc;
-      });
+      },
+      pl);
 }
 
-/// Core dispatch shared by the 1D/2D front ends.
+/// Core dispatch shared by the 1D/2D front ends.  `pl` overrides the
+/// worker pool on the threads backend (queue lanes); null = default pool.
 template <class Op, class Eval>
-auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
+auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval,
+                     jaccx::pool::thread_pool* pl = nullptr) {
   using R = std::remove_cvref_t<decltype(eval(index_t{0}))>;
   static_assert(std::is_arithmetic_v<R>,
                 "parallel_reduce kernels must return an arithmetic value");
@@ -273,7 +282,7 @@ auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
     return acc;
   }
   case backend::threads:
-    return reduce_threads<R>(n, op, eval);
+    return reduce_threads<R>(n, op, eval, pl);
   case backend::cpu_rome: {
     auto& dev = *backend_device(b);
     auto cfg = detail::cpu_config(h);
@@ -300,7 +309,7 @@ auto reduce_dispatch(const hints& h, index_t n, Op op, const Eval& eval) {
 /// results match the linearized path bit for bit.
 template <class Op, class Eval2>
 auto reduce_cpu_2d(const hints& h, dims2 d, backend b, Op op,
-                   const Eval2& eval) {
+                   const Eval2& eval, jaccx::pool::thread_pool* pl = nullptr) {
   using R = std::remove_cvref_t<decltype(eval(index_t{0}, index_t{0}))>;
   static_assert(std::is_arithmetic_v<R>,
                 "parallel_reduce kernels must return an arithmetic value");
@@ -321,14 +330,149 @@ auto reduce_cpu_2d(const hints& h, dims2 d, backend b, Op op,
     }
     return acc;
   }
-  return reduce_threads_2d<R>(d, op, eval);
+  return reduce_threads_2d<R>(d, op, eval, pl);
+}
+
+/// 2D dispatch shared by the sync and queued front ends: real CPU back
+/// ends take the row-stepped path, simulated lanes the linearized one.
+template <class Op, class Eval2>
+auto reduce_2d_dispatch(const hints& h, dims2 d, backend b, Op op,
+                        const Eval2& eval,
+                        jaccx::pool::thread_pool* pl = nullptr) {
+  if (b == backend::serial || b == backend::threads) {
+    return reduce_cpu_2d(h, d, b, op, eval, pl);
+  }
+  const index_t total = d.rows * d.cols;
+  return reduce_dispatch(
+      h, total, op,
+      [&](index_t idx) {
+        const index_t i = idx % d.rows;
+        const index_t j = idx / d.rows;
+        return eval(i, j);
+      },
+      pl);
 }
 
 } // namespace detail
 
+// --- queued overloads -------------------------------------------------------
+// A reduction returns its value on the host, so a queued parallel_reduce is
+// queue-ordered but host-blocking: it runs after everything already on the
+// queue and its result is final when the call returns.  On simulated back
+// ends the charges (kernels + scalar D2H) land on the queue's stream.
+
+/// 1D sum-reduction on a queue, with hints.
+template <class F, class... Args>
+auto parallel_reduce(queue& q, const hints& h, index_t n, F&& f,
+                     Args&&... args) {
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, args...))>;
+  const backend b = current_backend();
+  if (q.is_default()) {
+    return detail::reduce_dispatch(h, n, plus_reducer{},
+                                   [&](index_t i) { return f(i, args...); });
+  }
+  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
+    const detail::queue_bind bind(&q, dev);
+    R r = detail::reduce_dispatch(h, n, plus_reducer{},
+                                  [&](index_t i) { return f(i, args...); });
+    detail::note_sync_op(q, /*is_copy=*/false);
+    return r;
+  }
+  if (b == backend::threads && detail::queue_is_async(q)) {
+    auto slot = std::make_shared<R>();
+    auto st = std::make_shared<detail::event_state>();
+    detail::queue_submit(
+        q,
+        [slot, h, n, fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          std::apply(
+              [&](auto&... as) {
+                *slot = detail::reduce_dispatch(
+                    h, n, plus_reducer{},
+                    [&](index_t i) { return fn(i, as...); }, pl);
+              },
+              tup);
+        },
+        st);
+    st->wait();
+    return R(*slot);
+  }
+  detail::note_sync_op(q, /*is_copy=*/false);
+  return detail::reduce_dispatch(h, n, plus_reducer{},
+                                 [&](index_t i) { return f(i, args...); });
+}
+
+/// 1D sum-reduction on a queue.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, Args&...>
+auto parallel_reduce(queue& q, index_t n, F&& f, Args&&... args) {
+  return parallel_reduce(q, hints{.name = "jacc.parallel_reduce"}, n,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// 2D sum-reduction on a queue, with hints.
+template <class F, class... Args>
+auto parallel_reduce(queue& q, const hints& h, dims2 d, F&& f,
+                     Args&&... args) {
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, index_t{0}, args...))>;
+  const backend b = current_backend();
+  const auto eval = [&](index_t i, index_t j) { return f(i, j, args...); };
+  if (q.is_default()) {
+    return detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
+  }
+  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
+    const detail::queue_bind bind(&q, dev);
+    R r = detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
+    detail::note_sync_op(q, /*is_copy=*/false);
+    return r;
+  }
+  if (b == backend::threads && detail::queue_is_async(q)) {
+    auto slot = std::make_shared<R>();
+    auto st = std::make_shared<detail::event_state>();
+    detail::queue_submit(
+        q,
+        [slot, h, d, b, fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          std::apply(
+              [&](auto&... as) {
+                *slot = detail::reduce_2d_dispatch(
+                    h, d, b, plus_reducer{},
+                    [&](index_t i, index_t j) { return fn(i, j, as...); },
+                    pl);
+              },
+              tup);
+        },
+        st);
+    st->wait();
+    return R(*slot);
+  }
+  detail::note_sync_op(q, /*is_copy=*/false);
+  return detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
+}
+
+/// 2D sum-reduction on a queue.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, Args&...>
+auto parallel_reduce(queue& q, dims2 d, F&& f, Args&&... args) {
+  return parallel_reduce(q, hints{.name = "jacc.parallel_reduce2d"}, d,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+// --- synchronous overloads (the paper's API) --------------------------------
+// Inside a queue_scope these route to the scope's queue.
+
 /// 1D sum-reduction with hints: returns sum over i of f(i, args...).
 template <class F, class... Args>
 auto parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args) {
+  if (queue* q = detail::active_queue(); q != nullptr) [[unlikely]] {
+    return parallel_reduce(*q, h, n, std::forward<F>(f),
+                           std::forward<Args>(args)...);
+  }
   return detail::reduce_dispatch(h, n, plus_reducer{},
                                  [&](index_t i) { return f(i, args...); });
 }
@@ -362,20 +506,14 @@ auto parallel_reduce_max(index_t n, F&& f, Args&&... args) {
 /// does.
 template <class F, class... Args>
 auto parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
-  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
-  const backend b = current_backend();
-  if (b == backend::serial || b == backend::threads) {
-    return detail::reduce_cpu_2d(h, d, b, plus_reducer{},
-                                 [&](index_t i, index_t j) {
-                                   return f(i, j, args...);
-                                 });
+  if (queue* q = detail::active_queue(); q != nullptr) [[unlikely]] {
+    return parallel_reduce(*q, h, d, std::forward<F>(f),
+                           std::forward<Args>(args)...);
   }
-  const index_t total = d.rows * d.cols;
-  return detail::reduce_dispatch(h, total, plus_reducer{}, [&](index_t idx) {
-    const index_t i = idx % d.rows;
-    const index_t j = idx / d.rows;
-    return f(i, j, args...);
-  });
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  return detail::reduce_2d_dispatch(
+      h, d, current_backend(), plus_reducer{},
+      [&](index_t i, index_t j) { return f(i, j, args...); });
 }
 
 /// 2D sum-reduction: `res = JACC.parallel_reduce((M, N), dot, dx, dy)`.

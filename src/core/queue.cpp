@@ -1,0 +1,460 @@
+#include "core/queue.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prof/prof.hpp"
+#include "sim/device.hpp"
+#include "sim/stream.hpp"
+#include "support/env.hpp"
+#include "threadpool/thread_pool.hpp"
+
+namespace jacc {
+namespace detail {
+
+namespace {
+thread_local queue* t_active = nullptr;
+} // namespace
+
+/// Shared state behind a queue handle.  `mu` guards the stream map, the
+/// lane assignment, and the pending-task count; the counters are plain
+/// atomics so the hot enqueue paths never take the mutex for accounting.
+struct queue_impl {
+  std::uint64_t id = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<jaccx::sim::device*, std::unique_ptr<jaccx::sim::stream>> streams;
+  std::uint64_t pending = 0; ///< lane tasks submitted but not yet finished
+  int lane = -1;             ///< threads lane, assigned on first async submit
+
+  std::atomic<std::uint64_t> launches{0};
+  std::atomic<std::uint64_t> copies{0};
+  std::atomic<std::uint64_t> async_tasks{0};
+  std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> syncs{0};
+};
+
+namespace {
+
+struct lane_task {
+  std::function<void(jaccx::pool::thread_pool*)> fn;
+  std::shared_ptr<event_state> done;
+  std::shared_ptr<queue_impl> owner;
+};
+
+/// One async lane: a dispatcher thread draining an in-order task deque into
+/// a private slice of the worker budget.  Queues pin to a lane round-robin,
+/// so two queues on different lanes genuinely overlap while work within a
+/// queue keeps submission order.
+struct lane {
+  lane(int index, unsigned width)
+      : pool(std::make_unique<jaccx::pool::thread_pool>(
+            width, "queue.lane" + std::to_string(index))) {
+    dispatcher = std::thread([this, index] { loop(index); });
+  }
+  ~lane() {
+    {
+      const std::lock_guard lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    dispatcher.join();
+  }
+
+  void loop(int index) {
+    bool labeled = false;
+    for (;;) {
+      lane_task t;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [this] { return stop || !tasks.empty(); });
+        if (tasks.empty()) {
+          return; // stop requested and drained
+        }
+        t = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      if (!labeled && jaccx::prof::enabled()) [[unlikely]] {
+        jaccx::prof::label_this_thread("queue.lane" + std::to_string(index) +
+                                       ".dispatch");
+        labeled = true;
+      }
+      t.fn(pool.get());
+      t.done->mark_complete();
+      {
+        const std::lock_guard lock(t.owner->mu);
+        --t.owner->pending;
+      }
+      t.owner->cv.notify_all();
+    }
+  }
+
+  std::unique_ptr<jaccx::pool::thread_pool> pool;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<lane_task> tasks;
+  bool stop = false;
+  std::thread dispatcher;
+};
+
+/// Lanes live in a function-local static so their dispatcher threads are
+/// joined at static destruction, strictly before the default pool (which
+/// ensure_lanes() constructs first) goes down.
+struct lane_set {
+  std::vector<std::unique_ptr<lane>> lanes;
+};
+
+lane_set& lanes() {
+  static lane_set ls;
+  return ls;
+}
+
+/// Registry of live queues (weak: a queue dies when its last handle does).
+/// Leaked like the prof/mem state: queue destructors may run from static
+/// teardown in arbitrary order.
+struct queue_registry {
+  std::mutex mu;
+  std::vector<std::weak_ptr<queue_impl>> queues;
+  std::uint64_t next_id = 1;
+
+  std::once_flag lanes_once;
+  int lane_count = 1;
+  unsigned lane_width = 1;
+  std::atomic<unsigned> next_lane{0};
+
+  queue_registry() {
+    jaccx::prof::register_queue_source([this] { return stats(); });
+  }
+
+  std::vector<std::shared_ptr<queue_impl>> live() {
+    std::vector<std::shared_ptr<queue_impl>> out;
+    const std::lock_guard lock(mu);
+    for (auto it = queues.begin(); it != queues.end();) {
+      if (auto qi = it->lock()) {
+        out.push_back(std::move(qi));
+        ++it;
+      } else {
+        it = queues.erase(it);
+      }
+    }
+    return out;
+  }
+
+  std::vector<jaccx::prof::queue_stats> stats() {
+    std::vector<jaccx::prof::queue_stats> out;
+    for (const auto& qi : live()) {
+      jaccx::prof::queue_stats s;
+      s.id = qi->id;
+      s.label = qi->id == 0 ? "default" : "q" + std::to_string(qi->id);
+      s.launches = qi->launches.load(std::memory_order_relaxed);
+      s.copies = qi->copies.load(std::memory_order_relaxed);
+      s.async_tasks = qi->async_tasks.load(std::memory_order_relaxed);
+      s.waits = qi->waits.load(std::memory_order_relaxed);
+      s.syncs = qi->syncs.load(std::memory_order_relaxed);
+      {
+        const std::lock_guard lock(qi->mu);
+        s.lane = qi->lane;
+        for (const auto& [dev, stream] : qi->streams) {
+          s.sim_us = std::max(s.sim_us, stream->now_us());
+        }
+      }
+      if (s.launches + s.copies + s.waits + s.syncs + s.async_tasks != 0) {
+        out.push_back(std::move(s));
+      }
+    }
+    return out;
+  }
+};
+
+queue_registry& reg() {
+  static queue_registry* r = new queue_registry();
+  return *r;
+}
+
+/// Resolves the lane configuration once.  The default pool is constructed
+/// first on purpose: the width split needs it, and static-destruction order
+/// then tears the lanes down before the pool they feed from.
+void ensure_lanes() {
+  queue_registry& r = reg();
+  std::call_once(r.lanes_once, [&r] {
+    const unsigned width = jaccx::pool::default_pool().size();
+    r.lane_count = resolve_queue_lanes(width);
+    r.lane_width = std::max(1u, width / static_cast<unsigned>(r.lane_count));
+    if (r.lane_count > 1) {
+      auto& ls = lanes();
+      ls.lanes.reserve(static_cast<std::size_t>(r.lane_count));
+      for (int i = 0; i < r.lane_count; ++i) {
+        ls.lanes.push_back(std::make_unique<lane>(i, r.lane_width));
+      }
+    }
+  });
+}
+
+} // namespace
+
+queue* active_queue() { return t_active; }
+
+jaccx::mem::queue_ctx alloc_ctx(jaccx::sim::device* dev) {
+  jaccx::mem::queue_ctx c;
+  queue* q = t_active;
+  if (q != nullptr && !q->is_default()) {
+    c.queue = q->id();
+    if (dev != nullptr) {
+      c.now_us = queue_stream(*q, *dev)->now_us();
+    }
+  } else if (dev != nullptr) {
+    c.now_us = dev->tl().now_us();
+  }
+  return c;
+}
+
+jaccx::mem::queue_ctx release_ctx(jaccx::sim::device* dev) noexcept {
+  jaccx::mem::queue_ctx c;
+  queue* q = t_active;
+  if (q != nullptr && !q->is_default()) {
+    c.queue = q->id();
+    if (dev != nullptr) {
+      // Look up only — a queue that never charged this device has no
+      // stream, and the release path must not construct one.
+      queue_impl* qi = queue_access::impl(*q);
+      const std::lock_guard lock(qi->mu);
+      const auto it = qi->streams.find(dev);
+      c.now_us = it != qi->streams.end() ? it->second->now_us()
+                                         : dev->tl().now_us();
+    }
+  } else if (dev != nullptr) {
+    c.now_us = dev->tl().now_us();
+  }
+  return c;
+}
+
+void note_pool_stall(jaccx::sim::device* dev, double ready_us) {
+  if (dev == nullptr) {
+    return;
+  }
+  // The pool handed out a block released on another queue: the consuming
+  // clock (the active queue's stream, or the default timeline) cannot use
+  // it before the release time — the implicit sync CUDA.jl's pool calls a
+  // nonblocking synchronization of the releasing stream.
+  jaccx::sim::timeline& tl = dev->active_tl();
+  const double behind = ready_us - tl.now_us();
+  if (behind > 0.0) {
+    tl.record("mem.pool.wait", jaccx::sim::event_kind::kernel, behind);
+  }
+}
+
+bool queue_is_async(const queue& q) {
+  if (q.is_default()) {
+    return false;
+  }
+  ensure_lanes();
+  return reg().lane_count > 1;
+}
+
+void queue_submit(queue& q,
+                  std::function<void(jaccx::pool::thread_pool*)> task,
+                  std::shared_ptr<event_state> done) {
+  ensure_lanes();
+  queue_registry& r = reg();
+  auto owner = queue_access::impl_ptr(q);
+  done->queue_id = owner->id;
+  int lane_idx;
+  {
+    const std::lock_guard lock(owner->mu);
+    if (owner->lane < 0) {
+      owner->lane = static_cast<int>(
+          r.next_lane.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<unsigned>(r.lane_count));
+    }
+    lane_idx = owner->lane;
+    ++owner->pending;
+  }
+  owner->async_tasks.fetch_add(1, std::memory_order_relaxed);
+  lane& l = *lanes().lanes[static_cast<std::size_t>(lane_idx)];
+  {
+    const std::lock_guard lock(l.mu);
+    l.tasks.push_back(lane_task{std::move(task), std::move(done),
+                                std::move(owner)});
+  }
+  l.cv.notify_one();
+}
+
+jaccx::sim::stream* queue_stream(const queue& q, jaccx::sim::device& dev) {
+  queue_impl* qi = queue_access::impl(q);
+  const std::lock_guard lock(qi->mu);
+  auto& slot = qi->streams[&dev];
+  if (slot == nullptr) {
+    slot = std::make_unique<jaccx::sim::stream>(
+        dev, dev.model().name + ".q" + std::to_string(qi->id));
+  }
+  return slot.get();
+}
+
+event finish_sim_op(queue& q, jaccx::sim::device& dev, bool is_copy) {
+  queue_impl* qi = queue_access::impl(q);
+  (is_copy ? qi->copies : qi->launches)
+      .fetch_add(1, std::memory_order_relaxed);
+  auto st = std::make_shared<event_state>();
+  st->dev = &dev;
+  st->queue_id = qi->id;
+  st->sim_done_us = queue_stream(q, dev)->now_us();
+  st->complete.store(true, std::memory_order_release);
+  return event_access::make(std::move(st));
+}
+
+void note_sync_op(queue& q, bool is_copy) {
+  queue_impl* qi = queue_access::impl(q);
+  (is_copy ? qi->copies : qi->launches)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+queue_bind::queue_bind(queue* q, jaccx::sim::device* dev) {
+  prev_active_ = t_active;
+  t_active = q;
+  if (q != nullptr && !q->is_default() && dev != nullptr) {
+    dev_ = dev;
+    prev_clock_ = dev->set_clock_target(&queue_stream(*q, *dev)->tl());
+  }
+}
+
+queue_bind::~queue_bind() {
+  if (dev_ != nullptr) {
+    dev_->set_clock_target(prev_clock_);
+  }
+  t_active = prev_active_;
+}
+
+} // namespace detail
+
+queue::queue() {
+  detail::queue_registry& r = detail::reg();
+  auto impl = std::make_shared<detail::queue_impl>();
+  {
+    const std::lock_guard lock(r.mu);
+    impl->id = r.next_id++;
+    r.queues.push_back(impl);
+  }
+  impl_ = std::move(impl);
+}
+
+queue& queue::default_queue() {
+  static queue* q = [] {
+    detail::queue_registry& r = detail::reg();
+    auto impl = std::make_shared<detail::queue_impl>(); // id 0
+    {
+      const std::lock_guard lock(r.mu);
+      r.queues.push_back(impl);
+    }
+    return new queue(detail::queue_access::wrap(std::move(impl)));
+  }();
+  return *q;
+}
+
+std::uint64_t queue::id() const { return impl_ != nullptr ? impl_->id : 0; }
+
+void queue::synchronize() {
+  if (impl_ == nullptr) {
+    return;
+  }
+  impl_->syncs.fetch_add(1, std::memory_order_relaxed);
+  // Drain the async lane first (threads back end): everything submitted on
+  // this queue has run once pending hits zero.
+  std::vector<std::pair<jaccx::sim::device*, jaccx::sim::stream*>> streams;
+  {
+    std::unique_lock lock(impl_->mu);
+    impl_->cv.wait(lock, [this] { return impl_->pending == 0; });
+    streams.reserve(impl_->streams.size());
+    for (const auto& [dev, s] : impl_->streams) {
+      streams.emplace_back(dev, s.get());
+    }
+  }
+  // Then align each touched device's clock with this queue's stream.
+  for (const auto& [dev, s] : streams) {
+    jaccx::sim::join(*dev, {s});
+  }
+}
+
+void queue::wait(const event& e) {
+  const auto& st = detail::event_access::state(e);
+  if (st == nullptr || impl_ == nullptr) {
+    return;
+  }
+  impl_->waits.fetch_add(1, std::memory_order_relaxed);
+  if (st->dev != nullptr) {
+    // Simulated dependency: later work on this queue cannot start before
+    // the event's completion time on that device.  (Timestamps from
+    // different devices are not comparable; cross-device dependencies need
+    // a host synchronize.)
+    jaccx::sim::device& dev = *st->dev;
+    jaccx::sim::timeline& tl =
+        is_default() ? dev.tl() : detail::queue_stream(*this, dev)->tl();
+    const double behind = st->sim_done_us - tl.now_us();
+    if (behind > 0.0) {
+      tl.record("queue.wait", jaccx::sim::event_kind::kernel, behind);
+    }
+    return;
+  }
+  if (!st->complete.load(std::memory_order_acquire) &&
+      detail::queue_is_async(*this)) {
+    // Real async dependency: an in-order lane task that blocks until the
+    // event completes, so everything submitted after this wait stays
+    // ordered behind it.
+    auto dep = std::make_shared<detail::event_state>();
+    auto source = st;
+    detail::queue_submit(
+        *this, [source](jaccx::pool::thread_pool*) { source->wait(); },
+        std::move(dep));
+    return;
+  }
+  st->wait();
+}
+
+double queue::now_us() const {
+  if (impl_ == nullptr) {
+    return 0.0;
+  }
+  jaccx::sim::device* dev = backend_device(current_backend());
+  if (dev == nullptr) {
+    return 0.0;
+  }
+  if (is_default()) {
+    return dev->tl().now_us();
+  }
+  return detail::queue_stream(*this, *dev)->now_us();
+}
+
+void synchronize() {
+  for (const auto& qi : detail::reg().live()) {
+    queue q = detail::queue_access::wrap(qi);
+    q.synchronize();
+  }
+}
+
+int resolve_queue_lanes(unsigned pool_width) {
+  if (const auto n = jaccx::get_env_long("JACC_QUEUES"); n && *n >= 1) {
+    return static_cast<int>(std::min<long>(*n, 64));
+  }
+  // Auto: split a reasonably wide pool into two lanes; narrow machines keep
+  // the synchronous degradation (one lane).
+  return pool_width >= 4 ? 2 : 1;
+}
+
+int queue_lane_count() {
+  detail::ensure_lanes();
+  return detail::reg().lane_count;
+}
+
+unsigned queue_lane_width() {
+  detail::ensure_lanes();
+  return detail::reg().lane_width;
+}
+
+} // namespace jacc

@@ -33,14 +33,23 @@ void* host_alloc(std::size_t bytes) {
   return p;
 }
 
+/// One parked free-list block, tagged with the queue that released it and
+/// that queue's simulated clock at release time (stream-ordered reuse).
+struct cached_block {
+  void* ptr = nullptr;
+  std::uint64_t queue = 0;
+  double released_us = 0.0;
+};
+
 /// Counters + free lists for one backing store.  All fields are guarded by
 /// state_t::mu; `dev == nullptr` is the shared host pool.
 struct backing_pool {
   sim::device* dev = nullptr;
   /// Cached blocks keyed by backing size (power-of-two buckets and
   /// exact-size large blocks share one map — the key IS the size class).
-  std::map<std::size_t, std::vector<void*>> free_lists;
+  std::map<std::size_t, std::vector<cached_block>> free_lists;
   std::uint64_t hits = 0;
+  std::uint64_t stalls = 0; ///< hits served from another queue's releases
   std::uint64_t misses = 0;
   std::uint64_t bytes_cached = 0;
   std::uint64_t bytes_live = 0;
@@ -112,12 +121,12 @@ pool_mode resolve_env_mode() {
 void drain_locked(state_t& s) {
   const auto drain_pool = [](backing_pool& p) {
     for (auto& [size, list] : p.free_lists) {
-      for (void* ptr : list) {
+      for (const cached_block& cb : list) {
         if (p.dev != nullptr) {
           p.dev->charge_free(size);
           p.dev->arena_release();
         } else {
-          std::free(ptr);
+          std::free(cb.ptr);
         }
       }
       p.bytes_cached -= size * list.size();
@@ -200,7 +209,8 @@ std::size_t bucket_bytes(std::size_t bytes) {
   return round_up(bytes, device_align);
 }
 
-block acquire(sim::device* dev, std::size_t bytes, std::string_view name) {
+block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
+              queue_ctx qc) {
   block b;
   b.dev = dev;
   if (mode() == pool_mode::none || bytes == 0) {
@@ -233,8 +243,28 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name) {
   backing_pool& p = pool_for_locked(s, dev);
   if (const auto it = p.free_lists.find(rounded);
       it != p.free_lists.end() && !it->second.empty()) {
-    b.ptr = it->second.back();
-    it->second.pop_back();
+    // Stream-ordered preference: newest block released on the SAME queue
+    // first (no synchronization implied).  With only the default queue in
+    // play every entry matches and this is exactly the old LIFO pop_back.
+    auto& list = it->second;
+    auto pick = list.end();
+    for (auto e = list.rbegin(); e != list.rend(); ++e) {
+      if (e->queue == qc.queue) {
+        pick = std::prev(e.base());
+        break;
+      }
+    }
+    if (pick == list.end()) {
+      // Cross-queue reuse: take the newest block and surface the implied
+      // sync — the consumer cannot touch it before the release instant.
+      pick = std::prev(list.end());
+      if (pick->released_us > qc.now_us) {
+        b.stall_us = pick->released_us;
+        ++p.stalls;
+      }
+    }
+    b.ptr = pick->ptr;
+    list.erase(pick);
     b.from_cache = true;
     ++p.hits;
     p.bytes_cached -= rounded;
@@ -253,7 +283,7 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name) {
   return b;
 }
 
-void release(block& b) noexcept {
+void release(block& b, queue_ctx qc) noexcept {
   if (b.ptr == nullptr && b.dev == nullptr) {
     b = block{};
     return;
@@ -262,7 +292,7 @@ void release(block& b) noexcept {
   const std::lock_guard lock(s.mu);
   backing_pool& p = pool_for_locked(s, b.dev);
   if (b.pooled && mode() == pool_mode::bucket) {
-    p.free_lists[b.bytes].push_back(b.ptr);
+    p.free_lists[b.bytes].push_back({b.ptr, qc.queue, qc.now_us});
     p.bytes_cached += b.bytes;
   } else if (b.dev != nullptr) {
     // Unpooled (none mode / zero-byte) or pooled-but-mode-switched blocks
@@ -324,6 +354,7 @@ std::vector<prof::mem_pool_stats> stats() {
     r.label = std::move(label);
     r.mode = std::string(to_string(mode()));
     r.hits = p.hits;
+    r.stalls = p.stalls;
     r.misses = p.misses;
     r.bytes_cached = p.bytes_cached;
     r.bytes_live = p.bytes_live;

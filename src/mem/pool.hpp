@@ -79,6 +79,16 @@ inline constexpr std::size_t max_pow2_bucket_bytes = std::size_t{64} << 20;
 /// The backing size class a `bucket`-mode request of `bytes` maps to.
 std::size_t bucket_bytes(std::size_t bytes);
 
+/// Stream-ordering context for an acquire/release (CUDA.jl pool design:
+/// the pool records the releasing stream so reuse on the SAME stream needs
+/// no synchronization, while reuse on another stream implies one).  The
+/// default-constructed value — queue 0 at time 0 — is the synchronous
+/// model and reproduces the pre-queue pool behavior exactly.
+struct queue_ctx {
+  std::uint64_t queue = 0; ///< jacc::queue id (0 = default/sync)
+  double now_us = 0.0;     ///< the queue's simulated clock at the call
+};
+
 /// One allocation handed out by acquire().  Value type; the pool is the
 /// owner of the storage, the block is the claim ticket.
 struct block {
@@ -87,6 +97,10 @@ struct block {
   sim::device* dev = nullptr; ///< nullptr = host (serial/threads) pool
   bool pooled = false;        ///< acquired through a free list
   bool from_cache = false;    ///< satisfied without touching the backing store
+  /// When the block was reused across queues: the releasing queue's clock
+  /// at release time.  The consumer must not use the storage before this
+  /// simulated instant (jacc::detail::note_pool_stall applies the charge).
+  double stall_us = 0.0;
   explicit operator bool() const { return ptr != nullptr; }
 };
 
@@ -94,13 +108,17 @@ struct block {
 /// host).  Under `none`, this is the exact seed path: arena_allocate +
 /// charge_alloc(bytes, name) on a device, 64-B-aligned host memory (null
 /// for zero bytes) otherwise.  Under `bucket`, the free list is consulted
-/// first; a miss allocates and charges the rounded bucket size.
-block acquire(sim::device* dev, std::size_t bytes, std::string_view name);
+/// first — preferring blocks released on qc.queue (no sync needed), then
+/// any block (stall_us reports the implied cross-queue sync) — and a miss
+/// allocates and charges the rounded bucket size.
+block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
+              queue_ctx qc = {});
 
-/// Returns a block.  Pooled blocks go back on their free list (no device
-/// charge); unpooled blocks release to the backing store exactly as the
-/// seed did.  Resets `b` to empty; empty blocks are a no-op.
-void release(block& b) noexcept;
+/// Returns a block to the free list, tagged with the releasing queue and
+/// its clock (no device charge); unpooled blocks release to the backing
+/// store exactly as the seed did.  Resets `b` to empty; empty blocks are a
+/// no-op.
+void release(block& b, queue_ctx qc = {}) noexcept;
 
 /// Frees every cached free-list block and persistent workspace back to the
 /// backing stores (device blocks charge_free + arena_release).  Live

@@ -38,6 +38,11 @@ double context::now_us() const {
 }
 
 double context::sync() {
+  for (std::size_t d = 0; d < streams_.size(); ++d) {
+    if (streams_[d] != nullptr) {
+      sim::join(*devs_[d], {streams_[d].get()});
+    }
+  }
   const double t = now_us();
   for (auto* d : devs_) {
     const double behind = t - d->tl().now_us();
@@ -49,10 +54,25 @@ double context::sync() {
 }
 
 void context::reset_clocks() {
+  streams_.clear(); // recreated lazily at the new time origin
   for (auto* d : devs_) {
     d->reset_clock();
     d->cache().reset();
   }
+}
+
+sim::stream& context::shard_stream(int d) {
+  JACCX_ASSERT(d >= 0 && d < devices());
+  if (streams_.size() != devs_.size()) {
+    streams_.resize(devs_.size());
+  }
+  auto& s = streams_[static_cast<std::size_t>(d)];
+  if (s == nullptr) {
+    auto& dev = *devs_[static_cast<std::size_t>(d)];
+    s = std::make_unique<sim::stream>(
+        dev, dev.model().name + ".shard" + std::to_string(d));
+  }
+  return *s;
 }
 
 } // namespace jaccx::multi

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/parallel_reduce.hpp"
 #include "sim/launch.hpp"
 #include "sim/memspace.hpp"
+#include "sim/stream.hpp"
 #include "threadpool/partition.hpp"
 
 namespace jaccx::multi {
@@ -48,15 +50,24 @@ public:
   /// Wall clock of the set: the furthest-ahead device.
   double now_us() const;
 
-  /// Barrier: aligns every device clock to now_us() and returns it.
+  /// Barrier: folds every shard stream into its device clock, then aligns
+  /// every device clock to now_us() and returns it.
   double sync();
 
-  /// Rewinds all device clocks/logs (benchmarks).
+  /// Rewinds all device clocks/logs (benchmarks).  Shard streams are
+  /// discarded and recreated lazily at the new time origin.
   void reset_clocks();
+
+  /// Shard d's queue: an independent sim stream ("<model>.shard<d>" in the
+  /// Chrome trace) created on first use.  Charges issued through it — e.g.
+  /// exchange_halos_async() — overlap across shards and rejoin the device
+  /// clocks at sync().
+  sim::stream& shard_stream(int d);
 
 private:
   jacc::backend be_;
   std::vector<sim::device*> devs_;
+  std::vector<std::unique_ptr<sim::stream>> streams_; // lazily per shard
 };
 
 /// 1D array sharded contiguously across the context's devices, each shard
@@ -157,6 +168,43 @@ public:
       ctx_->dev(d + 1).charge_h2d(bytes, name);
       ctx_->dev(d + 1).charge_d2h(bytes, name);
       ctx_->dev(d).charge_h2d(bytes, name);
+    }
+  }
+
+  /// exchange_halos on the per-shard queues: each boundary's four transfer
+  /// charges land on the two adjacent shard streams instead of the device
+  /// clocks, so non-adjacent exchanges (and any compute still on the device
+  /// clocks) overlap in simulated time.  Data movement is identical to
+  /// exchange_halos(); call ctx.sync() to fold the streams back before
+  /// reading wall time.
+  void exchange_halos_async(std::string_view name = "multi.halo") {
+    if (ghost_ == 0 || ctx_->devices() < 2) {
+      return;
+    }
+    for (int d = 0; d + 1 < ctx_->devices(); ++d) {
+      auto& left = shards_[static_cast<std::size_t>(d)];
+      auto& right = shards_[static_cast<std::size_t>(d + 1)];
+      const index_t left_len = shard_len(d);
+      const index_t right_len = shard_len(d + 1);
+      const index_t g = std::min({ghost_, left_len, right_len});
+      if (g == 0) {
+        continue;
+      }
+      const auto bytes = static_cast<std::uint64_t>(g) * sizeof(T);
+      std::copy(left.data() + ghost_ + left_len - g,
+                left.data() + ghost_ + left_len, right.data() + ghost_ - g);
+      std::copy(right.data() + ghost_, right.data() + ghost_ + g,
+                left.data() + ghost_ + left_len);
+      {
+        const sim::stream_scope on(ctx_->shard_stream(d));
+        ctx_->dev(d).charge_d2h(bytes, name);
+        ctx_->dev(d).charge_h2d(bytes, name);
+      }
+      {
+        const sim::stream_scope on(ctx_->shard_stream(d + 1));
+        ctx_->dev(d + 1).charge_h2d(bytes, name);
+        ctx_->dev(d + 1).charge_d2h(bytes, name);
+      }
     }
   }
 

@@ -84,6 +84,7 @@ struct state_t {
   std::vector<pool_stats> frozen_pools;
 
   std::function<std::vector<mem_pool_stats>()> mem_pool_source;
+  std::function<std::vector<queue_stats>()> queue_source;
 
   std::string trace_path;
 
@@ -476,6 +477,23 @@ std::vector<mem_pool_stats> aggregate_mem_pools() {
   // Outside the lock: the fetcher takes the allocator's own mutex, and the
   // allocator charges devices (which can tee back into prof) under it.
   return fetch ? fetch() : std::vector<mem_pool_stats>{};
+}
+
+void register_queue_source(std::function<std::vector<queue_stats>()> fetch) {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.queue_source = std::move(fetch);
+}
+
+std::vector<queue_stats> aggregate_queues() {
+  state_t& s = st();
+  std::function<std::vector<queue_stats>()> fetch;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    fetch = s.queue_source;
+  }
+  // Outside the lock: the fetcher takes the queue registry's own mutexes.
+  return fetch ? fetch() : std::vector<queue_stats>{};
 }
 
 void reset() {

@@ -205,6 +205,7 @@ struct pool_worker_stat {
 };
 
 struct pool_stats {
+  std::string label = "pool"; ///< "pool" (default) or "queue.lane<N>"
   unsigned width = 0;
   std::string schedule;
   std::uint64_t regions = 0; ///< barrier regions run (sub-width ones inline)
@@ -227,6 +228,7 @@ struct mem_pool_stats {
   std::string label;
   std::string mode; ///< resolved JACC_MEM_POOL mode ("bucket" / "none")
   std::uint64_t hits = 0;
+  std::uint64_t stalls = 0; ///< hits reusing another queue's released block
   std::uint64_t misses = 0;
   std::uint64_t bytes_cached = 0;
   std::uint64_t bytes_live = 0;
@@ -243,6 +245,30 @@ void register_mem_pool_source(std::function<std::vector<mem_pool_stats>()> fetch
 /// Current mem-pool rows (fetched now, outside the profiler lock); empty
 /// when no source is registered or no pool has been touched.
 std::vector<mem_pool_stats> aggregate_mem_pools();
+
+// --- queue statistics -------------------------------------------------------
+
+/// Counters for one jacc::queue: operations enqueued, async lane traffic,
+/// and the furthest simulated stream clock the queue reached.
+struct queue_stats {
+  std::uint64_t id = 0;
+  std::string label; ///< "default" or "q<id>"
+  std::uint64_t launches = 0;    ///< parallel_for / parallel_reduce enqueues
+  std::uint64_t copies = 0;      ///< queued jacc::array copies
+  std::uint64_t async_tasks = 0; ///< operations routed through a threads lane
+  std::uint64_t waits = 0;       ///< queue.wait(event) dependencies
+  std::uint64_t syncs = 0;       ///< queue.synchronize() calls
+  int lane = -1;                 ///< threads lane the queue is pinned to
+  double sim_us = 0.0;           ///< furthest simulated stream clock reached
+};
+
+/// The queue subsystem registers one process-wide fetcher, mirroring
+/// register_mem_pool_source (an empty function clears it).
+void register_queue_source(std::function<std::vector<queue_stats>()> fetch);
+
+/// Current per-queue rows (fetched now, outside the profiler lock); empty
+/// when no source is registered or no queue has done work.
+std::vector<queue_stats> aggregate_queues();
 
 // --- aggregation / output ---------------------------------------------------
 

@@ -219,10 +219,11 @@ std::string summary_text() {
                              static_cast<double>(lookups)
                        : 0.0;
       std::snprintf(line, sizeof line,
-                    "%-10s hits %8" PRIu64 "  misses %6" PRIu64
+                    "%-10s hits %8" PRIu64 "  stalls %4" PRIu64 "  misses %6"
+                    PRIu64
                     "  hit-rate %5.1f%%  cached %8.1f KiB  live %8.1f KiB  "
                     "workspace %8.1f KiB  high-water %8.1f KiB\n",
-                    p.label.c_str(), p.hits, p.misses, rate,
+                    p.label.c_str(), p.hits, p.stalls, p.misses, rate,
                     static_cast<double>(p.bytes_cached) / 1024.0,
                     static_cast<double>(p.bytes_live) / 1024.0,
                     static_cast<double>(p.workspace_bytes) / 1024.0,
@@ -231,9 +232,24 @@ std::string summary_text() {
     }
   }
 
+  const auto queues = aggregate_queues();
+  if (!queues.empty()) {
+    os << "-- queues --\n";
+    char line[224];
+    for (const queue_stats& q : queues) {
+      std::snprintf(line, sizeof line,
+                    "%-8s launches %6" PRIu64 "  copies %6" PRIu64
+                    "  async %6" PRIu64 "  waits %4" PRIu64 "  syncs %4" PRIu64
+                    "  lane %2d  sim %10.1f us\n",
+                    q.label.c_str(), q.launches, q.copies, q.async_tasks,
+                    q.waits, q.syncs, q.lane, q.sim_us);
+      os << line;
+    }
+  }
+
   for (const pool_stats& p : aggregate_pools()) {
-    os << "-- pool (width " << p.width << ", schedule " << p.schedule << ", "
-       << p.regions << " regions) --\n";
+    os << "-- pool " << p.label << " (width " << p.width << ", schedule "
+       << p.schedule << ", " << p.regions << " regions) --\n";
     char line[192];
     for (const pool_worker_stat& w : p.workers) {
       std::snprintf(line, sizeof line,

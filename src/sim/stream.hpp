@@ -22,16 +22,20 @@
 #pragma once
 
 #include <initializer_list>
+#include <string>
+#include <utility>
 
 #include "sim/device.hpp"
 
 namespace jaccx::sim {
 
-/// One in-order queue with its own clock.
+/// One in-order queue with its own clock.  The optional label names the
+/// stream's Chrome-trace lane; it defaults to "<model>.stream".
 class stream {
 public:
-  explicit stream(device& dev) : dev_(&dev) {
-    tl_.set_label(dev.model().name + ".stream");
+  explicit stream(device& dev, std::string label = {}) : dev_(&dev) {
+    tl_.set_label(label.empty() ? dev.model().name + ".stream"
+                                : std::move(label));
     // Work enqueued on a fresh stream cannot start before device time.
     const double origin = dev.tl().now_us();
     if (origin > 0.0) {

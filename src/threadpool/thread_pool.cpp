@@ -52,7 +52,8 @@ std::optional<schedule> parse_schedule(std::string_view spec) {
   return s;
 }
 
-thread_pool::thread_pool(unsigned threads) {
+thread_pool::thread_pool(unsigned threads, std::string label)
+    : label_(std::move(label)) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) {
@@ -100,6 +101,7 @@ thread_pool::~thread_pool() {
 
 jaccx::prof::pool_stats thread_pool::stats() const {
   jaccx::prof::pool_stats s;
+  s.label = label_;
   s.width = width_;
   const schedule sc = sched_;
   if (sc.kind == schedule_kind::static_chunks) {
@@ -290,7 +292,7 @@ void thread_pool::worker_loop(unsigned worker) {
     if (instrument) [[unlikely]] {
       t_wait0 = jaccx::prof::now_ns();
       if (!labeled) {
-        jaccx::prof::label_this_thread("pool.worker." +
+        jaccx::prof::label_this_thread(label_ + ".worker." +
                                        std::to_string(worker));
         labeled = true;
       }

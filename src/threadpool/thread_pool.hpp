@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -61,8 +62,10 @@ public:
   /// (minimum 1).  The calling thread also executes a share of every region,
   /// so the effective parallel width is threads (callers count as worker 0).
   /// The initial schedule comes from JACC_SCHEDULE and the spin budget from
-  /// JACC_SPIN_US when set.
-  explicit thread_pool(unsigned threads = 0);
+  /// JACC_SPIN_US when set.  `label` names the pool in profiler output
+  /// ("pool" for the default pool; queue lanes use "queue.lane<N>") and
+  /// prefixes its workers' trace-lane names.
+  explicit thread_pool(unsigned threads = 0, std::string label = "pool");
 
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
@@ -164,6 +167,7 @@ private:
   alignas(cache_line_bytes) std::atomic<bool> shutdown_{false};
 
   unsigned width_ = 1;
+  std::string label_;
   std::atomic<long> spin_us_{0};
   schedule sched_{};
   std::unique_ptr<worker_counters[]> counters_; // width_ entries

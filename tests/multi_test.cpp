@@ -120,6 +120,46 @@ TEST(MultiHalo, ExchangeMovesBoundaryCells) {
   EXPECT_DOUBLE_EQ(s1[1], 4.0);
 }
 
+TEST(MultiHalo, AsyncExchangeMovesTheSameCellsOnShardStreams) {
+  context ctx(backend::cuda_a100, 3);
+  ctx.reset_clocks();
+  const index_t n = 12;
+  marray<double> sync_a(ctx, iota_vec(n), /*ghost=*/1);
+  sync_a.exchange_halos();
+  std::vector<std::vector<double>> expect;
+  for (int d = 0; d < sync_a.shards(); ++d) {
+    const double* p = sync_a.shard_host_data(d);
+    expect.emplace_back(p, p + sync_a.shard_len(d) + 2);
+  }
+
+  ctx.reset_clocks();
+  marray<double> async_a(ctx, iota_vec(n), /*ghost=*/1);
+  const double dev0_before = ctx.dev(0).tl().now_us();
+  async_a.exchange_halos_async();
+  // Data identical to the synchronous exchange...
+  for (int d = 0; d < async_a.shards(); ++d) {
+    const double* p = async_a.shard_host_data(d);
+    for (index_t i = 0; i < async_a.shard_len(d) + 2; ++i) {
+      EXPECT_DOUBLE_EQ(p[i], expect[static_cast<std::size_t>(d)]
+                                   [static_cast<std::size_t>(i)]);
+    }
+  }
+  // ...but the charges landed on the shard streams, not the device clocks.
+  EXPECT_DOUBLE_EQ(ctx.dev(0).tl().now_us(), dev0_before);
+  EXPECT_GT(ctx.shard_stream(0).now_us(), dev0_before);
+  ctx.sync(); // folds streams back; device clocks catch up
+  EXPECT_GE(ctx.dev(0).tl().now_us(), ctx.shard_stream(0).now_us());
+  ctx.reset_clocks();
+}
+
+TEST(MultiHalo, ShardStreamsAreLabeledPerShard) {
+  context ctx(backend::cuda_a100, 2);
+  ctx.reset_clocks();
+  EXPECT_EQ(ctx.shard_stream(0).tl().label(), "a100.shard0");
+  EXPECT_EQ(ctx.shard_stream(1).tl().label(), "a100.shard1");
+  ctx.reset_clocks();
+}
+
 TEST(MultiHalo, StencilAcrossShardsMatchesSerial) {
   // 1D 3-point smoother over 2 and 4 devices must equal the serial result
   // when halos are exchanged before each sweep.

@@ -95,6 +95,23 @@ void print_runtime_tuning() {
     pool += " (seed-fidelity passthrough)";
   }
   print_tuning("JACC_MEM_POOL", pool);
+
+  // Resolve the lane policy from the same width the pool would use, without
+  // instantiating the pool or the lane threads.
+  const int lanes = jacc::resolve_queue_lanes(width);
+  std::string qcfg = std::to_string(lanes) + " async lane(s)";
+  if (lanes > 1) {
+    qcfg += ", " + std::to_string(width / static_cast<unsigned>(lanes) > 0
+                                      ? width / static_cast<unsigned>(lanes)
+                                      : 1) +
+            " worker(s) each";
+  } else {
+    qcfg += " (queued work degrades to synchronous)";
+  }
+  if (!jaccx::get_env_long("JACC_QUEUES")) {
+    qcfg += lanes > 1 ? " (width heuristic)" : "";
+  }
+  print_tuning("JACC_QUEUES", qcfg);
   std::printf("\n");
 }
 
