@@ -77,6 +77,97 @@ cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
   return out;
 }
 
+/// The pipelined loop: `qc` carries the kernels, `qd` the dots.  Work edges
+/// are explicit — qd.wait(qc.record()) before a dot that reads what qc just
+/// wrote, qc.wait(future) before a kernel whose scalar depends on a dot —
+/// and everything between the edges overlaps.
+template <class Apply>
+cg_result cg_loop_pipelined(index_t n, const Apply& apply, const darray& b,
+                            darray& x, const cg_options& opts) {
+  jacc::queue qc("cg.compute");
+  jacc::queue qd("cg.dot");
+  const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0,
+                          .bytes_per_index = 16.0};
+  const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0,
+                           .bytes_per_index = 24.0};
+
+  darray r(jacc::uninit, n);
+  darray p(jacc::uninit, n);
+  darray s(jacc::uninit, n);
+
+  {
+    const jacc::queue_scope in(qc);
+    apply(x, s);
+    jacc::parallel_for(
+        jacc::hints{.name = "cg.residual", .flops_per_index = 2.0,
+                    .bytes_per_index = 24.0},
+        n,
+        [](index_t i, const darray& b_, const darray& s_, darray& r_) {
+          r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
+        },
+        b, s, r);
+    jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                       n, copy_kernel, r, p);
+  }
+
+  // b . b is independent of the setup kernels; r . r must follow them.
+  auto f_bb = qd.parallel_reduce(dot_h, n, blas::dot, b, b);
+  qd.wait(qc.record());
+  auto f_rr = qd.parallel_reduce(dot_h, n, blas::dot, r, r);
+  const double bb = f_bb.get();
+  if (bb == 0.0) {
+    qc.synchronize();
+    qd.synchronize();
+    jacc::parallel_for(
+        jacc::hints{.name = "cg.zero", .bytes_per_index = 8.0}, n,
+        [](index_t i, darray& x_) { x_[i] = 0.0; }, x);
+    return {0, 0.0, true};
+  }
+  double rr = f_rr.get();
+  const double stop = opts.tolerance * opts.tolerance * bb;
+
+  cg_result out;
+  while (out.iterations < opts.max_iterations && rr > stop) {
+    {
+      const jacc::queue_scope in(qc);
+      apply(p, s);
+    }
+    qd.wait(qc.record()); // p . s reads the fresh s
+    auto f_ps = qd.parallel_reduce(dot_h, n, blas::dot, p, s);
+    const double alpha = rr / f_ps.get();
+    qc.wait(f_ps); // the updates' scalar depends on the dot
+    {
+      // Residual update first so the rr dot can start; the independent x
+      // update then runs under it.  (cg_loop orders the axpys the other
+      // way; they touch disjoint vectors, so iterates are identical.)
+      const jacc::queue_scope in(qc);
+      jacc::parallel_for(axpy_h, n, blas::axpy, -alpha, r, s);
+    }
+    qd.wait(qc.record()); // r . r reads the fresh r
+    auto f_rrn = qd.parallel_reduce(dot_h, n, blas::dot, r, r);
+    {
+      const jacc::queue_scope in(qc);
+      jacc::parallel_for(axpy_h, n, blas::axpy, alpha, x, p);
+    }
+    const double rr_new = f_rrn.get();
+    qc.wait(f_rrn); // beta dependency
+    {
+      const jacc::queue_scope in(qc);
+      jacc::parallel_for(jacc::hints{.name = "cg.xpay",
+                                     .flops_per_index = 2.0,
+                                     .bytes_per_index = 24.0},
+                         n, xpay_kernel, rr_new / rr, r, p);
+    }
+    rr = rr_new;
+    ++out.iterations;
+  }
+  qc.synchronize();
+  qd.synchronize();
+  out.relative_residual = std::sqrt(rr / bb);
+  out.converged = rr <= stop;
+  return out;
+}
+
 } // namespace
 
 cg_result cg_solve(const tridiag_system& A, const darray& b, darray& x,
@@ -91,6 +182,22 @@ cg_result cg_solve(const csr_system& A, const darray& b, darray& x,
                    const cg_options& opts) {
   JACCX_ASSERT(b.size() == A.rows && x.size() == A.rows);
   return cg_loop(
+      A.rows, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+cg_result cg_solve_pipelined(const tridiag_system& A, const darray& b,
+                             darray& x, const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.n && x.size() == A.n);
+  return cg_loop_pipelined(
+      A.n, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+cg_result cg_solve_pipelined(const csr_system& A, const darray& b, darray& x,
+                             const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.rows && x.size() == A.rows);
+  return cg_loop_pipelined(
       A.rows, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
       opts);
 }

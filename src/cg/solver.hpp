@@ -40,6 +40,18 @@ cg_result cg_solve(const tridiag_system& A, const darray& b, darray& x,
 cg_result cg_solve(const csr_system& A, const darray& b, darray& x,
                    const cg_options& opts = {});
 
+/// Pipelined cg_solve: kernels ride a compute queue while every dot product
+/// is a non-blocking jacc::future on a second queue, so the reduction +
+/// scalar D2H that Fig. 13 shows trailing each iteration overlaps the next
+/// independent kernel (the x update runs under the rr dot's rounds).
+/// Iterates are bit-identical to cg_solve on the simulated back ends (same
+/// operation order on the data; only the charge structure differs); on
+/// real back ends the host genuinely overlaps lane work.
+cg_result cg_solve_pipelined(const tridiag_system& A, const darray& b,
+                             darray& x, const cg_options& opts = {});
+cg_result cg_solve_pipelined(const csr_system& A, const darray& b, darray& x,
+                             const cg_options& opts = {});
+
 /// Working set for paper_iteration, initialized per the paper's listing
 /// (r = p = 0.5, s = x = r_old = r_aux = 0).
 struct paper_state {

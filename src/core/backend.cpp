@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/queue.hpp"
 #include "mem/pool.hpp"
 #include "prof/prof.hpp"
 #include "sim/device.hpp"
@@ -110,6 +111,10 @@ void initialize() {
   g_backend.store(static_cast<int>(resolve_from_preferences()),
                   std::memory_order_release);
   jaccx::mem::set_mode(resolve_mem_pool());
+  // Tear down any lanes from a previous initialize/finalize cycle so the
+  // lane policy (JACC_QUEUES vs. pool width) is re-read under the current
+  // environment.  Surviving queue handles re-resolve on next submission.
+  detail::quiesce_lanes();
 }
 
 backend current_backend() {
@@ -151,10 +156,13 @@ void save_preferences(backend b, const std::string& path) {
 void finalize() {
   // Queues first: outstanding async work may still hold pool blocks, so the
   // drain/live assertions below are only meaningful once every queue is
-  // quiescent.  Then the profiling report, so its pool rows still show the
-  // cached bytes; then return every cached block and workspace to the
-  // backing stores.
+  // quiescent.  quiesce_lanes() then drains and joins the lane dispatchers
+  // themselves (asserting their deques are empty) — a lane thread that
+  // outlived finalize could otherwise touch the pool after the drain.  Then
+  // the profiling report, so its pool rows still show the cached bytes;
+  // then return every cached block and workspace to the backing stores.
   synchronize();
+  detail::quiesce_lanes();
   jaccx::prof::finalize();
   jaccx::mem::drain();
   const std::uint64_t live = jaccx::mem::live_blocks();

@@ -1,0 +1,141 @@
+// jacc::future<T> — the value-carrying completion handle returned by
+// queue::parallel_reduce.
+//
+// A queued reduction produces a scalar; pre-future code had to block the
+// host on every DOT, which is exactly the stall the paper's CG traces show
+// (Figs. 12/13: one reduction per dot product, four per iteration).  A
+// future decouples the two halves of that round-trip:
+//
+//   * the event half orders *work*: `q2.wait(f)` makes later kernels on any
+//     queue start after the reduction, with no host involvement;
+//   * the value half is read only when the host actually needs the number:
+//     `f.get()` waits (no-op if already complete) and returns it.
+//
+// The result lives in a pooled host slot drawn from jaccx::mem (the PR-3
+// caching-allocator subsystem whose persistent workspaces already back the
+// device side of every reduction), not in a per-call heap allocation: at
+// steady state a CG iteration's futures recycle the same few cache lines.
+// Under JACC_MEM_POOL=none the acquire degrades to the seed's plain
+// aligned allocation — futures work in both modes.
+//
+// Lifetime: the slot lives as long as the last future handle, so a future
+// may outlive its queue (and the arrays the reduction read — the *value*
+// was extracted before completion was signaled).  Futures are cheap shared
+// handles; copying shares the same slot and event.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+
+#include "core/event.hpp"
+#include "mem/pool.hpp"
+#include "support/error.hpp"
+
+namespace jacc {
+
+namespace detail {
+
+/// Shared state behind a future: the pooled result slot plus the completion
+/// event.  The slot is written exactly once (by the enqueue path or the
+/// lane task) before the event is marked complete; event completion is the
+/// release edge that makes the value readable.
+template <class T>
+struct future_state {
+  static_assert(std::is_arithmetic_v<T>,
+                "jacc::future carries arithmetic reduction results");
+
+  jaccx::mem::block slot;
+  event e; ///< invalid = born complete (sync/sim paths)
+
+  future_state()
+      : slot(jaccx::mem::acquire(nullptr, sizeof(T), "jacc.future.slot")) {
+    *value() = T{};
+  }
+  ~future_state() { jaccx::mem::release(slot); }
+  future_state(const future_state&) = delete;
+  future_state& operator=(const future_state&) = delete;
+
+  T* value() { return static_cast<T*>(slot.ptr); }
+};
+
+template <class T>
+struct future_access;
+
+} // namespace detail
+
+/// Completion-plus-value handle for one queued reduction.  A
+/// default-constructed future is empty (`valid() == false`); every future
+/// minted by queue::parallel_reduce is valid and its `get()` is repeatable.
+template <class T>
+class future {
+public:
+  future() = default;
+
+  /// True when this handle refers to an actual enqueued reduction.
+  bool valid() const { return st_ != nullptr; }
+
+  /// Non-blocking poll: has the reduction finished?  (Empty futures and
+  /// everything produced on the default queue or a simulated backend are
+  /// born ready.)
+  bool ready() const { return st_ == nullptr || st_->e.complete(); }
+
+  /// The ordering half: the event marking the reduction's completion.
+  /// Feed it to `q.wait(...)` to order later kernels after the reduction
+  /// without touching the host value.
+  event done() const { return st_ != nullptr ? st_->e : event{}; }
+
+  /// The value half: blocks until complete (no-op when already done) and
+  /// returns the result.  Repeatable.
+  T get() const {
+    JACCX_ASSERT(st_ != nullptr && "get() on an empty jacc::future");
+    st_->e.wait();
+    return *st_->value();
+  }
+
+  /// Simulated stream clock at completion (0 for real back ends / empty).
+  double sim_time_us() const {
+    return st_ != nullptr ? st_->e.sim_time_us() : 0.0;
+  }
+
+private:
+  friend struct detail::future_access<T>;
+  explicit future(std::shared_ptr<detail::future_state<T>> st)
+      : st_(std::move(st)) {}
+
+  std::shared_ptr<detail::future_state<T>> st_;
+};
+
+namespace detail {
+
+/// Internal bridge so the enqueue paths (template code in
+/// parallel_reduce.hpp and the dist communicator) mint futures and fill
+/// their slots without befriending every instantiation.
+template <class T>
+struct future_access {
+  static future<T> make(std::shared_ptr<future_state<T>> st) {
+    return future<T>(std::move(st));
+  }
+  static const std::shared_ptr<future_state<T>>& state(const future<T>& f) {
+    return f.st_;
+  }
+};
+
+/// Convenience for the sim/dist paths: a future that is already complete,
+/// carrying `value` and (optionally) a simulated completion timestamp.
+template <class T>
+future<T> make_ready_future(T value, double sim_done_us = 0.0,
+                            jaccx::sim::device* dev = nullptr) {
+  auto st = std::make_shared<future_state<T>>();
+  *st->value() = value;
+  if (sim_done_us > 0.0 || dev != nullptr) {
+    auto es = std::make_shared<event_state>();
+    es->sim_done_us = sim_done_us;
+    es->dev = dev;
+    es->complete.store(true, std::memory_order_release);
+    st->e = event_access::make(std::move(es));
+  }
+  return future_access<T>::make(std::move(st));
+}
+
+} // namespace detail
+} // namespace jacc

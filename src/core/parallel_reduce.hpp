@@ -355,53 +355,143 @@ auto reduce_2d_dispatch(const hints& h, dims2 d, backend b, Op op,
 
 } // namespace detail
 
-// --- queued overloads -------------------------------------------------------
-// A reduction returns its value on the host, so a queued parallel_reduce is
-// queue-ordered but host-blocking: it runs after everything already on the
-// queue and its result is final when the call returns.  On simulated back
-// ends the charges (kernels + scalar D2H) land on the queue's stream.
+// --- queue members: non-blocking (future-returning) reductions --------------
+// The member forms are the primitive: they return a jacc::future<R> whose
+// event orders later work (q.wait(f)) and whose slot carries the value
+// (f.get()).  On simulated back ends the value is final at enqueue and the
+// charges (kernels + scalar D2H) land on the queue's stream; on threads
+// async lanes the host genuinely continues while the lane computes.  The
+// free parallel_reduce(q, ...) overloads below are these calls plus .get().
+
+template <class F, class... Args>
+auto queue::parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args) {
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, args...))>;
+  const backend b = current_backend();
+  if (is_default()) {
+    // The sync model: compute in place, future born ready.
+    return detail::make_ready_future<R>(detail::reduce_dispatch(
+        h, n, plus_reducer{}, [&](index_t i) { return f(i, args...); }));
+  }
+  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
+    auto fs = std::make_shared<detail::future_state<R>>();
+    {
+      const detail::queue_bind bind(this, dev);
+      *fs->value() = detail::reduce_dispatch(
+          h, n, plus_reducer{}, [&](index_t i) { return f(i, args...); });
+    }
+    fs->e = detail::finish_sim_op(*this, *dev, /*is_copy=*/false);
+    return detail::future_access<R>::make(std::move(fs));
+  }
+  if (b == backend::threads && detail::queue_is_async(*this)) {
+    auto fs = std::make_shared<detail::future_state<R>>();
+    auto es = std::make_shared<detail::event_state>();
+    fs->e = detail::event_access::make(es);
+    detail::queue_submit(
+        *this,
+        // The hint name is re-owned (a temporary at the call site must not
+        // dangle on the lane thread) and args follow the async_arg_t
+        // policy: arrays by reference, copyables by value.
+        [fs, hname = std::string(h.name), hflops = h.flops_per_index,
+         hbytes = h.bytes_per_index, n,
+         fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          const hints hh{.name = hname, .flops_per_index = hflops,
+                         .bytes_per_index = hbytes};
+          std::apply(
+              [&](auto&... as) {
+                *fs->value() = detail::reduce_dispatch(
+                    hh, n, plus_reducer{},
+                    [&](index_t i) { return fn(i, as...); }, pl);
+              },
+              tup);
+        },
+        std::move(es));
+    return detail::future_access<R>::make(std::move(fs));
+  }
+  detail::note_sync_op(*this, /*is_copy=*/false);
+  return detail::make_ready_future<R>(detail::reduce_dispatch(
+      h, n, plus_reducer{}, [&](index_t i) { return f(i, args...); }));
+}
+
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, Args&...>
+auto queue::parallel_reduce(index_t n, F&& f, Args&&... args) {
+  return parallel_reduce(hints{.name = "jacc.parallel_reduce"}, n,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+template <class F, class... Args>
+auto queue::parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, index_t{0}, args...))>;
+  const backend b = current_backend();
+  const auto eval = [&](index_t i, index_t j) { return f(i, j, args...); };
+  if (is_default()) {
+    return detail::make_ready_future<R>(
+        detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval));
+  }
+  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
+    auto fs = std::make_shared<detail::future_state<R>>();
+    {
+      const detail::queue_bind bind(this, dev);
+      *fs->value() = detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
+    }
+    fs->e = detail::finish_sim_op(*this, *dev, /*is_copy=*/false);
+    return detail::future_access<R>::make(std::move(fs));
+  }
+  if (b == backend::threads && detail::queue_is_async(*this)) {
+    auto fs = std::make_shared<detail::future_state<R>>();
+    auto es = std::make_shared<detail::event_state>();
+    fs->e = detail::event_access::make(es);
+    detail::queue_submit(
+        *this,
+        [fs, hname = std::string(h.name), hflops = h.flops_per_index,
+         hbytes = h.bytes_per_index, d, b,
+         fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          const hints hh{.name = hname, .flops_per_index = hflops,
+                         .bytes_per_index = hbytes};
+          std::apply(
+              [&](auto&... as) {
+                *fs->value() = detail::reduce_2d_dispatch(
+                    hh, d, b, plus_reducer{},
+                    [&](index_t i, index_t j) { return fn(i, j, as...); },
+                    pl);
+              },
+              tup);
+        },
+        std::move(es));
+    return detail::future_access<R>::make(std::move(fs));
+  }
+  detail::note_sync_op(*this, /*is_copy=*/false);
+  return detail::make_ready_future<R>(
+      detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval));
+}
+
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, Args&...>
+auto queue::parallel_reduce(dims2 d, F&& f, Args&&... args) {
+  return parallel_reduce(hints{.name = "jacc.parallel_reduce2d"}, d,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+// --- queued overloads (host-blocking forms) ---------------------------------
+// Queue-ordered but host-blocking: the member future plus an immediate
+// .get().  Kept because "run after this queue's pipeline and hand me the
+// number" is the common closing step; counters and charges are identical to
+// the future form.
 
 /// 1D sum-reduction on a queue, with hints.
 template <class F, class... Args>
 auto parallel_reduce(queue& q, const hints& h, index_t n, F&& f,
                      Args&&... args) {
-  using R = std::remove_cvref_t<decltype(f(index_t{0}, args...))>;
-  const backend b = current_backend();
-  if (q.is_default()) {
-    return detail::reduce_dispatch(h, n, plus_reducer{},
-                                   [&](index_t i) { return f(i, args...); });
-  }
-  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
-    const detail::queue_bind bind(&q, dev);
-    R r = detail::reduce_dispatch(h, n, plus_reducer{},
-                                  [&](index_t i) { return f(i, args...); });
-    detail::note_sync_op(q, /*is_copy=*/false);
-    return r;
-  }
-  if (b == backend::threads && detail::queue_is_async(q)) {
-    auto slot = std::make_shared<R>();
-    auto st = std::make_shared<detail::event_state>();
-    detail::queue_submit(
-        q,
-        [slot, h, n, fn = std::decay_t<F>(std::forward<F>(f)),
-         tup = std::tuple<detail::async_arg_t<Args&&>...>(
-             std::forward<Args>(args)...)](
-            jaccx::pool::thread_pool* pl) mutable {
-          std::apply(
-              [&](auto&... as) {
-                *slot = detail::reduce_dispatch(
-                    h, n, plus_reducer{},
-                    [&](index_t i) { return fn(i, as...); }, pl);
-              },
-              tup);
-        },
-        st);
-    st->wait();
-    return R(*slot);
-  }
-  detail::note_sync_op(q, /*is_copy=*/false);
-  return detail::reduce_dispatch(h, n, plus_reducer{},
-                                 [&](index_t i) { return f(i, args...); });
+  return q.parallel_reduce(h, n, std::forward<F>(f),
+                           std::forward<Args>(args)...)
+      .get();
 }
 
 /// 1D sum-reduction on a queue.
@@ -416,43 +506,9 @@ auto parallel_reduce(queue& q, index_t n, F&& f, Args&&... args) {
 template <class F, class... Args>
 auto parallel_reduce(queue& q, const hints& h, dims2 d, F&& f,
                      Args&&... args) {
-  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
-  using R = std::remove_cvref_t<decltype(f(index_t{0}, index_t{0}, args...))>;
-  const backend b = current_backend();
-  const auto eval = [&](index_t i, index_t j) { return f(i, j, args...); };
-  if (q.is_default()) {
-    return detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
-  }
-  if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
-    const detail::queue_bind bind(&q, dev);
-    R r = detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
-    detail::note_sync_op(q, /*is_copy=*/false);
-    return r;
-  }
-  if (b == backend::threads && detail::queue_is_async(q)) {
-    auto slot = std::make_shared<R>();
-    auto st = std::make_shared<detail::event_state>();
-    detail::queue_submit(
-        q,
-        [slot, h, d, b, fn = std::decay_t<F>(std::forward<F>(f)),
-         tup = std::tuple<detail::async_arg_t<Args&&>...>(
-             std::forward<Args>(args)...)](
-            jaccx::pool::thread_pool* pl) mutable {
-          std::apply(
-              [&](auto&... as) {
-                *slot = detail::reduce_2d_dispatch(
-                    h, d, b, plus_reducer{},
-                    [&](index_t i, index_t j) { return fn(i, j, as...); },
-                    pl);
-              },
-              tup);
-        },
-        st);
-    st->wait();
-    return R(*slot);
-  }
-  detail::note_sync_op(q, /*is_copy=*/false);
-  return detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval);
+  return q.parallel_reduce(h, d, std::forward<F>(f),
+                           std::forward<Args>(args)...)
+      .get();
 }
 
 /// 2D sum-reduction on a queue.

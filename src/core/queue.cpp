@@ -28,12 +28,14 @@ thread_local queue* t_active = nullptr;
 /// atomics so the hot enqueue paths never take the mutex for accounting.
 struct queue_impl {
   std::uint64_t id = 0;
+  std::string label; ///< optional stream-name override ("<model>.<label>")
 
   std::mutex mu;
   std::condition_variable cv;
   std::map<jaccx::sim::device*, std::unique_ptr<jaccx::sim::stream>> streams;
   std::uint64_t pending = 0; ///< lane tasks submitted but not yet finished
   int lane = -1;             ///< threads lane, assigned on first async submit
+  std::uint64_t lane_epoch = 0; ///< lane-set generation `lane` indexes into
 
   std::atomic<std::uint64_t> launches{0};
   std::atomic<std::uint64_t> copies{0};
@@ -69,10 +71,21 @@ struct lane {
     dispatcher.join();
   }
 
+  /// Blocks until every submitted task has finished (deque empty, nothing
+  /// in flight).  finalize() calls this before tearing a lane down, so the
+  /// destructor never has live work to run — a task executed during static
+  /// destruction could dispatch nested sync work into the default pool
+  /// while that pool is itself draining.
+  void quiesce() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [this] { return tasks.empty() && !running; });
+  }
+
   void loop(int index) {
     bool labeled = false;
     for (;;) {
       lane_task t;
+      bool discard;
       {
         std::unique_lock lock(mu);
         cv.wait(lock, [this] { return stop || !tasks.empty(); });
@@ -81,19 +94,32 @@ struct lane {
         }
         t = std::move(tasks.front());
         tasks.pop_front();
+        // After stop the task's completion state is still honored, but its
+        // body is not run: the only way tasks remain here is unsynchronized
+        // static teardown, where the worker pools the body would use may
+        // already be gone.
+        discard = stop;
+        running = !discard;
       }
-      if (!labeled && jaccx::prof::enabled()) [[unlikely]] {
-        jaccx::prof::label_this_thread("queue.lane" + std::to_string(index) +
-                                       ".dispatch");
-        labeled = true;
+      if (!discard) {
+        if (!labeled && jaccx::prof::enabled()) [[unlikely]] {
+          jaccx::prof::label_this_thread("queue.lane" + std::to_string(index) +
+                                         ".dispatch");
+          labeled = true;
+        }
+        t.fn(pool.get());
       }
-      t.fn(pool.get());
       t.done->mark_complete();
       {
         const std::lock_guard lock(t.owner->mu);
         --t.owner->pending;
       }
       t.owner->cv.notify_all();
+      {
+        const std::lock_guard lock(mu);
+        running = false;
+      }
+      cv.notify_all();
     }
   }
 
@@ -102,6 +128,7 @@ struct lane {
   std::condition_variable cv;
   std::deque<lane_task> tasks;
   bool stop = false;
+  bool running = false; ///< a popped task's fn is executing
   std::thread dispatcher;
 };
 
@@ -125,7 +152,14 @@ struct queue_registry {
   std::vector<std::weak_ptr<queue_impl>> queues;
   std::uint64_t next_id = 1;
 
-  std::once_flag lanes_once;
+  /// Lane configuration.  `lanes_mu` guards resolution, the lane-set
+  /// vector, and submission routing; `lane_epoch` is bumped every time the
+  /// set is (re)built or torn down so a queue that pinned a lane under an
+  /// older set re-resolves instead of indexing a rebuilt vector with a
+  /// stale slot (the configuration can shrink across finalize/initialize).
+  std::mutex lanes_mu;
+  bool lanes_resolved = false;
+  std::uint64_t lane_epoch = 0;
   int lane_count = 1;
   unsigned lane_width = 1;
   std::atomic<unsigned> next_lane{0};
@@ -153,7 +187,9 @@ struct queue_registry {
     for (const auto& qi : live()) {
       jaccx::prof::queue_stats s;
       s.id = qi->id;
-      s.label = qi->id == 0 ? "default" : "q" + std::to_string(qi->id);
+      s.label = qi->id == 0     ? "default"
+                : !qi->label.empty() ? qi->label
+                                     : "q" + std::to_string(qi->id);
       s.launches = qi->launches.load(std::memory_order_relaxed);
       s.copies = qi->copies.load(std::memory_order_relaxed);
       s.async_tasks = qi->async_tasks.load(std::memory_order_relaxed);
@@ -179,23 +215,33 @@ queue_registry& reg() {
   return *r;
 }
 
-/// Resolves the lane configuration once.  The default pool is constructed
-/// first on purpose: the width split needs it, and static-destruction order
-/// then tears the lanes down before the pool they feed from.
+/// Resolves the lane configuration under r.lanes_mu (held by the caller).
+/// The default pool is constructed first on purpose: the width split needs
+/// it, and static-destruction order then tears the lanes down before the
+/// pool they feed from.  Re-runs after quiesce_lanes() marked the
+/// configuration unresolved, re-reading JACC_QUEUES.
+void ensure_lanes_locked(queue_registry& r) {
+  if (r.lanes_resolved) {
+    return;
+  }
+  const unsigned width = jaccx::pool::default_pool().size();
+  r.lane_count = resolve_queue_lanes(width);
+  r.lane_width = std::max(1u, width / static_cast<unsigned>(r.lane_count));
+  if (r.lane_count > 1) {
+    auto& ls = lanes();
+    ls.lanes.reserve(static_cast<std::size_t>(r.lane_count));
+    for (int i = 0; i < r.lane_count; ++i) {
+      ls.lanes.push_back(std::make_unique<lane>(i, r.lane_width));
+    }
+  }
+  ++r.lane_epoch;
+  r.lanes_resolved = true;
+}
+
 void ensure_lanes() {
   queue_registry& r = reg();
-  std::call_once(r.lanes_once, [&r] {
-    const unsigned width = jaccx::pool::default_pool().size();
-    r.lane_count = resolve_queue_lanes(width);
-    r.lane_width = std::max(1u, width / static_cast<unsigned>(r.lane_count));
-    if (r.lane_count > 1) {
-      auto& ls = lanes();
-      ls.lanes.reserve(static_cast<std::size_t>(r.lane_count));
-      for (int i = 0; i < r.lane_count; ++i) {
-        ls.lanes.push_back(std::make_unique<lane>(i, r.lane_width));
-      }
-    }
-  });
+  const std::lock_guard lock(r.lanes_mu);
+  ensure_lanes_locked(r);
 }
 
 } // namespace
@@ -262,17 +308,35 @@ bool queue_is_async(const queue& q) {
 void queue_submit(queue& q,
                   std::function<void(jaccx::pool::thread_pool*)> task,
                   std::shared_ptr<event_state> done) {
-  ensure_lanes();
   queue_registry& r = reg();
   auto owner = queue_access::impl_ptr(q);
   done->queue_id = owner->id;
+  // lanes_mu pins the lane set for the whole routing step: a concurrent
+  // quiesce_lanes() either completes before (we rebuild and route into the
+  // fresh set) or waits until the task is safely enqueued.
+  std::unique_lock lanes_lock(r.lanes_mu);
+  ensure_lanes_locked(r);
+  if (r.lane_count <= 1 || lanes().lanes.empty()) {
+    // The configuration degraded to synchronous between the caller's
+    // queue_is_async check and here (re-initialization): run inline.
+    lanes_lock.unlock();
+    owner->async_tasks.fetch_add(1, std::memory_order_relaxed);
+    task(nullptr);
+    done->mark_complete();
+    return;
+  }
   int lane_idx;
   {
     const std::lock_guard lock(owner->mu);
-    if (owner->lane < 0) {
+    if (owner->lane < 0 || owner->lane_epoch != r.lane_epoch ||
+        owner->lane >= r.lane_count) {
+      // First submission, or the lane set was rebuilt since this queue
+      // last pinned: a stale index may point past (or into the wrong slot
+      // of) the new set, so re-resolve round-robin.
       owner->lane = static_cast<int>(
           r.next_lane.fetch_add(1, std::memory_order_relaxed) %
           static_cast<unsigned>(r.lane_count));
+      owner->lane_epoch = r.lane_epoch;
     }
     lane_idx = owner->lane;
     ++owner->pending;
@@ -284,7 +348,30 @@ void queue_submit(queue& q,
     l.tasks.push_back(lane_task{std::move(task), std::move(done),
                                 std::move(owner)});
   }
+  lanes_lock.unlock();
   l.cv.notify_one();
+}
+
+void quiesce_lanes() {
+  queue_registry& r = reg();
+  std::vector<std::unique_ptr<lane>> doomed;
+  {
+    const std::lock_guard lock(r.lanes_mu);
+    doomed = std::move(lanes().lanes);
+    lanes().lanes.clear();
+    r.lanes_resolved = false;
+    ++r.lane_epoch;
+  }
+  // Drain outside the lock: a lane task may itself submit (queue::wait
+  // dependency tasks), which needs lanes_mu.  The set was detached above,
+  // so late submissions rebuild a fresh set instead of racing this one.
+  for (auto& l : doomed) {
+    l->quiesce();
+    const std::lock_guard lock(l->mu);
+    JACCX_ASSERT(l->tasks.empty() && !l->running &&
+                 "quiesce_lanes: lane still busy after drain");
+  }
+  doomed.clear(); // joins the dispatchers; deques are empty by now
 }
 
 jaccx::sim::stream* queue_stream(const queue& q, jaccx::sim::device& dev) {
@@ -293,7 +380,9 @@ jaccx::sim::stream* queue_stream(const queue& q, jaccx::sim::device& dev) {
   auto& slot = qi->streams[&dev];
   if (slot == nullptr) {
     slot = std::make_unique<jaccx::sim::stream>(
-        dev, dev.model().name + ".q" + std::to_string(qi->id));
+        dev, dev.model().name + "." +
+                 (qi->label.empty() ? "q" + std::to_string(qi->id)
+                                    : qi->label));
   }
   return slot.get();
 }
@@ -343,6 +432,30 @@ queue::queue() {
     r.queues.push_back(impl);
   }
   impl_ = std::move(impl);
+}
+
+queue::queue(std::string label) : queue() { impl_->label = std::move(label); }
+
+event queue::record() {
+  if (impl_ == nullptr || is_default()) {
+    return event{}; // sync model: nothing can be outstanding
+  }
+  if (jaccx::sim::device* dev = backend_device(current_backend());
+      dev != nullptr) {
+    auto st = std::make_shared<detail::event_state>();
+    st->dev = dev;
+    st->queue_id = impl_->id;
+    st->sim_done_us = detail::queue_stream(*this, *dev)->now_us();
+    st->complete.store(true, std::memory_order_release);
+    return detail::event_access::make(std::move(st));
+  }
+  if (detail::queue_is_async(*this)) {
+    // A marker task: completes when the lane reaches this position.
+    auto st = std::make_shared<detail::event_state>();
+    detail::queue_submit(*this, [](jaccx::pool::thread_pool*) {}, st);
+    return detail::event_access::make(std::move(st));
+  }
+  return event{};
 }
 
 queue& queue::default_queue() {

@@ -32,12 +32,16 @@
 // submission order.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/backend.hpp"
 #include "core/event.hpp"
+#include "core/future.hpp"
+#include "core/launch_desc.hpp"
 #include "mem/pool.hpp"
 
 namespace jaccx::pool {
@@ -100,6 +104,17 @@ event finish_sim_op(queue& q, jaccx::sim::device& dev, bool is_copy);
 /// or threads with a single lane).
 void note_sync_op(queue& q, bool is_copy);
 
+/// Drains and destroys the threads async lanes (waiting for any task in
+/// flight, asserting the deques are empty) and marks the lane configuration
+/// unresolved, so the next async submission re-reads JACC_QUEUES against
+/// the pool width of that moment.  Called by jacc::finalize() before the
+/// mem-pool drain (lane tasks may hold pool blocks and may dispatch nested
+/// sync work through the default pool) and by jacc::initialize() so a
+/// re-initialization picks up a changed environment.  Safe to call with no
+/// lanes built; live queue handles survive and re-resolve their lane on the
+/// next submission.
+void quiesce_lanes();
+
 /// RAII: while alive, `q` is the thread's active queue and (when dev is a
 /// simulated device and q is a real user queue) every charge on dev lands
 /// on q's stream.  Null queue/device degrade to plain TLS bookkeeping.
@@ -135,6 +150,11 @@ public:
   /// Creates a fresh user queue (id >= 1).
   queue();
 
+  /// Creates a labeled user queue: its simulated streams are named
+  /// "<model>.<label>" instead of "<model>.q<id>" (per-lane Chrome-trace
+  /// naming; the dist layer uses "rank<r>").
+  explicit queue(std::string label);
+
   /// The process-wide default queue (id 0): the synchronous model.
   static queue& default_queue();
 
@@ -150,6 +170,41 @@ public:
   /// stream clock on the event's device; under threads lanes it enqueues a
   /// blocking dependency task.  Complete/null events are a no-op.
   void wait(const event& e);
+
+  /// Orders all later work on this queue after the reduction behind `f`
+  /// completes — the no-host-round-trip half of a future (the value half
+  /// is f.get()).
+  template <class T>
+  void wait(const future<T>& f) {
+    wait(f.done());
+  }
+
+  /// Marks this queue's current position (cudaEventRecord): the returned
+  /// event completes once everything submitted so far has finished.  On
+  /// simulated back ends it is born complete carrying the stream clock; on
+  /// the default queue it is the invalid (trivially complete) event.
+  event record();
+
+  /// Non-blocking sum-reduction on this queue: runs after everything
+  /// already submitted here and returns a jacc::future<R> instead of
+  /// blocking the host.  On simulated back ends the value is final
+  /// immediately (functional execution at enqueue) and only the *charges*
+  /// land on the queue's stream; on threads async lanes the host genuinely
+  /// continues while the lane computes.  The free
+  /// jacc::parallel_reduce(q, ...) overloads are these calls plus .get().
+  template <class F, class... Args>
+  auto parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args);
+
+  template <class F, class... Args>
+    requires std::invocable<F&, index_t, Args&...>
+  auto parallel_reduce(index_t n, F&& f, Args&&... args);
+
+  template <class F, class... Args>
+  auto parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args);
+
+  template <class F, class... Args>
+    requires std::invocable<F&, index_t, index_t, Args&...>
+  auto parallel_reduce(dims2 d, F&& f, Args&&... args);
 
   /// Simulated-clock position of this queue on the current backend's
   /// device (0 under real back ends).  Diagnostics and tests.

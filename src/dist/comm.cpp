@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/queue.hpp"
+#include "mem/pool.hpp"
+#include "sim/stream.hpp"
+
 namespace jaccx::dist {
+namespace {
+
+/// Pooled MPI-style bounce buffer: the async calls stage through host
+/// memory drawn from jaccx::mem, so steady-state communication performs no
+/// heap allocation (and JACC_MEM_POOL=none degrades to a plain aligned
+/// alloc, matching what a real transport's first iteration pays).
+void stage_copy(double* dst, const double* src, std::size_t bytes) {
+  auto blk = mem::acquire(nullptr, bytes, "dist.stage");
+  std::memcpy(blk.ptr, src, bytes);
+  std::memcpy(dst, blk.ptr, bytes);
+  mem::release(blk);
+}
+
+jacc::event make_done_event(double done_us, sim::device* dev) {
+  auto es = std::make_shared<jacc::detail::event_state>();
+  es->sim_done_us = done_us;
+  es->dev = dev;
+  es->complete.store(true, std::memory_order_release);
+  return jacc::detail::event_access::make(std::move(es));
+}
+
+} // namespace
 
 communicator::communicator(int ranks, const std::string& gpu_model,
                            nic_model nic)
@@ -16,6 +42,8 @@ communicator::communicator(int ranks, const std::string& gpu_model,
     nodes_.push_back(&sim::get_device_instance(gpu_model, r));
   }
 }
+
+communicator::~communicator() = default;
 
 sim::device& communicator::dev(int rank) const {
   JACCX_ASSERT(rank >= 0 && rank < ranks());
@@ -46,6 +74,9 @@ double communicator::barrier() {
 }
 
 void communicator::reset() {
+  // Comm queues first: their streams carry the old time origin, so they are
+  // reborn (fresh, at t = 0) on next use after the rewind.
+  queues_.clear();
   for (auto* n : nodes_) {
     n->reset_clock();
     n->cache().reset();
@@ -101,12 +132,18 @@ int communicator::allreduce_rounds() const {
 
 double communicator::allreduce_sum(const std::vector<double>& per_rank,
                                    std::string_view name) {
-  if (static_cast<int>(per_rank.size()) != ranks()) {
+  return allreduce_sum(per_rank.data(), static_cast<int>(per_rank.size()),
+                       name);
+}
+
+double communicator::allreduce_sum(const double* per_rank, int count,
+                                   std::string_view name) {
+  if (count != ranks()) {
     throw_usage_error("allreduce_sum needs one value per rank");
   }
   double total = 0.0;
-  for (double v : per_rank) {
-    total += v;
+  for (int r = 0; r < count; ++r) {
+    total += per_rank[r];
   }
   // Recursive doubling: in round k, rank r exchanges 8 bytes with r ^ 2^k.
   // With equal per-round cost on every participating pair, the clocks all
@@ -123,6 +160,175 @@ double communicator::allreduce_sum(const std::vector<double>& per_rank,
     }
   }
   return total;
+}
+
+// --- async (queue-routed) ----------------------------------------------------
+
+jacc::queue& communicator::rank_queue(int rank) {
+  JACCX_ASSERT(rank >= 0 && rank < ranks());
+  if (queues_.empty()) {
+    queues_.resize(static_cast<std::size_t>(ranks()));
+  }
+  auto& q = queues_[static_cast<std::size_t>(rank)];
+  if (q == nullptr) {
+    q = std::make_unique<jacc::queue>("rank" + std::to_string(rank));
+  }
+  return *q;
+}
+
+sim::stream& communicator::rank_stream(int rank) {
+  return *jacc::detail::queue_stream(rank_queue(rank), dev(rank));
+}
+
+double communicator::comm_time_of(int rank) {
+  return rank_stream(rank).now_us();
+}
+
+double communicator::link_pair(int a, int b, double start, double cost) {
+  // The NIC shares each node's host<->device link calendar: the message
+  // occupies a slot on both endpoints, serializing against whatever
+  // transfers those nodes already have in flight while compute streams keep
+  // running.  The receiver's slot cannot begin before the sender's.
+  const double done_a = dev(a).reserve_link(start, cost);
+  const double done_b = dev(b).reserve_link(done_a - cost, cost);
+  return std::max(done_a, done_b);
+}
+
+jacc::event communicator::isend_recv(int src_rank, const double* src,
+                                     int dst_rank, double* dst, index_t count,
+                                     std::string_view name) {
+  JACCX_ASSERT(count >= 0);
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(double);
+  if (src_rank == dst_rank) {
+    std::memmove(dst, src, bytes);
+    return jacc::event{};
+  }
+  if (bytes > 0) {
+    stage_copy(dst, src, bytes);
+  }
+  auto& sa = rank_stream(src_rank);
+  auto& sb = rank_stream(dst_rank);
+  // Data readiness: the payload exists once the producing kernels on the
+  // device clocks have run, so the message cannot enter the wire earlier.
+  const double start =
+      std::max({sa.now_us(), sb.now_us(), dev(src_rank).tl().now_us(),
+                dev(dst_rank).tl().now_us()});
+  const double cost =
+      nic_.latency_us +
+      static_cast<double>(bytes) / (nic_.bandwidth_gbps * 1e3);
+  const double done = link_pair(src_rank, dst_rank, start, cost);
+  sa.tl().record(std::string(name), sim::event_kind::transfer_d2h,
+                 done - sa.now_us());
+  sb.tl().record(std::string(name), sim::event_kind::transfer_h2d,
+                 done - sb.now_us());
+  return make_done_event(done, &dev(dst_rank));
+}
+
+jacc::event communicator::iexchange(int rank_a, const double* a_out,
+                                    double* a_in, int rank_b,
+                                    const double* b_out, double* b_in,
+                                    index_t count, std::string_view name) {
+  JACCX_ASSERT(count >= 0);
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(double);
+  if (bytes > 0) {
+    // Full-duplex: both directions move now and share one charged step.
+    stage_copy(b_in, a_out, bytes);
+    stage_copy(a_in, b_out, bytes);
+  }
+  auto& sa = rank_stream(rank_a);
+  auto& sb = rank_stream(rank_b);
+  const double start =
+      std::max({sa.now_us(), sb.now_us(), dev(rank_a).tl().now_us(),
+                dev(rank_b).tl().now_us()});
+  const double cost =
+      nic_.latency_us +
+      static_cast<double>(bytes) / (nic_.bandwidth_gbps * 1e3);
+  const double done = link_pair(rank_a, rank_b, start, cost);
+  sa.tl().record(std::string(name), sim::event_kind::transfer_d2h,
+                 done - sa.now_us());
+  sb.tl().record(std::string(name), sim::event_kind::transfer_h2d,
+                 done - sb.now_us());
+  return make_done_event(done, &dev(rank_b));
+}
+
+jacc::future<double> communicator::iallreduce_sum(const double* per_rank,
+                                                  int count,
+                                                  std::string_view name) {
+  if (count != ranks()) {
+    throw_usage_error("iallreduce_sum needs one value per rank");
+  }
+  // Same summation order as the synchronous allreduce: bit-identical value.
+  double total = 0.0;
+  for (int r = 0; r < count; ++r) {
+    total += per_rank[r];
+  }
+  const int rounds = allreduce_rounds();
+  if (rounds == 0) {
+    return jacc::detail::make_ready_future<double>(total);
+  }
+  // Recursive doubling charged pairwise on the comm streams: in round k,
+  // rank r pairs with r ^ 2^k, each pair's step going through both link
+  // calendars.  Unlike the synchronous lump charge, a rank only advances
+  // with the pairs it actually joins, and device compute clocks are not
+  // touched at all.
+  std::vector<double> t(static_cast<std::size_t>(ranks()));
+  for (int r = 0; r < ranks(); ++r) {
+    // A rank enters round 0 once its comm lane is free AND its partial has
+    // been produced on the device clock.
+    t[static_cast<std::size_t>(r)] =
+        std::max(rank_stream(r).now_us(), dev(r).tl().now_us());
+  }
+  const double per_round = nic_.latency_us + 8.0 / (nic_.bandwidth_gbps * 1e3);
+  for (int k = 0; k < rounds; ++k) {
+    const int span = 1 << k;
+    for (int r = 0; r < ranks(); ++r) {
+      const int peer = r ^ span;
+      if (peer > r && peer < ranks()) {
+        const auto ri = static_cast<std::size_t>(r);
+        const auto pi = static_cast<std::size_t>(peer);
+        const double done = link_pair(r, peer, std::max(t[ri], t[pi]),
+                                      per_round);
+        t[ri] = done;
+        t[pi] = done;
+      }
+    }
+  }
+  double done_all = 0.0;
+  for (int r = 0; r < ranks(); ++r) {
+    auto& s = rank_stream(r);
+    const double behind = t[static_cast<std::size_t>(r)] - s.now_us();
+    if (behind > 0.0) {
+      s.tl().record(std::string(name), sim::event_kind::transfer_d2h, behind);
+    }
+    done_all = std::max(done_all, s.now_us());
+  }
+  return jacc::detail::make_ready_future<double>(total, done_all,
+                                                 nodes_.front());
+}
+
+void communicator::device_wait(int rank, double t_us, std::string_view name) {
+  auto& d = dev(rank);
+  const double behind = t_us - d.tl().now_us();
+  if (behind > 0.0) {
+    d.tl().record(std::string(name), sim::event_kind::kernel, behind);
+  }
+}
+
+void communicator::wait_comm(int rank) {
+  device_wait(rank, rank_stream(rank).now_us(), "dist.wait.comm");
+}
+
+double communicator::sync_comm() {
+  double t = 0.0;
+  for (int r = 0; r < ranks(); ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (queues_.empty() || queues_[ri] == nullptr) {
+      t = std::max(t, time_of(r)); // rank never communicated asynchronously
+      continue;
+    }
+    t = std::max(t, sim::join(dev(r), {&rank_stream(r)}));
+  }
+  return t;
 }
 
 } // namespace jaccx::dist

@@ -14,14 +14,35 @@
 // exchanges.  Data moves for real (host memcpy), so algorithms built on the
 // communicator are functionally exact; the clocks tell the scaling story
 // (bench/abl_dist_scaling).
+//
+// Async layer (i-prefixed calls): each rank additionally owns a jacc::queue
+// labeled "rank<r>" whose simulated stream ("<model>.rank<r>") is the
+// rank's communication lane.  isend_recv / iexchange / iallreduce_sum move
+// the data immediately (host memcpy through pooled staging buffers, as an
+// MPI bounce buffer would) but charge the *streams* and the per-device
+// link calendars, leaving the device compute clocks untouched — so
+// communication overlaps local kernels until the algorithm explicitly
+// waits (device_wait / wait_comm / sync_comm).  The synchronous calls
+// above are charged exactly as before; the async layer never perturbs
+// them.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/event.hpp"
+#include "core/future.hpp"
 #include "sim/device.hpp"
 #include "sim/memspace.hpp"
+
+namespace jacc {
+class queue;
+}
+namespace jaccx::sim {
+class stream;
+}
 
 namespace jaccx::dist {
 
@@ -45,6 +66,7 @@ public:
   /// device instance r of that model.
   communicator(int ranks, const std::string& gpu_model = "a100",
                nic_model nic = nic_model::infiniband_like());
+  ~communicator(); // out of line: jacc::queue is forward-declared here
 
   int ranks() const { return static_cast<int>(nodes_.size()); }
   const nic_model& nic() const { return nic_; }
@@ -80,14 +102,66 @@ public:
   double allreduce_sum(const std::vector<double>& per_rank,
                        std::string_view name = "dist.allreduce");
 
+  /// Pointer form (same charging, same summation order) so callers can keep
+  /// their per-rank partials in a pooled buffer instead of a per-call
+  /// std::vector.
+  double allreduce_sum(const double* per_rank, int count,
+                       std::string_view name = "dist.allreduce");
+
   /// Number of recursive-doubling rounds for the current size.
   int allreduce_rounds() const;
 
+  // --- async (queue-routed) ----------------------------------------------------
+  /// Rank r's communication queue ("rank<r>"); created on first use.
+  jacc::queue& rank_queue(int rank);
+
+  /// Rank r's communication stream on its device — the "<model>.rank<r>"
+  /// Chrome-trace lane every i-call charges.
+  sim::stream& rank_stream(int rank);
+
+  /// Simulated position of rank r's communication lane.
+  double comm_time_of(int rank);
+
+  /// Non-blocking send_recv: data moves now (through a pooled staging
+  /// buffer), the cost lands on both ranks' comm streams serialized through
+  /// their link calendars.  The returned event carries the completion time.
+  jacc::event isend_recv(int src_rank, const double* src, int dst_rank,
+                         double* dst, index_t count,
+                         std::string_view name = "dist.isendrecv");
+
+  /// Non-blocking symmetric neighbour exchange (one full-duplex step).
+  jacc::event iexchange(int rank_a, const double* a_out, double* a_in,
+                        int rank_b, const double* b_out, double* b_in,
+                        index_t count, std::string_view name = "dist.iexchange");
+
+  /// Non-blocking allreduce: the value is final immediately (functional
+  /// execution, same summation order as allreduce_sum) but the
+  /// recursive-doubling rounds are charged pairwise to the comm streams and
+  /// link calendars, so local compute issued after this call overlaps the
+  /// collective.  f.get() returns the sum; f.sim_time_us() the completion.
+  jacc::future<double> iallreduce_sum(const double* per_rank, int count,
+                                      std::string_view name =
+                                          "dist.iallreduce");
+
+  /// Holds rank r's *compute* clock until t_us (a stream-wait: the device
+  /// cannot run dependent kernels before the communication lands).
+  void device_wait(int rank, double t_us,
+                   std::string_view name = "dist.wait");
+
+  /// device_wait up to rank r's comm-stream position.
+  void wait_comm(int rank);
+
+  /// Joins every rank's comm stream with its device clock (the end-of-
+  /// iteration synchronize); returns the cluster wall clock.
+  double sync_comm();
+
 private:
   void charge_pair(int a, int b, std::uint64_t bytes, std::string_view name);
+  double link_pair(int a, int b, double start, double cost);
 
   nic_model nic_;
   std::vector<sim::device*> nodes_;
+  std::vector<std::unique_ptr<jacc::queue>> queues_;
 };
 
 } // namespace jaccx::dist

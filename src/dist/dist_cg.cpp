@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/parallel_reduce.hpp" // reduce_sim_gpu for the local dots
+#include "mem/pool.hpp"
 #include "sim/launch.hpp"
 
 namespace jaccx::dist {
@@ -81,25 +82,36 @@ void tridiag_cg::local_matvec(int rank) {
               });
 }
 
-double tridiag_cg::dot_allreduce(vec_ptr a, vec_ptr b, const char* name) {
-  std::vector<double> partials(static_cast<std::size_t>(comm_->ranks()),
-                               0.0);
+void tridiag_cg::dot_local(vec_ptr a, vec_ptr b, const char* name,
+                           double* partials) {
   for (int r = 0; r < comm_->ranks(); ++r) {
     auto& st = ranks_[static_cast<std::size_t>(r)];
     if (st.local_n == 0) {
+      partials[r] = 0.0;
       continue;
     }
     auto sa = (st.*a).span();
     auto sb = (st.*b).span();
-    partials[static_cast<std::size_t>(r)] =
-        jacc::detail::reduce_sim_gpu<double>(
-            comm_->dev(r), jacc::hints{.name = name, .flops_per_index = 2.0},
-            st.local_n, jacc::plus_reducer{}, [sa, sb](index_t i) {
-              return static_cast<double>(sa[i + 1]) *
-                     static_cast<double>(sb[i + 1]);
-            });
+    partials[r] = jacc::detail::reduce_sim_gpu<double>(
+        comm_->dev(r), jacc::hints{.name = name, .flops_per_index = 2.0},
+        st.local_n, jacc::plus_reducer{}, [sa, sb](index_t i) {
+          return static_cast<double>(sa[i + 1]) *
+                 static_cast<double>(sb[i + 1]);
+        });
   }
-  return comm_->allreduce_sum(partials, name);
+}
+
+double tridiag_cg::dot_allreduce(vec_ptr a, vec_ptr b, const char* name) {
+  // Pooled partials buffer: a CG iteration calls this three times, so a
+  // per-call std::vector was steady-state allocation traffic on the host.
+  auto blk = mem::acquire(
+      nullptr, static_cast<std::size_t>(comm_->ranks()) * sizeof(double),
+      "dist.partials");
+  double* partials = static_cast<double*>(blk.ptr);
+  dot_local(a, b, name, partials);
+  const double total = comm_->allreduce_sum(partials, comm_->ranks(), name);
+  mem::release(blk);
+  return total;
 }
 
 void tridiag_cg::axpy_all(double alpha, vec_ptr x, vec_ptr y) {
@@ -196,6 +208,26 @@ cg_result tridiag_cg::solve(const std::vector<double>& b,
   return out;
 }
 
+std::vector<double> tridiag_cg::gather_vector(char which) const {
+  vec_ptr v = nullptr;
+  switch (which) {
+  case 'r': v = &rank_state::r; break;
+  case 'p': v = &rank_state::p; break;
+  case 's': v = &rank_state::s; break;
+  case 'x': v = &rank_state::x; break;
+  default: throw_usage_error("gather_vector: unknown vector tag");
+  }
+  std::vector<double> out(static_cast<std::size_t>(n_), 0.0);
+  for (int r = 0; r < comm_->ranks(); ++r) {
+    const auto& st = ranks_[static_cast<std::size_t>(r)];
+    const auto rows = rows_of(r);
+    for (index_t i = 0; i < st.local_n; ++i) {
+      out[static_cast<std::size_t>(rows.begin + i)] = (st.*v).data()[i + 1];
+    }
+  }
+  return out;
+}
+
 void tridiag_cg::bench_reset() {
   for (auto& st : ranks_) {
     for (index_t i = 0; i < st.local_n + 2; ++i) {
@@ -220,6 +252,89 @@ void tridiag_cg::bench_iteration() {
   const double rr_new =
       dot_allreduce(&rank_state::r, &rank_state::r, "dist.dot");
   xpay_all(rr_new / rr, &rank_state::r, &rank_state::p);
+}
+
+void tridiag_cg::bench_iteration_async() {
+  const int R = comm_->ranks();
+  const std::size_t pbytes = static_cast<std::size_t>(R) * sizeof(double);
+
+  // Halo exchanges on the comm streams, red-black ordered: the even pairs
+  // (0,1)(2,3)... are rank-disjoint and run concurrently, then the odd
+  // pairs — two wire steps total instead of the (R-1)-step chain the
+  // synchronous path walks (program order serializes adjacent pairs
+  // through the shared middle rank).  This is what posting all the
+  // nonblocking sends up front buys; the device clocks are untouched, so
+  // the rr dot below hides both steps.
+  std::vector<double> halo_done(static_cast<std::size_t>(R), 0.0);
+  for (int parity = 0; parity < 2; ++parity) {
+    for (int r = parity; r + 1 < R; r += 2) {
+      auto& left = ranks_[static_cast<std::size_t>(r)];
+      auto& right = ranks_[static_cast<std::size_t>(r + 1)];
+      if (left.local_n == 0 || right.local_n == 0) {
+        continue;
+      }
+      const jacc::event e = comm_->iexchange(
+          r, left.p.data() + left.local_n, left.p.data() + left.local_n + 1,
+          r + 1, right.p.data() + 1, right.p.data(), 1, "dist.halo");
+      const double done = e.sim_time_us();
+      halo_done[static_cast<std::size_t>(r)] =
+          std::max(halo_done[static_cast<std::size_t>(r)], done);
+      halo_done[static_cast<std::size_t>(r + 1)] =
+          std::max(halo_done[static_cast<std::size_t>(r + 1)], done);
+    }
+  }
+
+  // rr = r . r reads no ghosts: its kernels run on the device clocks while
+  // the halo chain is in flight, and its allreduce rounds then ride the
+  // comm lanes under the matvec.
+  auto rr_blk = mem::acquire(nullptr, pbytes, "dist.partials");
+  dot_local(&rank_state::r, &rank_state::r, "dist.dot",
+            static_cast<double*>(rr_blk.ptr));
+  jacc::future<double> f_rr = comm_->iallreduce_sum(
+      static_cast<double*>(rr_blk.ptr), R, "dist.dot");
+  mem::release(rr_blk); // summed inside iallreduce; slot free to recycle
+
+  // The matvec needs the ghosts: hold each device only until *its* halo
+  // traffic landed, then compute.
+  for (int r = 0; r < R; ++r) {
+    comm_->device_wait(r, halo_done[static_cast<std::size_t>(r)],
+                       "dist.wait.halo");
+    local_matvec(r);
+  }
+
+  auto ps_blk = mem::acquire(nullptr, pbytes, "dist.partials");
+  dot_local(&rank_state::p, &rank_state::s, "dist.dot",
+            static_cast<double*>(ps_blk.ptr));
+  jacc::future<double> f_ps = comm_->iallreduce_sum(
+      static_cast<double*>(ps_blk.ptr), R, "dist.dot");
+  mem::release(ps_blk);
+
+  // alpha needs both sums on every rank: each device waits for its comm
+  // lane (which has now absorbed the rr and ps rounds).
+  for (int r = 0; r < R; ++r) {
+    comm_->wait_comm(r);
+  }
+  const double rr = f_rr.get();
+  const double alpha = rr / f_ps.get();
+
+  // Residual update first, so rr_new's allreduce starts as early as
+  // possible; the independent x update then overlaps its rounds.  (The
+  // sync iteration orders the axpys the other way; they touch disjoint
+  // vectors, so the values are identical.)
+  axpy_all(-alpha, &rank_state::r, &rank_state::s);
+  auto rrn_blk = mem::acquire(nullptr, pbytes, "dist.partials");
+  dot_local(&rank_state::r, &rank_state::r, "dist.dot",
+            static_cast<double*>(rrn_blk.ptr));
+  jacc::future<double> f_rrn = comm_->iallreduce_sum(
+      static_cast<double*>(rrn_blk.ptr), R, "dist.dot");
+  mem::release(rrn_blk);
+  axpy_all(alpha, &rank_state::x, &rank_state::p);
+
+  // beta needs rr_new: wait the comm lanes, then update the direction.
+  for (int r = 0; r < R; ++r) {
+    comm_->wait_comm(r);
+  }
+  xpay_all(f_rrn.get() / rr, &rank_state::r, &rank_state::p);
 }
 
 } // namespace jaccx::dist

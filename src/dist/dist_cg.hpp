@@ -49,8 +49,22 @@ public:
   /// for the scaling benchmark (state persists across calls).
   void bench_iteration();
 
+  /// The same iteration, pipelined on the async communicator: halo
+  /// exchanges and allreduce rounds ride the per-rank comm streams while
+  /// the device clocks run independent kernels (rr dot under the halo,
+  /// matvec under the rr allreduce, the x update under the rr_new
+  /// allreduce).  Produces bit-identical vector values to
+  /// bench_iteration(); only the simulated charge structure differs.
+  /// Callers compare clocks after comm.sync_comm().
+  void bench_iteration_async();
+
   /// Prepares bench_iteration state for problem vectors r = p = 0.5.
   void bench_reset();
+
+  /// Gathers one distributed CG vector ('r', 'p', 's' or 'x') to the host,
+  /// owned cells only, charging nothing.  Test/diagnostic hook — the
+  /// bit-exactness pins compare sync and pipelined iterations through it.
+  std::vector<double> gather_vector(char which) const;
 
 private:
   struct rank_state {
@@ -62,7 +76,10 @@ private:
 
   void halo_exchange_p();
   void local_matvec(int rank); // s = A p on this rank's rows
-  /// Global dot: per-rank two-kernel device reduction + allreduce.
+  /// Per-rank two-kernel device reductions into `partials` (one slot per
+  /// rank, zero for empty ranks).
+  void dot_local(vec_ptr a, vec_ptr b, const char* name, double* partials);
+  /// Global dot: dot_local into a pooled partials buffer + allreduce.
   double dot_allreduce(vec_ptr a, vec_ptr b, const char* name);
   /// x += alpha * y on every rank (owned cells only).
   void axpy_all(double alpha, vec_ptr x, vec_ptr y);

@@ -114,6 +114,59 @@ TEST_P(CgAllBackends, PaperIterationReducesResidual) {
   EXPECT_LT(rr2, rr1);
 }
 
+TEST_P(CgAllBackends, PipelinedSolveMatchesBlockingSolve) {
+  // cg_solve_pipelined runs the dots as future-returning reductions on a
+  // second queue.  On simulated back ends the reduction tree is identical,
+  // so iterates match bit-for-bit; on threads the dot lane may be narrower
+  // than the main pool (different association), hence the loose bound.
+  const index_t n = 200;
+  tridiag_system A1(n), A2(n);
+  std::vector<double> b_host(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    b_host[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  }
+  darray b1(b_host), b2(b_host);
+  darray x1(n), x2(n);
+  const auto r1 = cg_solve(A1, b1, x1, {.tolerance = 1e-12});
+  const auto r2 = cg_solve_pipelined(A2, b2, x2, {.tolerance = 1e-12});
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x2.host_data()[i], x1.host_data()[i], 1e-9);
+  }
+}
+
+TEST(CgPipelined, BitExactWithBlockingSolveOnSimBackend) {
+  // On a simulated device both variants compute every reduction at enqueue
+  // through the same dispatch: identical iterates, iteration counts, and
+  // residuals — only the simulated charge structure differs.
+  jacc::scoped_backend sb(backend::cuda_a100);
+  const auto host = make_hpccg_27pt(5, 4, 3);
+  csr_system A1(host), A2(host);
+  darray b1(host.rhs_for_ones()), b2(host.rhs_for_ones());
+  darray x1(A1.rows), x2(A2.rows);
+  const auto r1 = cg_solve(A1, b1, x1, {.tolerance = 1e-12});
+  const auto r2 = cg_solve_pipelined(A2, b2, x2, {.tolerance = 1e-12});
+  EXPECT_TRUE(r2.converged);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.relative_residual, r2.relative_residual);
+  for (index_t i = 0; i < A1.rows; ++i) {
+    EXPECT_EQ(x2.host_data()[i], x1.host_data()[i]);
+  }
+}
+
+TEST(CgPipelined, ZeroRhsShortCircuits) {
+  jacc::scoped_backend sb(backend::threads);
+  tridiag_system A(64);
+  darray b(64);
+  darray x(std::vector<double>(64, 2.0));
+  const auto res = cg_solve_pipelined(A, b, x, {});
+  EXPECT_TRUE(res.converged);
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(x.host_data()[i], 0.0);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, CgAllBackends,
                          ::testing::ValuesIn(jacc::all_backends),
                          [](const auto& info) {

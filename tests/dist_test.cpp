@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "cg/solver.hpp"
 #include "dist/dist_cg.hpp"
+#include "mem/pool.hpp"
+#include "sim/stream.hpp"
 
 namespace jaccx::dist {
 namespace {
@@ -165,6 +169,209 @@ TEST(DistCg, MoreRanksReduceIterationTimeUntilLatencyWins) {
   // Latency floor: 3 allreduces * 6 rounds * 1.5us + kernel launches can't
   // go below tens of microseconds regardless of rank count.
   EXPECT_GT(t64, 25.0);
+}
+
+// --- async (queue-routed) communicator ---------------------------------------
+
+TEST(DistAsync, RankStreamsAreLabeledTraceLanes) {
+  communicator comm(2, "a100");
+  comm.reset();
+  EXPECT_EQ(comm.rank_stream(0).tl().label(), "a100.rank0");
+  EXPECT_EQ(comm.rank_stream(1).tl().label(), "a100.rank1");
+  EXPECT_FALSE(comm.rank_queue(0).is_default());
+}
+
+TEST(DistAsync, IexchangeMovesDataAndChargesStreamsNotDevices) {
+  communicator comm(2, "a100");
+  comm.reset();
+  double a_out = 1.0;
+  double b_out = 2.0;
+  double a_in = 0.0;
+  double b_in = 0.0;
+  const jacc::event e = comm.iexchange(0, &a_out, &a_in, 1, &b_out, &b_in, 1);
+  EXPECT_DOUBLE_EQ(a_in, 2.0);
+  EXPECT_DOUBLE_EQ(b_in, 1.0);
+  EXPECT_TRUE(e.complete());
+  EXPECT_GE(e.sim_time_us(), comm.nic().latency_us);
+  // The compute clocks are untouched — the comm lanes carry the charge —
+  // until a wait pulls a device up to its lane.
+  EXPECT_DOUBLE_EQ(comm.time_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(comm.time_of(1), 0.0);
+  EXPECT_GE(comm.comm_time_of(0), comm.nic().latency_us);
+  EXPECT_GE(comm.comm_time_of(1), comm.nic().latency_us);
+  comm.wait_comm(0);
+  EXPECT_DOUBLE_EQ(comm.time_of(0), comm.comm_time_of(0));
+  EXPECT_DOUBLE_EQ(comm.time_of(1), 0.0);
+  comm.sync_comm();
+  EXPECT_DOUBLE_EQ(comm.time_of(1), comm.comm_time_of(1));
+}
+
+TEST(DistAsync, IsendRecvMovesDataThroughPooledStaging) {
+  communicator comm(3, "a100");
+  comm.reset();
+  std::vector<double> src = {4.0, 5.0, 6.0};
+  std::vector<double> dst(3, 0.0);
+  const jacc::event e = comm.isend_recv(0, src.data(), 2, dst.data(), 3);
+  EXPECT_EQ(dst, src);
+  EXPECT_TRUE(e.complete());
+  // Same-rank degenerates to a free memmove (and a null event).
+  std::vector<double> self(3, 0.0);
+  const jacc::event e0 = comm.isend_recv(1, src.data(), 1, self.data(), 3);
+  EXPECT_EQ(self, src);
+  EXPECT_FALSE(e0.valid());
+}
+
+TEST(DistAsync, IallreduceValueMatchesSyncBitExact) {
+  communicator comm(4, "a100");
+  comm.reset();
+  const std::vector<double> vals = {0.1, 0.2, 1.0 / 3.0, -7.5};
+  const double expect = comm.allreduce_sum(vals, "dist_test.sync");
+  jacc::future<double> f =
+      comm.iallreduce_sum(vals.data(), 4, "dist_test.async");
+  EXPECT_TRUE(f.valid());
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get(), expect); // identical summation order: exact
+  EXPECT_GT(f.sim_time_us(), 0.0);
+}
+
+TEST(DistAsync, SyncChargesUnperturbedByAsyncQueueSetup) {
+  // The seed pin: touching the async layer (queues, streams, link
+  // reservations) then resetting must leave the synchronous cost model
+  // byte-identical.
+  communicator comm(4, "a100");
+  const auto run_sync = [&comm] {
+    comm.reset();
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    double src = 9.0;
+    double dst = 0.0;
+    comm.send_recv(0, &src, 2, &dst, 1);
+    comm.allreduce_sum(v);
+    std::vector<double> times;
+    for (int r = 0; r < 4; ++r) {
+      times.push_back(comm.time_of(r));
+    }
+    return times;
+  };
+  const auto baseline = run_sync();
+  comm.reset();
+  for (int r = 0; r < 4; ++r) {
+    comm.rank_stream(r);
+  }
+  double a = 1.0;
+  double b = 2.0;
+  double a_in = 0.0;
+  double b_in = 0.0;
+  comm.iexchange(0, &a, &a_in, 1, &b, &b_in, 1);
+  const double vals[4] = {1.0, 1.0, 1.0, 1.0};
+  comm.iallreduce_sum(vals, 4, "dist_test.perturb").get();
+  EXPECT_EQ(run_sync(), baseline);
+}
+
+TEST(DistAsync, AsyncIterationBitExactWithSyncIteration) {
+  // The uniform bench state annihilates r exactly after one iteration
+  // (s = A p is uniformly 3, alpha = 1/6), so iteration 2 runs on 0/0 =
+  // NaN in BOTH variants.  Compare iteration 1 by value (finite) and
+  // iteration 2 bit-for-bit (memcmp survives NaN and is the actual claim).
+  const index_t n = 4096;
+  const int ranks = 4;
+  const auto bits = [](const std::vector<double>& v) {
+    std::vector<std::uint64_t> out(v.size());
+    std::memcpy(out.data(), v.data(), v.size() * sizeof(double));
+    return out;
+  };
+  communicator comm(ranks, "a100");
+  comm.reset();
+  tridiag_cg sync_solver(comm, n);
+  sync_solver.bench_reset();
+  sync_solver.bench_iteration();
+  const auto r_ref1 = sync_solver.gather_vector('r');
+  const auto p_ref1 = sync_solver.gather_vector('p');
+  const auto s_ref1 = sync_solver.gather_vector('s');
+  const auto x_ref1 = sync_solver.gather_vector('x');
+  sync_solver.bench_iteration();
+  const auto r_ref2 = sync_solver.gather_vector('r');
+  const auto x_ref2 = sync_solver.gather_vector('x');
+
+  comm.reset();
+  tridiag_cg async_solver(comm, n);
+  async_solver.bench_reset();
+  async_solver.bench_iteration_async();
+  EXPECT_EQ(async_solver.gather_vector('r'), r_ref1);
+  EXPECT_EQ(async_solver.gather_vector('p'), p_ref1);
+  EXPECT_EQ(async_solver.gather_vector('s'), s_ref1);
+  EXPECT_EQ(async_solver.gather_vector('x'), x_ref1);
+  async_solver.bench_iteration_async();
+  EXPECT_EQ(bits(async_solver.gather_vector('r')), bits(r_ref2));
+  EXPECT_EQ(bits(async_solver.gather_vector('x')), bits(x_ref2));
+}
+
+TEST(DistAsync, PipelinedIterationIsFasterInSimulatedTime) {
+  const index_t n = index_t{1} << 18;
+  const int ranks = 8;
+  const auto iter_us = [n](bool pipelined) {
+    communicator comm(ranks, "a100");
+    comm.reset();
+    tridiag_cg solver(comm, n);
+    solver.bench_reset();
+    if (pipelined) {
+      solver.bench_iteration_async();
+      comm.sync_comm();
+      const double t0 = comm.barrier();
+      solver.bench_iteration_async();
+      comm.sync_comm();
+      return comm.barrier() - t0;
+    }
+    solver.bench_iteration();
+    const double t0 = comm.barrier();
+    solver.bench_iteration();
+    return comm.barrier() - t0;
+  };
+  EXPECT_LT(iter_us(true), iter_us(false));
+}
+
+TEST(DistAsync, SteadyStateCommunicationIsAllocationFree) {
+  // With the bucket pool pinned, a warmed-up iteration must recycle every
+  // staging and partials block: no fresh backing-store allocation (pool
+  // miss) at steady state.
+  const mem::scoped_mode pinned(mem::pool_mode::bucket);
+  communicator comm(4, "a100");
+  comm.reset();
+  tridiag_cg solver(comm, index_t{1} << 12);
+  solver.bench_reset();
+  for (int i = 0; i < 3; ++i) {
+    solver.bench_iteration_async();
+    solver.bench_iteration();
+  }
+  const auto total_misses = [] {
+    std::uint64_t misses = 0;
+    for (const auto& row : mem::stats()) {
+      misses += row.misses;
+    }
+    return misses;
+  };
+  const std::uint64_t warm = total_misses();
+  for (int i = 0; i < 5; ++i) {
+    solver.bench_iteration_async();
+    solver.bench_iteration();
+  }
+  EXPECT_EQ(total_misses(), warm);
+}
+
+TEST(DistAsync, NoneModeStagingStillWorks) {
+  // JACC_MEM_POOL=none: staging degrades to plain allocation, everything
+  // stays functional.
+  const mem::scoped_mode pinned(mem::pool_mode::none);
+  communicator comm(2, "a100");
+  comm.reset();
+  double a = 3.0;
+  double b = 4.0;
+  double a_in = 0.0;
+  double b_in = 0.0;
+  comm.iexchange(0, &a, &a_in, 1, &b, &b_in, 1);
+  EXPECT_DOUBLE_EQ(a_in, 4.0);
+  EXPECT_DOUBLE_EQ(b_in, 3.0);
+  const double vals[2] = {1.25, 2.5};
+  EXPECT_EQ(comm.iallreduce_sum(vals, 2, "dist_test.none").get(), 3.75);
 }
 
 } // namespace

@@ -542,5 +542,182 @@ TEST_F(QueueTest, FourQueuePipelineBeatsSingleQueue) {
   EXPECT_LT(four_q, one_q / 1.3) << "expected >= 1.3x overlap win";
 }
 
+// --- non-blocking reductions (jacc::future) ----------------------------------
+
+TEST_F(QueueTest, EmptyFutureIsInvalidAndBornReady) {
+  future<double> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_TRUE(f.ready());
+  EXPECT_FALSE(f.done().valid());
+  EXPECT_DOUBLE_EQ(f.sim_time_us(), 0.0);
+}
+
+TEST_F(QueueTest, FutureGetBitExactWithSyncReduceOnSim) {
+  set_backend(backend::cuda_a100);
+  const index_t n = 1 << 15;
+  const auto hx = iota_vec(n, 1.0);
+  const auto hy = iota_vec(n, 0.25);
+  const hints h{.name = "queue_test.dot"};
+
+  array<double> x1(hx), y1(hy);
+  const double sync = parallel_reduce(h, n, dot_term, x1, y1);
+
+  array<double> x2(hx), y2(hy);
+  queue q;
+  future<double> f = q.parallel_reduce(h, n, dot_term, x2, y2);
+  EXPECT_TRUE(f.valid());
+  EXPECT_TRUE(f.ready()); // sim backends compute at enqueue
+  EXPECT_GT(f.sim_time_us(), 0.0);
+  EXPECT_EQ(f.get(), sync); // same reduction tree: bit-exact
+  EXPECT_EQ(f.get(), sync); // get() is repeatable
+}
+
+TEST_F(QueueTest, FutureGetMatchesSyncReduceOnThreads) {
+  set_backend(backend::threads);
+  const index_t n = 10'000;
+  // Integer-valued terms with an exactly representable sum: any reduction
+  // association gives the identical double, so EXPECT_EQ is safe even if
+  // the lane pool is narrower than the main pool.
+  const auto hx = iota_vec(n, 1.0);
+  const auto hy = iota_vec(n, 2.0);
+
+  array<double> x1(hx), y1(hy);
+  const double sync = parallel_reduce(n, dot_term, x1, y1);
+
+  array<double> x2(hx), y2(hy);
+  queue q;
+  auto f = q.parallel_reduce(n, dot_term, x2, y2);
+  EXPECT_TRUE(f.valid());
+  const double async_val = f.get();
+  EXPECT_TRUE(f.ready()); // get() implies complete
+  EXPECT_EQ(async_val, sync);
+}
+
+TEST_F(QueueTest, DefaultQueueReduceReturnsReadyFuture) {
+  set_backend(backend::threads);
+  const index_t n = 4096;
+  const auto hx = iota_vec(n, 1.0);
+  array<double> x(hx), y(hx);
+  auto f = queue::default_queue().parallel_reduce(n, dot_term, x, y);
+  EXPECT_TRUE(f.valid());
+  EXPECT_TRUE(f.ready()); // synchronous model: complete on return
+  array<double> x2(hx), y2(hx);
+  EXPECT_EQ(f.get(), parallel_reduce(n, dot_term, x2, y2));
+}
+
+TEST_F(QueueTest, WaitOnFutureOrdersCrossQueueSimWork) {
+  set_backend(backend::cuda_a100);
+  auto& dev = *backend_device(backend::cuda_a100);
+  dev.reset_clock();
+  const index_t n = 1 << 14;
+  const auto hx = iota_vec(n, 1.0);
+  array<double> x(hx), y(hx);
+  queue qp("qt.producer"), qc("qt.consumer");
+  auto f = qp.parallel_reduce(
+      hints{.name = "qt.dot", .flops_per_index = 2000.0}, n, dot_term, x, y);
+  EXPECT_GT(f.sim_time_us(), 0.0);
+  qc.wait(f); // q.wait(future) = q.wait(future.done())
+  const event after = qc.record();
+  EXPECT_GE(after.sim_time_us(), f.sim_time_us());
+  dev.reset_clock();
+}
+
+// --- destruction races (TSan stress targets; see scripts/verify.sh) ----------
+
+TEST_F(QueueTest, FutureOutlivesItsQueue) {
+  set_backend(backend::threads);
+  const index_t n = 50'000;
+  const auto hx = iota_vec(n, 1.0);
+  array<double> x(hx), y(hx);
+  future<double> f;
+  {
+    queue q;
+    f = q.parallel_reduce(n, dot_term, x, y);
+  } // last queue handle dropped; the future still owns slot + event
+  array<double> x2(hx), y2(hx);
+  EXPECT_EQ(f.get(), parallel_reduce(n, dot_term, x2, y2));
+}
+
+TEST_F(QueueTest, LastHandleDroppedWithInFlightWork) {
+  set_backend(backend::threads);
+  const index_t n = 100'000;
+  array<double> a(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  {
+    queue q;
+    for (int step = 0; step < 8; ++step) {
+      parallel_for(
+          q, n, [](index_t i, array<double>& v) { v[i] = v[i] + 1.0; }, a);
+    }
+  } // destructor must neither lose nor race the in-flight chain
+  synchronize();
+  EXPECT_DOUBLE_EQ(a.host_data()[0], 8.0);
+  EXPECT_DOUBLE_EQ(a.host_data()[n - 1], 8.0);
+}
+
+TEST_F(QueueTest, SynchronizeConcurrentWithQueueCreation) {
+  set_backend(backend::threads);
+  const index_t n = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread syncer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      synchronize();
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    queue q;
+    array<double> v(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    parallel_for(
+        q, n, [](index_t i, array<double>& a) { a[i] = 1.0; }, v);
+    q.synchronize();
+    EXPECT_DOUBLE_EQ(v.host_data()[n - 1], 1.0);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  syncer.join();
+}
+
+// --- lane re-initialization --------------------------------------------------
+
+TEST_F(QueueTest, QueueSurvivesLaneReinitCycle) {
+  set_backend(backend::threads);
+  const char* old_env = std::getenv("JACC_QUEUES");
+  const std::string saved_env = old_env != nullptr ? old_env : "";
+  const index_t n = 10'000;
+  {
+    array<double> v(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    queue q; // handle created under the initial lane layout
+    parallel_for(
+        q, n, [](index_t i, array<double>& a) { a[i] = a[i] + 1.0; }, v);
+    q.synchronize();
+
+    ::setenv("JACC_QUEUES", "1", 1);
+    initialize(); // quiesces lanes and re-reads the lane policy
+    set_backend(backend::threads);
+    EXPECT_EQ(queue_lane_count(), 1);
+    // The surviving handle's cached lane index is stale; its next
+    // submission must re-resolve against the new layout, not index a
+    // drained lane.
+    parallel_for(
+        q, n, [](index_t i, array<double>& a) { a[i] = a[i] + 1.0; }, v);
+    q.synchronize();
+
+    ::setenv("JACC_QUEUES", "2", 1);
+    initialize();
+    set_backend(backend::threads);
+    EXPECT_EQ(queue_lane_count(), 2);
+    parallel_for(
+        q, n, [](index_t i, array<double>& a) { a[i] = a[i] + 1.0; }, v);
+    q.synchronize();
+
+    EXPECT_DOUBLE_EQ(v.host_data()[0], 3.0);
+    EXPECT_DOUBLE_EQ(v.host_data()[n - 1], 3.0);
+  }
+  if (old_env != nullptr) {
+    ::setenv("JACC_QUEUES", saved_env.c_str(), 1);
+  } else {
+    ::unsetenv("JACC_QUEUES");
+  }
+  initialize();
+}
+
 } // namespace
 } // namespace jacc
