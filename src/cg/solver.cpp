@@ -1,6 +1,7 @@
 #include "cg/solver.hpp"
 
 #include <cmath>
+#include <memory>
 
 namespace jaccx::cg {
 namespace {
@@ -168,6 +169,97 @@ cg_result cg_loop_pipelined(index_t n, const Apply& apply, const darray& b,
   return out;
 }
 
+/// The graph-replay loop.  Setup (residual, p, bb, rr) is the sync model,
+/// identical to cg_loop; then ONE iteration is captured — with the
+/// alpha/beta plumbing recorded as future::then host nodes writing
+/// scalar_bindings the kernels read — and replayed to convergence.  The
+/// per-iteration operation order on the data is exactly cg_loop's
+/// (matvec, ps dot, x axpy, r axpy, rr dot, p xpay), so iterates match
+/// bit for bit wherever the reduction tree matches.
+template <class Apply>
+cg_result cg_loop_graphed(index_t n, const Apply& apply, const darray& b,
+                          darray& x, const cg_options& opts) {
+  darray r(jacc::uninit, n);
+  darray p(jacc::uninit, n);
+  darray s(jacc::uninit, n);
+
+  apply(x, s);
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.residual", .flops_per_index = 2.0,
+                  .bytes_per_index = 24.0},
+      n,
+      [](index_t i, const darray& b_, const darray& s_, darray& r_) {
+        r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
+      },
+      b, s, r);
+  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                     n, copy_kernel, r, p);
+
+  const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0,
+                          .bytes_per_index = 16.0};
+  const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0,
+                           .bytes_per_index = 24.0};
+  const double bb = jacc::parallel_reduce(dot_h, n, blas::dot, b, b);
+  if (bb == 0.0) {
+    jacc::parallel_for(
+        jacc::hints{.name = "cg.zero", .bytes_per_index = 8.0}, n,
+        [](index_t i, darray& x_) { x_[i] = 0.0; }, x);
+    return {0, 0.0, true};
+  }
+  double rr = jacc::parallel_reduce(dot_h, n, blas::dot, r, r);
+  const double stop = opts.tolerance * opts.tolerance * bb;
+
+  // Capture one iteration.  The kernels read alpha/beta through
+  // scalar_bindings that the dots' then-callbacks write, so a replay is
+  // fully self-contained: no host round-trip inside the iteration, one
+  // *rr_cell read per convergence check after synchronize.
+  jacc::queue q("cg.graph");
+  const jacc::scalar_binding<double> alpha(0.0);
+  const jacc::scalar_binding<double> neg_alpha(0.0);
+  const jacc::scalar_binding<double> beta(0.0);
+  auto rr_cell = std::make_shared<double>(rr);
+
+  q.begin_capture();
+  {
+    const jacc::queue_scope in(q);
+    apply(p, s);
+  }
+  auto f_ps = q.parallel_reduce(dot_h, n, blas::dot, p, s);
+  f_ps.then(q, [alpha, neg_alpha, rr_cell](double ps) {
+    const double a = *rr_cell / ps;
+    alpha.set(a);
+    neg_alpha.set(-a);
+  });
+  {
+    const jacc::queue_scope in(q);
+    jacc::parallel_for(axpy_h, n, blas::axpy, alpha, x, p);
+    jacc::parallel_for(axpy_h, n, blas::axpy, neg_alpha, r, s);
+  }
+  auto f_rr = q.parallel_reduce(dot_h, n, blas::dot, r, r);
+  f_rr.then(q, [beta, rr_cell](double rr_new) {
+    beta.set(rr_new / *rr_cell);
+    *rr_cell = rr_new;
+  });
+  {
+    const jacc::queue_scope in(q);
+    jacc::parallel_for(jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0,
+                                   .bytes_per_index = 24.0},
+                       n, xpay_kernel, beta, r, p);
+  }
+  jacc::graph g = q.end_capture();
+
+  cg_result out;
+  while (out.iterations < opts.max_iterations && rr > stop) {
+    g.launch(q);
+    q.synchronize();
+    rr = *rr_cell;
+    ++out.iterations;
+  }
+  out.relative_residual = std::sqrt(rr / bb);
+  out.converged = rr <= stop;
+  return out;
+}
+
 } // namespace
 
 cg_result cg_solve(const tridiag_system& A, const darray& b, darray& x,
@@ -198,6 +290,22 @@ cg_result cg_solve_pipelined(const csr_system& A, const darray& b, darray& x,
                              const cg_options& opts) {
   JACCX_ASSERT(b.size() == A.rows && x.size() == A.rows);
   return cg_loop_pipelined(
+      A.rows, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+cg_result cg_solve_graphed(const tridiag_system& A, const darray& b,
+                           darray& x, const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.n && x.size() == A.n);
+  return cg_loop_graphed(
+      A.n, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
+      opts);
+}
+
+cg_result cg_solve_graphed(const csr_system& A, const darray& b, darray& x,
+                           const cg_options& opts) {
+  JACCX_ASSERT(b.size() == A.rows && x.size() == A.rows);
+  return cg_loop_graphed(
       A.rows, [&](const darray& in, darray& out) { A.apply(in, out); }, b, x,
       opts);
 }

@@ -52,6 +52,20 @@ cg_result cg_solve_pipelined(const tridiag_system& A, const darray& b,
 cg_result cg_solve_pipelined(const csr_system& A, const darray& b, darray& x,
                              const cg_options& opts = {});
 
+/// Graph-replay cg_solve: one iteration (matvec, two dots, the scalar
+/// plumbing as future::then host nodes, three vector updates) is captured
+/// into a jacc::graph once, then replayed to convergence — per iteration
+/// the front end does no dispatch, capture-policy, or hint-resolution work
+/// at all.  The operation sequence on the data is exactly cg_solve's, so
+/// iterates are bit-identical on the serial and simulated back ends (and on
+/// threads with one lane); across threads async lanes the dots run on a
+/// narrower pool, giving the same association-order caveat as
+/// cg_solve_pipelined.
+cg_result cg_solve_graphed(const tridiag_system& A, const darray& b,
+                           darray& x, const cg_options& opts = {});
+cg_result cg_solve_graphed(const csr_system& A, const darray& b, darray& x,
+                           const cg_options& opts = {});
+
 /// Working set for paper_iteration, initialized per the paper's listing
 /// (r = p = 0.5, s = x = r_old = r_aux = 0).
 struct paper_state {

@@ -158,12 +158,12 @@ public:
   /// `dst`/`src` must stay valid until the event completes.
   event copy_to_host(queue& q, T* dst) const {
     return detail::enqueue_common(
-        q, current_backend(), /*is_copy=*/true,
+        q, current_backend(), /*is_copy=*/true, "jacc.array.d2h",
         [this, dst](jaccx::pool::thread_pool* pl) { copy_out(dst, pl); });
   }
   event copy_from_host(queue& q, const T* src) {
     return detail::enqueue_common(
-        q, current_backend(), /*is_copy=*/true,
+        q, current_backend(), /*is_copy=*/true, "jacc.array.h2d",
         [this, src](jaccx::pool::thread_pool* pl) { copy_in_full(src, pl); });
   }
 

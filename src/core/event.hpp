@@ -37,6 +37,14 @@ struct event_state {
   jaccx::sim::device* dev = nullptr;
   /// Id of the queue that issued the operation (0 = default queue).
   std::uint64_t queue_id = 0;
+  /// Graph-capture placeholder marker: nonzero capture_id means this event
+  /// was minted while its queue was recording into that capture, and
+  /// capture_node is the recorded node's index.  Such events are born
+  /// complete (nothing ran; replay completion is observed through the event
+  /// graph::launch returns) but queue::wait recognizes them during capture
+  /// and records a cross-queue edge instead of blocking.
+  std::uint64_t capture_id = 0;
+  std::int64_t capture_node = -1;
 
   void mark_complete() {
     {

@@ -33,6 +33,8 @@
 
 namespace jacc {
 
+class queue;
+
 namespace detail {
 
 /// Shared state behind a future: the pooled result slot plus the completion
@@ -96,6 +98,16 @@ public:
   double sim_time_us() const {
     return st_ != nullptr ? st_->e.sim_time_us() : 0.0;
   }
+
+  /// Host-callback continuation: enqueues `fn(value)` on `q` as a host node
+  /// ordered after this reduction (and after everything already on q), and
+  /// returns the callback's completion event.  Inside a graph capture the
+  /// callback is recorded and re-runs on every replay — the scalar plumbing
+  /// between a dot and the kernel that consumes it (alpha = rr/ps) lives in
+  /// the graph instead of forcing a host round-trip per iteration.  Defined
+  /// in core/graph.hpp.
+  template <class Fn>
+  event then(queue& q, Fn&& fn) const;
 
 private:
   friend struct detail::future_access<T>;

@@ -1,0 +1,218 @@
+// jacc::graph — capture & replay of queue DAGs (the CUDA-graph analogue
+// named by the roadmap's dispatch-overhead item).
+//
+// The paper's overhead question (Sec. V) is what the high-level front end
+// costs per launch beyond the device code itself; bench/abl_dispatch_overhead
+// measures exactly that delta.  For the dominant production shape — a CG
+// iteration or LBM step that is the *same* DAG a million times over — the
+// per-launch answer can be "almost nothing": record the DAG once, replay it
+// as a tight loop over pre-baked nodes.
+//
+//   jacc::queue q;
+//   q.begin_capture();                  // nothing runs from here...
+//   jacc::parallel_for(q, n, f, dx);    // ...nodes are recorded instead
+//   auto fut = q.parallel_reduce(h, n, dot, dx, dy);
+//   fut.then(q, [](double v) { ... }); // host node: scalar plumbing in-graph
+//   jacc::graph g = q.end_capture();
+//   for (int it = 0; it < steps; ++it) g.launch(q);   // replay
+//
+// Capture does the entire front-end dispatch once: capture policy
+// (async_arg_t), hint resolution, launch-descriptor building, and node-name
+// ownership all happen at record time.  Replay is one indirect call per
+// node.  On serial/threads that skips the whole per-launch dispatch path;
+// on simulated back ends replay re-runs the same charge path under the
+// queue's stream, so model time is identical to eager issue.
+//
+// Multi-queue DAGs: jacc::capture_scope{&q1, &q2} records both queues into
+// one graph, turning q2.wait(e) on a captured event into a cross-queue
+// edge.  Replay honors the edges (stream-time edges on sim back ends,
+// blocking dependencies across threads lanes).
+//
+// Instance update: jacc::binding<jacc::array<double>> / jacc::scalar_binding
+// are captured like any kernel argument but hold one extra indirection, so
+// g.update(b, other_array) / g.update_scalar(sb, 3.0) re-point every node
+// that captured them — one recorded graph serves many inputs (the
+// cudaGraphExecUpdate move).
+//
+// What is capturable: parallel_for (any rank), queue::parallel_reduce
+// (futures), future::then host callbacks, queued array copies, and
+// queue::wait edges.  Not capturable: host-blocking calls (free
+// parallel_reduce(q, ...), future::get before a replay, queue::synchronize)
+// — the value they would return does not exist at record time.
+//
+// Lifetime: a graph is a cheap shared handle; it keeps its recorded queues
+// (and their mem-pool leases, e.g. future result slots) alive, so it may
+// outlive every original queue handle.  Kernel arguments captured by
+// reference (jacc::array lvalues) must outlive the last replay, exactly as
+// for plain queued launches.  One replay of a given graph at a time;
+// different graphs replay concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
+#include "core/future.hpp"
+#include "core/queue.hpp"
+#include "support/error.hpp"
+
+namespace jacc {
+
+namespace detail {
+struct graph_impl;
+struct graph_access;
+std::shared_ptr<capture_builder> capture_begin(
+    std::initializer_list<queue*> qs, bool scope_owned);
+graph capture_finish(std::shared_ptr<capture_builder> b);
+void capture_abort(std::shared_ptr<capture_builder> b) noexcept;
+} // namespace detail
+
+/// Re-bindable array argument.  Capture it in place of a jacc::array and
+/// the graph reads through one extra indirection, so graph::update can
+/// re-point every node at another array without re-capturing.  Cheap shared
+/// handle; the bound array must outlive replays (binding does not own it).
+template <class T>
+class binding {
+public:
+  explicit binding(T& target) : cell_(std::make_shared<T*>(&target)) {}
+
+  /// Kernel-side access: the currently bound target.
+  operator T&() const { return **cell_; }
+  T& get() const { return **cell_; }
+
+private:
+  friend class graph;
+  std::shared_ptr<T*> cell_;
+};
+
+/// Re-bindable scalar argument (alpha, beta, dt, ...).  Converts to T at
+/// each kernel evaluation; set() stores a new value — from
+/// graph::update_scalar between replays, or from a future::then host node
+/// *inside* the graph (the CG alpha = rr/ps plumbing).
+template <class T>
+class scalar_binding {
+public:
+  explicit scalar_binding(T value) : cell_(std::make_shared<T>(value)) {}
+
+  operator T() const { return *cell_; }
+  T get() const { return *cell_; }
+
+  /// Stores a new value.  Ordering during replay follows node order: a
+  /// host node's set() is visible to every node recorded after it.
+  void set(T value) const { *cell_ = value; }
+
+private:
+  std::shared_ptr<T> cell_;
+};
+
+/// An immutable, replayable recording of one or more queues' submissions.
+/// Cheap shared handle (copy = same graph).
+class graph {
+public:
+  graph() = default;
+
+  /// True when this handle refers to a finished capture.
+  bool valid() const { return impl_ != nullptr; }
+
+  /// Number of recorded nodes (kernels + copies + host callbacks + waits).
+  std::size_t node_count() const;
+
+  /// How many times this graph has been launched.
+  std::uint64_t replays() const;
+
+  /// Replays the whole DAG on the queues it was recorded from.  Returns
+  /// the completion handle of the primary (first-captured) queue's chain;
+  /// as with eager enqueues it completes immediately on sim back ends and
+  /// when the lane chains finish on threads.  The current backend must be
+  /// the one the capture recorded under (descriptors and lane routing were
+  /// pre-resolved for it).
+  event launch();
+
+  /// Replays with `q` substituted for the primary captured queue (launch
+  /// onto a different stream, CUDA-graph style).  Secondary captured
+  /// queues are always replayed as themselves.
+  event launch(queue& q);
+
+  /// Re-points `b` at `target` for subsequent launches.
+  template <class T>
+  void update(const binding<T>& b, T& target) const {
+    JACCX_ASSERT(impl_ != nullptr && "update on an empty jacc::graph");
+    *b.cell_ = &target;
+  }
+
+  /// Stores a new scalar for subsequent launches.
+  template <class T>
+  void update_scalar(const scalar_binding<T>& b, T value) const {
+    JACCX_ASSERT(impl_ != nullptr && "update_scalar on an empty jacc::graph");
+    b.set(value);
+  }
+
+private:
+  friend struct detail::graph_access;
+  explicit graph(std::shared_ptr<detail::graph_impl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<detail::graph_impl> impl_;
+};
+
+/// Multi-queue capture: records every listed queue into one graph, so
+/// cross-queue q.wait(event) calls become graph edges.  The first queue is
+/// the primary (graph::launch(q) substitutes it).  end() must be called
+/// exactly once; a scope destroyed without end() aborts the capture and
+/// discards the recorded nodes.
+class capture_scope {
+public:
+  explicit capture_scope(std::initializer_list<queue*> qs)
+      : builder_(detail::capture_begin(qs, /*scope_owned=*/true)) {}
+  ~capture_scope() {
+    if (builder_ != nullptr) {
+      detail::capture_abort(std::move(builder_));
+    }
+  }
+  capture_scope(const capture_scope&) = delete;
+  capture_scope& operator=(const capture_scope&) = delete;
+
+  /// Finishes recording on every queue and returns the graph.
+  graph end() {
+    if (builder_ == nullptr) {
+      jaccx::throw_usage_error("capture_scope::end called twice");
+    }
+    return detail::capture_finish(std::move(builder_));
+  }
+
+private:
+  std::shared_ptr<detail::capture_builder> builder_;
+};
+
+namespace detail {
+
+/// Internal bridge: graph.cpp mints graphs and reaches the impl.
+struct graph_access {
+  static graph make(std::shared_ptr<graph_impl> impl) {
+    return graph(std::move(impl));
+  }
+  static graph_impl* impl(const graph& g) { return g.impl_.get(); }
+};
+
+} // namespace detail
+
+// future::then lives here (not future.hpp) because it needs the queue and
+// host-enqueue machinery; jacc.hpp includes everything, so user code sees
+// it wherever futures are usable.
+template <class T>
+template <class Fn>
+event future<T>::then(queue& q, Fn&& fn) const {
+  JACCX_ASSERT(st_ != nullptr && "then() on an empty jacc::future");
+  // Order the callback after the reduction.  Within one queue this is
+  // already submission order; across queues (or inside a capture) it is a
+  // real edge.
+  q.wait(st_->e);
+  return detail::enqueue_host(
+      q, "jacc.future.then",
+      [st = st_, fn = std::decay_t<Fn>(std::forward<Fn>(fn))](
+          jaccx::pool::thread_pool*) mutable { fn(*st->value()); });
+}
+
+} // namespace jacc

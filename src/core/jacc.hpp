@@ -18,6 +18,7 @@
 #include "core/array.hpp"          // IWYU pragma: export
 #include "core/backend.hpp"        // IWYU pragma: export
 #include "core/event.hpp"          // IWYU pragma: export
+#include "core/graph.hpp"          // IWYU pragma: export
 #include "core/parallel_for.hpp"   // IWYU pragma: export
 #include "core/parallel_reduce.hpp"// IWYU pragma: export
 #include "core/queue.hpp"          // IWYU pragma: export

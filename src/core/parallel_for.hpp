@@ -313,6 +313,95 @@ void execute_for_3d(backend b, jaccx::pool::thread_pool* pl,
   }
 }
 
+/// Graph capture of a parallel_for: the whole front end — capture policy,
+/// hint resolution, descriptor building, name ownership — runs once, here,
+/// and the recorded node body is the residue.  The serial and threads 1D
+/// shapes (the dispatch-overhead benchmark's subject) get specialized
+/// bodies that skip even the per-rank dispatch switch on replay: a plain
+/// loop (or pool fan-out) guarded by the usual one-load prof gate.  Every
+/// other shape pre-bakes the generic runner, whose sim charge path is
+/// identical to eager issue.
+template <int Rank, class F, class... Args>
+event capture_for(queue& q, backend b, const launch_desc& d, F&& f,
+                  Args&&... args) {
+  std::string name(d.h.name);
+  auto fn = std::decay_t<F>(std::forward<F>(f));
+  auto tup = std::tuple<async_arg_t<Args&&>...>(std::forward<Args>(args)...);
+  replay_body body;
+  if constexpr (Rank == 1) {
+    if (b == backend::serial) {
+      body = make_replay_body(
+          [n = d.rows, hf = d.h.flops_per_index, hb = d.h.bytes_per_index,
+           name, fn = std::move(fn),
+           tup = std::move(tup)](jaccx::pool::thread_pool*) mutable {
+            const auto run = [&] {
+              std::apply(
+                  [&](auto&... as) {
+                    for (index_t i = 0; i < n; ++i) {
+                      fn(i, as...);
+                    }
+                  },
+                  tup);
+            };
+            if (jaccx::prof::enabled()) [[unlikely]] {
+              const jaccx::prof::kernel_scope ks(
+                  jaccx::prof::construct::parallel_for, name,
+                  static_cast<std::uint64_t>(n), hf, hb,
+                  to_string(backend::serial));
+              run();
+            } else {
+              run();
+            }
+          });
+    } else if (b == backend::threads) {
+      body = make_replay_body(
+          [n = d.rows, hf = d.h.flops_per_index, hb = d.h.bytes_per_index,
+           name, fn = std::move(fn),
+           tup = std::move(tup)](jaccx::pool::thread_pool* pl) mutable {
+            auto& pool = pl != nullptr ? *pl : jaccx::pool::default_pool();
+            const auto run = [&] {
+              std::apply(
+                  [&](auto&... as) {
+                    pool.parallel_for_index(n,
+                                            [&](index_t i) { fn(i, as...); });
+                  },
+                  tup);
+            };
+            if (jaccx::prof::enabled()) [[unlikely]] {
+              const jaccx::prof::kernel_scope ks(
+                  jaccx::prof::construct::parallel_for, name,
+                  static_cast<std::uint64_t>(n), hf, hb,
+                  to_string(backend::threads));
+              run();
+            } else {
+              run();
+            }
+          });
+    }
+  }
+  if (!body) {
+    body = make_replay_body(
+        [d, b, name, fn = std::move(fn),
+         tup = std::move(tup)](jaccx::pool::thread_pool* pl) mutable {
+          launch_desc desc = d;
+          desc.h.name = name;
+          std::apply(
+              [&](auto&... as) {
+                if constexpr (Rank == 1) {
+                  execute_for_1d(b, pl, desc, fn, as...);
+                } else if constexpr (Rank == 2) {
+                  execute_for_2d(b, pl, desc, fn, as...);
+                } else {
+                  execute_for_3d(b, pl, desc, fn, as...);
+                }
+              },
+              tup);
+        });
+  }
+  return capture_append(q, capture_kind::kernel, std::move(name),
+                        std::move(body));
+}
+
 /// Builds the queued runner: the descriptor and kernel are copied, the hint
 /// name is captured as an owned std::string (so a caller-provided temporary
 /// is safe even when the task runs later on a lane thread), trailing args
@@ -321,8 +410,12 @@ void execute_for_3d(backend b, jaccx::pool::thread_pool* pl,
 template <int Rank, class F, class... Args>
 event enqueue_for(queue& q, backend b, const launch_desc& d, F&& f,
                   Args&&... args) {
+  if (queue_capturing(q)) [[unlikely]] {
+    return capture_for<Rank>(q, b, d, std::forward<F>(f),
+                             std::forward<Args>(args)...);
+  }
   return enqueue_common(
-      q, b, /*is_copy=*/false,
+      q, b, /*is_copy=*/false, d.h.name,
       [d, b, name = std::string(d.h.name),
        fn = std::decay_t<F>(std::forward<F>(f)),
        tup = std::tuple<async_arg_t<Args&&>...>(std::forward<Args>(args)...)](

@@ -372,6 +372,32 @@ auto queue::parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args) {
     return detail::make_ready_future<R>(detail::reduce_dispatch(
         h, n, plus_reducer{}, [&](index_t i) { return f(i, args...); }));
   }
+  if (detail::queue_capturing(*this)) [[unlikely]] {
+    // Recorded reduction: the future's pooled result slot is leased for the
+    // graph's lifetime and rewritten by every replay; its event is the
+    // capture marker (get() returns the most recent replay's value).
+    auto fs = std::make_shared<detail::future_state<R>>();
+    auto body = detail::make_replay_body(
+        [fs, hname = std::string(h.name), hflops = h.flops_per_index,
+         hbytes = h.bytes_per_index, n,
+         fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          const hints hh{.name = hname, .flops_per_index = hflops,
+                         .bytes_per_index = hbytes};
+          std::apply(
+              [&](auto&... as) {
+                *fs->value() = detail::reduce_dispatch(
+                    hh, n, plus_reducer{},
+                    [&](index_t i) { return fn(i, as...); }, pl);
+              },
+              tup);
+        });
+    fs->e = detail::capture_append(*this, detail::capture_kind::kernel,
+                                   std::string(h.name), std::move(body));
+    return detail::future_access<R>::make(std::move(fs));
+  }
   if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
     auto fs = std::make_shared<detail::future_state<R>>();
     {
@@ -432,6 +458,30 @@ auto queue::parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
     return detail::make_ready_future<R>(
         detail::reduce_2d_dispatch(h, d, b, plus_reducer{}, eval));
   }
+  if (detail::queue_capturing(*this)) [[unlikely]] {
+    auto fs = std::make_shared<detail::future_state<R>>();
+    auto body = detail::make_replay_body(
+        [fs, hname = std::string(h.name), hflops = h.flops_per_index,
+         hbytes = h.bytes_per_index, d, b,
+         fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::tuple<detail::async_arg_t<Args&&>...>(
+             std::forward<Args>(args)...)](
+            jaccx::pool::thread_pool* pl) mutable {
+          const hints hh{.name = hname, .flops_per_index = hflops,
+                         .bytes_per_index = hbytes};
+          std::apply(
+              [&](auto&... as) {
+                *fs->value() = detail::reduce_2d_dispatch(
+                    hh, d, b, plus_reducer{},
+                    [&](index_t i, index_t j) { return fn(i, j, as...); },
+                    pl);
+              },
+              tup);
+        });
+    fs->e = detail::capture_append(*this, detail::capture_kind::kernel,
+                                   std::string(h.name), std::move(body));
+    return detail::future_access<R>::make(std::move(fs));
+  }
   if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
     auto fs = std::make_shared<detail::future_state<R>>();
     {
@@ -489,6 +539,14 @@ auto queue::parallel_reduce(dims2 d, F&& f, Args&&... args) {
 template <class F, class... Args>
 auto parallel_reduce(queue& q, const hints& h, index_t n, F&& f,
                      Args&&... args) {
+  if (detail::queue_capturing(q)) [[unlikely]] {
+    // The value does not exist at record time, so returning it here would
+    // silently hand back zero.  Capturable form: q.parallel_reduce(...)
+    // futures, read via future::then or after a replay.
+    jaccx::throw_usage_error(
+        "host-blocking parallel_reduce is not capturable; use the "
+        "future-returning queue::parallel_reduce inside graph capture");
+  }
   return q.parallel_reduce(h, n, std::forward<F>(f),
                            std::forward<Args>(args)...)
       .get();
@@ -506,6 +564,11 @@ auto parallel_reduce(queue& q, index_t n, F&& f, Args&&... args) {
 template <class F, class... Args>
 auto parallel_reduce(queue& q, const hints& h, dims2 d, F&& f,
                      Args&&... args) {
+  if (detail::queue_capturing(q)) [[unlikely]] {
+    jaccx::throw_usage_error(
+        "host-blocking parallel_reduce is not capturable; use the "
+        "future-returning queue::parallel_reduce inside graph capture");
+  }
   return q.parallel_reduce(h, d, std::forward<F>(f),
                            std::forward<Args>(args)...)
       .get();

@@ -10,10 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/queue_impl.hpp"
 #include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "sim/stream.hpp"
 #include "support/env.hpp"
+#include "support/error.hpp"
 #include "threadpool/thread_pool.hpp"
 
 namespace jacc {
@@ -22,27 +24,6 @@ namespace detail {
 namespace {
 thread_local queue* t_active = nullptr;
 } // namespace
-
-/// Shared state behind a queue handle.  `mu` guards the stream map, the
-/// lane assignment, and the pending-task count; the counters are plain
-/// atomics so the hot enqueue paths never take the mutex for accounting.
-struct queue_impl {
-  std::uint64_t id = 0;
-  std::string label; ///< optional stream-name override ("<model>.<label>")
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::map<jaccx::sim::device*, std::unique_ptr<jaccx::sim::stream>> streams;
-  std::uint64_t pending = 0; ///< lane tasks submitted but not yet finished
-  int lane = -1;             ///< threads lane, assigned on first async submit
-  std::uint64_t lane_epoch = 0; ///< lane-set generation `lane` indexes into
-
-  std::atomic<std::uint64_t> launches{0};
-  std::atomic<std::uint64_t> copies{0};
-  std::atomic<std::uint64_t> async_tasks{0};
-  std::atomic<std::uint64_t> waits{0};
-  std::atomic<std::uint64_t> syncs{0};
-};
 
 namespace {
 
@@ -405,6 +386,44 @@ void note_sync_op(queue& q, bool is_copy) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+bool queue_capturing(const queue& q) {
+  queue_impl* qi = queue_access::impl(q);
+  return qi != nullptr &&
+         qi->cap.load(std::memory_order_acquire) != nullptr;
+}
+
+event enqueue_host(queue& q, std::string_view name,
+                   std::function<void(jaccx::pool::thread_pool*)> body) {
+  if (queue_access::impl(q) == nullptr || q.is_default()) {
+    body(nullptr);
+    return event{};
+  }
+  if (queue_capturing(q)) [[unlikely]] {
+    return capture_append(q, capture_kind::host, std::string(name),
+                          make_replay_body(std::move(body)));
+  }
+  if (jaccx::sim::device* dev = backend_device(current_backend());
+      dev != nullptr) {
+    // Functional execution at enqueue: whatever value feeds the callback is
+    // final already.  Host work charges no simulated time; the event marks
+    // the queue's current stream position, like record().
+    body(nullptr);
+    auto st = std::make_shared<event_state>();
+    st->dev = dev;
+    st->queue_id = q.id();
+    st->sim_done_us = queue_stream(q, *dev)->now_us();
+    st->complete.store(true, std::memory_order_release);
+    return event_access::make(std::move(st));
+  }
+  if (current_backend() == backend::threads && queue_is_async(q)) {
+    auto st = std::make_shared<event_state>();
+    queue_submit(q, std::move(body), st);
+    return event_access::make(std::move(st));
+  }
+  body(nullptr);
+  return event{};
+}
+
 queue_bind::queue_bind(queue* q, jaccx::sim::device* dev) {
   prev_active_ = t_active;
   t_active = q;
@@ -439,6 +458,9 @@ queue::queue(std::string label) : queue() { impl_->label = std::move(label); }
 event queue::record() {
   if (impl_ == nullptr || is_default()) {
     return event{}; // sync model: nothing can be outstanding
+  }
+  if (detail::queue_capturing(*this)) [[unlikely]] {
+    return detail::capture_record(*this);
   }
   if (jaccx::sim::device* dev = backend_device(current_backend());
       dev != nullptr) {
@@ -477,6 +499,12 @@ void queue::synchronize() {
   if (impl_ == nullptr) {
     return;
   }
+  if (detail::queue_capturing(*this)) [[unlikely]] {
+    // cudaStreamSynchronize during stream capture is an error there too:
+    // nothing has run, so "wait for it" is unanswerable.
+    jaccx::throw_usage_error(
+        "queue::synchronize during graph capture; end the capture first");
+  }
   impl_->syncs.fetch_add(1, std::memory_order_relaxed);
   // Drain the async lane first (threads back end): everything submitted on
   // this queue has run once pending hits zero.
@@ -496,22 +524,33 @@ void queue::synchronize() {
 }
 
 void queue::wait(const event& e) {
+  if (impl_ == nullptr) {
+    return;
+  }
+  if (detail::queue_capturing(*this)) [[unlikely]] {
+    detail::capture_wait(*this, e);
+    return;
+  }
   const auto& st = detail::event_access::state(e);
-  if (st == nullptr || impl_ == nullptr) {
+  if (st == nullptr) {
     return;
   }
   impl_->waits.fetch_add(1, std::memory_order_relaxed);
   if (st->dev != nullptr) {
     // Simulated dependency: later work on this queue cannot start before
-    // the event's completion time on that device.  (Timestamps from
-    // different devices are not comparable; cross-device dependencies need
-    // a host synchronize.)
-    jaccx::sim::device& dev = *st->dev;
+    // the event's completion time.  All device clocks share the origin
+    // (jacc::initialize resets them together), so a cross-device edge is
+    // charged on the *consumer's* device — the cudaStreamWaitEvent
+    // peer-device semantic — instead of serializing through the host.
+    jaccx::sim::device* cur = backend_device(current_backend());
+    jaccx::sim::device& dev =
+        (cur != nullptr && cur != st->dev) ? *cur : *st->dev;
+    const char* label = &dev == st->dev ? "queue.wait" : "queue.wait.xdev";
     jaccx::sim::timeline& tl =
         is_default() ? dev.tl() : detail::queue_stream(*this, dev)->tl();
     const double behind = st->sim_done_us - tl.now_us();
     if (behind > 0.0) {
-      tl.record("queue.wait", jaccx::sim::event_kind::kernel, behind);
+      tl.record(label, jaccx::sim::event_kind::kernel, behind);
     }
     return;
   }
@@ -547,6 +586,9 @@ double queue::now_us() const {
 void synchronize() {
   for (const auto& qi : detail::reg().live()) {
     queue q = detail::queue_access::wrap(qi);
+    if (detail::queue_capturing(q)) {
+      continue; // a recording queue has no outstanding work to wait for
+    }
     q.synchronize();
   }
 }

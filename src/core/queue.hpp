@@ -37,6 +37,9 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "core/backend.hpp"
 #include "core/event.hpp"
@@ -56,11 +59,13 @@ class timeline;
 namespace jacc {
 
 class queue;
+class graph;
 
 namespace detail {
 
 struct queue_impl;
 struct queue_access;
+struct capture_builder;
 
 /// The queue installed by the innermost live queue_scope / queue_bind on
 /// this thread; null means the plain synchronous model.
@@ -115,6 +120,63 @@ void note_sync_op(queue& q, bool is_copy);
 /// next submission.
 void quiesce_lanes();
 
+// --- graph capture plumbing (jacc::graph, core/graph.{hpp,cpp}) -------------
+
+/// What a captured node replays as.  Kernels and copies run under the
+/// queue's stream on simulated back ends; host nodes run bare (no charge);
+/// wait nodes replay a recorded cross-queue edge.
+enum class capture_kind : std::uint8_t { kernel, copy, host, wait };
+
+/// A pre-baked replay body: one raw function-pointer call into
+/// shared-ownership state.  Compared to std::function this drops the
+/// second indirection on the replay hot loop and makes the "tight loop
+/// over pre-baked nodes" contract explicit.  `pl` is the worker-pool
+/// override, exactly as in enqueue_common's Runner.
+struct replay_body {
+  void (*fn)(void* state, jaccx::pool::thread_pool* pl) = nullptr;
+  std::shared_ptr<void> state;
+
+  void operator()(jaccx::pool::thread_pool* pl) const { fn(state.get(), pl); }
+  explicit operator bool() const { return fn != nullptr; }
+};
+
+template <class F>
+replay_body make_replay_body(F&& f) {
+  using Fn = std::decay_t<F>;
+  replay_body b;
+  b.state = std::make_shared<Fn>(std::forward<F>(f));
+  b.fn = [](void* state, jaccx::pool::thread_pool* pl) {
+    (*static_cast<Fn*>(state))(pl);
+  };
+  return b;
+}
+
+/// One relaxed load: is `q` currently recording into a capture?  The hot
+/// enqueue paths gate on this exactly like prof::enabled().
+bool queue_capturing(const queue& q);
+
+/// Records one node on capturing queue `q` and returns its placeholder
+/// event (born complete, carrying the capture marker).  Defined in
+/// graph.cpp.
+event capture_append(queue& q, capture_kind kind, std::string name,
+                     replay_body body);
+
+/// queue::wait(e) while capturing: a marker event from the same capture
+/// becomes a recorded edge (no-op within one queue, a wait node across
+/// queues); external events are resolved at capture time.
+void capture_wait(queue& q, const event& e);
+
+/// queue::record() while capturing: a marker for the queue's current
+/// recorded position (invalid event when nothing was recorded yet).
+event capture_record(queue& q);
+
+/// Enqueues a host callback on `q`: inline on the default queue and on
+/// simulated back ends (the value feeding it is final at enqueue there), a
+/// lane task under threads async, a recorded host node during capture.
+/// Host callbacks charge no simulated time.
+event enqueue_host(queue& q, std::string_view name,
+                   std::function<void(jaccx::pool::thread_pool*)> body);
+
 /// RAII: while alive, `q` is the thread's active queue and (when dev is a
 /// simulated device and q is a real user queue) every charge on dev lands
 /// on q's stream.  Null queue/device degrade to plain TLS bookkeeping.
@@ -135,12 +197,15 @@ private:
 /// the operation synchronously on the calling thread (pool = worker pool
 /// override, null = default).  Returns the completion handle:
 ///   default queue   -> run inline, trivially-complete event (sync model)
+///   capturing       -> recorded as a graph node, nothing runs
 ///   simulated       -> run under the queue's stream, event carries the
 ///                      stream completion time
 ///   threads + lanes -> task submitted to the queue's lane
 ///   otherwise       -> run inline (async degrades to sync)
+/// `name` labels the recorded node during capture (ignored otherwise).
 template <class Runner>
-event enqueue_common(queue& q, backend b, bool is_copy, Runner&& run);
+event enqueue_common(queue& q, backend b, bool is_copy, std::string_view name,
+                     Runner&& run);
 
 } // namespace detail
 
@@ -184,6 +249,23 @@ public:
   /// simulated back ends it is born complete carrying the stream clock; on
   /// the default queue it is the invalid (trivially complete) event.
   event record();
+
+  /// Starts recording this queue's submissions into a jacc::graph
+  /// (cudaStreamBeginCapture).  Until end_capture, enqueues on this queue
+  /// record nodes instead of running; the front-end dispatch work (capture
+  /// policy, hint resolution, descriptor building) is done once here and
+  /// never again on replay.  Multi-queue DAGs use jacc::capture_scope.
+  /// Throws jaccx::usage_error on the default queue or when a capture is
+  /// already recording here.
+  void begin_capture();
+
+  /// Finishes recording and returns the immutable, replayable graph.
+  /// Throws jaccx::usage_error when no capture is recording on this queue
+  /// or when the capture was started by a capture_scope (end it there).
+  graph end_capture();
+
+  /// True while a capture is recording this queue's submissions.
+  bool capturing() const;
 
   /// Non-blocking sum-reduction on this queue: runs after everything
   /// already submitted here and returns a jacc::future<R> instead of
@@ -232,11 +314,17 @@ struct queue_access {
 };
 
 template <class Runner>
-event enqueue_common(queue& q, backend b, bool is_copy, Runner&& run) {
+event enqueue_common(queue& q, backend b, bool is_copy, std::string_view name,
+                     Runner&& run) {
   if (q.is_default()) {
     // The sync model, untouched: no stream, no TLS, no event state.
     run(static_cast<jaccx::pool::thread_pool*>(nullptr));
     return event{};
+  }
+  if (queue_capturing(q)) [[unlikely]] {
+    return capture_append(q, is_copy ? capture_kind::copy : capture_kind::kernel,
+                          std::string(name),
+                          make_replay_body(std::forward<Runner>(run)));
   }
   if (jaccx::sim::device* dev = backend_device(b); dev != nullptr) {
     queue_bind bind(&q, dev);

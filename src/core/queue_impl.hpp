@@ -1,0 +1,56 @@
+// Shared state behind a jacc::queue handle, split out of queue.cpp so the
+// graph capture/replay engine (graph.cpp) can reach the same counters,
+// stream map, and pending-task bookkeeping without widening the public
+// detail surface in queue.hpp.  Everything outside queue.cpp and graph.cpp
+// keeps going through the queue_access bridge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace jaccx::sim {
+class device;
+class stream;
+}
+
+namespace jacc {
+namespace detail {
+
+struct capture_builder;
+
+/// Shared state behind a queue handle.  `mu` guards the stream map, the
+/// lane assignment, the pending-task count, and the capture owner; the
+/// counters are plain atomics so the hot enqueue paths never take the mutex
+/// for accounting.
+struct queue_impl {
+  std::uint64_t id = 0;
+  std::string label; ///< optional stream-name override ("<model>.<label>")
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<jaccx::sim::device*, std::unique_ptr<jaccx::sim::stream>> streams;
+  std::uint64_t pending = 0; ///< lane tasks submitted but not yet finished
+  int lane = -1;             ///< threads lane, assigned on first async submit
+  std::uint64_t lane_epoch = 0; ///< lane-set generation `lane` indexes into
+
+  /// Graph capture.  While a capture is recording into this queue,
+  /// `cap_owner` (guarded by mu) keeps the builder alive and `cap` mirrors
+  /// it as a lock-free flag the hot enqueue paths read with one relaxed
+  /// load — exactly the cost contract of the prof::enabled() gate.
+  std::shared_ptr<capture_builder> cap_owner;
+  std::atomic<capture_builder*> cap{nullptr};
+
+  std::atomic<std::uint64_t> launches{0};
+  std::atomic<std::uint64_t> copies{0};
+  std::atomic<std::uint64_t> async_tasks{0};
+  std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> syncs{0};
+};
+
+} // namespace detail
+} // namespace jacc

@@ -155,6 +155,60 @@ TEST(CgPipelined, BitExactWithBlockingSolveOnSimBackend) {
   }
 }
 
+TEST_P(CgAllBackends, GraphedSolveMatchesBlockingSolve) {
+  // cg_solve_graphed captures one iteration into a jacc::graph and replays
+  // it to convergence.  The operation sequence on the data is cg_solve's,
+  // so iterates match bit-for-bit except across threads async lanes, where
+  // the captured dots run on a narrower pool (different association) —
+  // hence the loose bound, as for the pipelined variant.
+  const index_t n = 200;
+  tridiag_system A1(n), A2(n);
+  std::vector<double> b_host(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    b_host[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  }
+  darray b1(b_host), b2(b_host);
+  darray x1(n), x2(n);
+  const auto r1 = cg_solve(A1, b1, x1, {.tolerance = 1e-12});
+  const auto r2 = cg_solve_graphed(A2, b2, x2, {.tolerance = 1e-12});
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x2.host_data()[i], x1.host_data()[i], 1e-9);
+  }
+}
+
+TEST(CgGraphed, BitExactWithBlockingSolveOnSimBackend) {
+  // On a simulated device the replayed nodes run the same reduction tree
+  // through the same dispatch as the blocking solver: identical iterates,
+  // iteration counts, and residuals.
+  jacc::scoped_backend sb(backend::cuda_a100);
+  const auto host = make_hpccg_27pt(5, 4, 3);
+  csr_system A1(host), A2(host);
+  darray b1(host.rhs_for_ones()), b2(host.rhs_for_ones());
+  darray x1(A1.rows), x2(A2.rows);
+  const auto r1 = cg_solve(A1, b1, x1, {.tolerance = 1e-12});
+  const auto r2 = cg_solve_graphed(A2, b2, x2, {.tolerance = 1e-12});
+  EXPECT_TRUE(r2.converged);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.relative_residual, r2.relative_residual);
+  for (index_t i = 0; i < A1.rows; ++i) {
+    EXPECT_EQ(x2.host_data()[i], x1.host_data()[i]);
+  }
+}
+
+TEST(CgGraphed, ZeroRhsShortCircuits) {
+  jacc::scoped_backend sb(backend::threads);
+  tridiag_system A(64);
+  darray b(64);
+  darray x(std::vector<double>(64, 2.0));
+  const auto res = cg_solve_graphed(A, b, x, {});
+  EXPECT_TRUE(res.converged);
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(x.host_data()[i], 0.0);
+  }
+}
+
 TEST(CgPipelined, ZeroRhsShortCircuits) {
   jacc::scoped_backend sb(backend::threads);
   tridiag_system A(64);

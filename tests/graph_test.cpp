@@ -1,0 +1,483 @@
+// Tests for jacc::graph: capture & replay of queue DAGs.  Replay must be
+// bit-exact with eager issue on every backend (results always; sim charges
+// too), instance update must re-point captured bindings, and the lifetime /
+// concurrency contracts (graph outliving its queue, replay concurrent with
+// an unrelated capture, lane re-resolution after initialize()) must hold —
+// the last two are TSan stress targets (see scripts/verify.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/jacc.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+
+namespace jacc {
+namespace {
+
+void axpy(index_t i, double alpha, const array<double>& x, array<double>& y) {
+  y[i] = y[i] + alpha * x[i];
+}
+
+void scale(index_t i, double alpha, const array<double>& x, array<double>& y) {
+  y[i] = alpha * x[i];
+}
+
+double dot_term(index_t i, const array<double>& x, const array<double>& y) {
+  return x[i] * y[i];
+}
+
+std::vector<double> iota_vec(index_t n, double start) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+  }
+  return v;
+}
+
+class GraphTest : public ::testing::Test {
+protected:
+  void SetUp() override { saved_ = current_backend(); }
+  void TearDown() override { set_backend(saved_); }
+  backend saved_ = backend::threads;
+};
+
+// --- capture/replay == eager, results ---------------------------------------
+
+TEST_F(GraphTest, CaptureReplaySerialMatchesEager) {
+  set_backend(backend::serial);
+  const index_t n = 4096;
+  const auto hx = iota_vec(n, 1.0);
+  const auto hy = iota_vec(n, 0.5);
+
+  // Eager reference: two axpy rounds plus a dot after the first round.
+  array<double> xe(hx), ye(hy);
+  parallel_for(n, axpy, 2.0, xe, ye);
+  const std::vector<double> round1 = ye.to_host();
+  const double dot1 = parallel_reduce(n, dot_term, xe, ye);
+  parallel_for(n, axpy, 2.0, xe, ye);
+  const double dot2 = parallel_reduce(n, dot_term, xe, ye);
+
+  array<double> x(hx), y(hy);
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  queue q("graph.serial");
+  q.begin_capture();
+  parallel_for(q, n, axpy, 2.0, x, y);
+  auto fdot = q.parallel_reduce(n, dot_term, x, y);
+  const event ecopy = y.copy_to_host(q, out.data());
+  EXPECT_TRUE(q.capturing());
+  EXPECT_TRUE(ecopy.complete()); // placeholder marker, born complete
+  graph g = q.end_capture();
+  EXPECT_FALSE(q.capturing());
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.replays(), 0u);
+
+  g.launch(q);
+  q.synchronize();
+  EXPECT_EQ(out, round1); // the captured D2H copy ran, bit-exact
+  EXPECT_DOUBLE_EQ(fdot.get(), dot1);
+
+  g.launch(q);
+  q.synchronize();
+  EXPECT_DOUBLE_EQ(fdot.get(), dot2);
+  EXPECT_EQ(g.replays(), 2u);
+}
+
+TEST_F(GraphTest, CaptureReplayThreadsMatchesEagerQueued) {
+  set_backend(backend::threads);
+  const index_t n = 10'000;
+  const auto hx = iota_vec(n, 1.0);
+  const auto hy = iota_vec(n, 0.5);
+
+  array<double> xe(hx), ye(hy);
+  queue qe("graph.eager");
+  parallel_for(qe, n, axpy, 2.0, xe, ye);
+  auto fe = qe.parallel_reduce(n, dot_term, xe, ye);
+  qe.synchronize();
+
+  array<double> x(hx), y(hy);
+  queue q("graph.threads");
+  q.begin_capture();
+  parallel_for(q, n, axpy, 2.0, x, y);
+  auto f = q.parallel_reduce(n, dot_term, x, y);
+  graph g = q.end_capture();
+
+  g.launch(q);
+  q.synchronize();
+  EXPECT_EQ(y.to_host(), ye.to_host()); // bit-exact
+  EXPECT_DOUBLE_EQ(f.get(), fe.get());
+}
+
+// --- capture/replay == eager, simulated charges -----------------------------
+
+TEST_F(GraphTest, SimReplayChargesMatchEager) {
+  // Replay re-runs the same charge path under the queue's stream, so the
+  // per-launch model time must be bit-identical to eager issue.
+  set_backend(backend::cuda_a100);
+  auto& dev = *backend_device(backend::cuda_a100);
+  const index_t n = 1 << 12;
+  const auto hx = iota_vec(n, 1.0);
+
+  // Warm the mem pool so both measured runs see identical hit patterns.
+  {
+    array<double> x(hx), y(hx);
+    queue q("graph.warm");
+    parallel_for(q, n, axpy, 2.0, x, y);
+    auto f = q.parallel_reduce(n, dot_term, x, y);
+    (void)f.get();
+    q.synchronize();
+  }
+
+  std::vector<double> eager_out(static_cast<std::size_t>(n));
+  double eager_us = 0.0, eager_dot = 0.0;
+  dev.reset_clock();
+  dev.cache().reset();
+  {
+    array<double> x(hx), y(hx);
+    queue q("graph.eagersim");
+    const double t0 = q.now_us();
+    parallel_for(q, n, axpy, 2.0, x, y);
+    auto f = q.parallel_reduce(n, dot_term, x, y);
+    y.copy_to_host(q, eager_out.data());
+    q.synchronize();
+    eager_us = q.now_us() - t0;
+    eager_dot = f.get();
+  }
+
+  std::vector<double> graph_out(static_cast<std::size_t>(n));
+  double graph_us = 0.0, graph_dot = 0.0;
+  dev.reset_clock();
+  dev.cache().reset();
+  {
+    array<double> x(hx), y(hx);
+    queue q("graph.replaysim");
+    q.begin_capture();
+    parallel_for(q, n, axpy, 2.0, x, y);
+    auto f = q.parallel_reduce(n, dot_term, x, y);
+    y.copy_to_host(q, graph_out.data());
+    graph g = q.end_capture();
+    const double t0 = q.now_us();
+    g.launch(q);
+    q.synchronize();
+    graph_us = q.now_us() - t0;
+    graph_dot = f.get();
+  }
+
+  EXPECT_DOUBLE_EQ(eager_us, graph_us);
+  EXPECT_EQ(eager_out, graph_out);
+  EXPECT_DOUBLE_EQ(eager_dot, graph_dot);
+  dev.reset_clock();
+}
+
+// --- instance update --------------------------------------------------------
+
+TEST_F(GraphTest, InstanceUpdateRebindsArrayAndScalar) {
+  set_backend(backend::threads);
+  const index_t n = 2048;
+  array<double> x1(iota_vec(n, 1.0)), x2(iota_vec(n, 100.0));
+  array<double> out(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  binding<array<double>> bx(x1);
+  scalar_binding<double> alpha(2.0);
+  EXPECT_DOUBLE_EQ(alpha.get(), 2.0);
+  EXPECT_EQ(&bx.get(), &x1);
+
+  queue q("graph.update");
+  q.begin_capture();
+  parallel_for(q, n, scale, alpha, bx, out);
+  graph g = q.end_capture();
+
+  g.launch(q);
+  q.synchronize();
+  {
+    const auto h = out.to_host();
+    EXPECT_DOUBLE_EQ(h[0], 2.0 * 1.0);
+    EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(n) - 1],
+                     2.0 * static_cast<double>(n));
+  }
+
+  // Re-point the input and the scalar; the recorded node must see both.
+  g.update(bx, x2);
+  g.update_scalar(alpha, 3.0);
+  g.launch(q);
+  q.synchronize();
+  {
+    const auto h = out.to_host();
+    EXPECT_DOUBLE_EQ(h[0], 3.0 * 100.0);
+    EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(n) - 1],
+                     3.0 * (100.0 + static_cast<double>(n) - 1.0));
+  }
+}
+
+// --- future::then -----------------------------------------------------------
+
+TEST_F(GraphTest, FutureThenRunsEagerlyOnQueue) {
+  set_backend(backend::threads);
+  const index_t n = 4096;
+  array<double> x(iota_vec(n, 1.0)), y(iota_vec(n, 2.0));
+  const double expect = parallel_reduce(n, dot_term, x, y);
+
+  queue q("graph.then");
+  auto f = q.parallel_reduce(n, dot_term, x, y);
+  std::atomic<double> seen{0.0};
+  const event e = f.then(q, [&seen](double v) { seen.store(v); });
+  e.wait();
+  EXPECT_DOUBLE_EQ(seen.load(), expect);
+
+  // Default queue: synchronous model, callback runs inline.
+  auto f0 = queue::default_queue().parallel_reduce(n, dot_term, x, y);
+  double seen0 = 0.0;
+  f0.then(queue::default_queue(), [&seen0](double v) { seen0 = v; });
+  EXPECT_DOUBLE_EQ(seen0, expect);
+}
+
+TEST_F(GraphTest, FutureThenInGraphFeedsScalarBinding) {
+  // The CG plumbing shape: a captured reduction feeds a host node that
+  // stores into a scalar_binding consumed by a later kernel node.
+  set_backend(backend::serial);
+  const index_t n = 1024;
+  array<double> x(iota_vec(n, 1.0)), y(iota_vec(n, 0.0));
+  scalar_binding<double> alpha(0.0);
+
+  queue q("graph.thenrec");
+  q.begin_capture();
+  auto f = q.parallel_reduce(n, dot_term, x, x);
+  f.then(q, [alpha](double v) { alpha.set(1.0 / v); });
+  parallel_for(q, n, scale, alpha, x, y);
+  graph g = q.end_capture();
+
+  g.launch(q);
+  q.synchronize();
+  const double xx = parallel_reduce(n, dot_term, x, x);
+  const auto h = y.to_host();
+  EXPECT_DOUBLE_EQ(h[0], 1.0 / xx);
+  EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(n) - 1],
+                   static_cast<double>(n) / xx);
+}
+
+// --- multi-queue capture ----------------------------------------------------
+
+TEST_F(GraphTest, MultiQueueCaptureHonorsCrossEdgeOnThreads) {
+  set_backend(backend::threads);
+  const index_t n = 10'000;
+  array<double> x(iota_vec(n, 1.0));
+  array<double> y(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  array<double> z(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  queue qa("graph.mq.a"), qb("graph.mq.b");
+  capture_scope sc{&qa, &qb};
+  parallel_for(qa, n, scale, 2.0, x, y); // y = 2x on qa
+  const event e = qa.record();
+  qb.wait(e);                            // edge: qb's kernel reads y
+  parallel_for(qb, n, scale, 3.0, y, z); // z = 3y on qb
+  graph g = sc.end();
+  EXPECT_EQ(g.node_count(), 3u); // kernel + kernel + wait edge
+
+  for (int round = 0; round < 2; ++round) {
+    const event done = g.launch(qa);
+    done.wait();
+    qa.synchronize();
+    qb.synchronize();
+    const auto h = z.to_host();
+    EXPECT_DOUBLE_EQ(h[0], 6.0 * 1.0);
+    EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(n) - 1],
+                     6.0 * static_cast<double>(n));
+  }
+}
+
+TEST_F(GraphTest, MultiQueueCaptureAdvancesConsumerStreamOnSim) {
+  set_backend(backend::cuda_a100);
+  const index_t n = 1 << 16; // big producer kernel...
+  array<double> x(iota_vec(n, 1.0));
+  array<double> y(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  array<double> z(std::vector<double>(4, 0.0));
+
+  queue qa("graph.mq.sima"), qb("graph.mq.simb");
+  capture_scope sc{&qa, &qb};
+  parallel_for(qa, n, scale, 2.0, x, y);
+  qb.wait(qa.record());
+  parallel_for(qb, 4, scale, 3.0, y, z); // ...tiny consumer kernel
+  graph g = sc.end();
+
+  g.launch(qa);
+  // The cross-queue edge must drag qb's stream to (at least) qa's finish
+  // time; without it qb would only carry the tiny kernel's charge.
+  EXPECT_GE(qb.now_us(), qa.now_us());
+  const auto h = z.to_host();
+  EXPECT_DOUBLE_EQ(h[0], 6.0);
+}
+
+// --- lifetime & re-initialization -------------------------------------------
+
+TEST_F(GraphTest, GraphOutlivesItsQueues) {
+  set_backend(backend::threads);
+  const index_t n = 4096;
+  array<double> x(iota_vec(n, 1.0));
+  array<double> y(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  graph g;
+  {
+    queue q("graph.shortlived");
+    q.begin_capture();
+    parallel_for(q, n, scale, 2.0, x, y);
+    g = q.end_capture();
+  } // last user handle to the captured queue dies here
+
+  const event done = g.launch(); // replays on the recorded (kept-alive) queue
+  done.wait();
+  const auto h = y.to_host();
+  EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(n) - 1],
+                   2.0 * static_cast<double>(n));
+}
+
+TEST_F(GraphTest, ReplayAfterInitializeReresolvesLanes) {
+  set_backend(backend::threads);
+  const char* old_env = std::getenv("JACC_QUEUES");
+  const std::string saved_env = old_env != nullptr ? old_env : "";
+  const index_t n = 4096;
+  {
+    array<double> v(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    queue q("graph.reinit");
+    q.begin_capture();
+    parallel_for(
+        q, n, [](index_t i, array<double>& a) { a[i] = a[i] + 1.0; }, v);
+    graph g = q.end_capture();
+
+    g.launch(q);
+    q.synchronize();
+
+    ::setenv("JACC_QUEUES", "1", 1);
+    initialize(); // quiesces lanes and re-reads the lane policy
+    set_backend(backend::threads);
+    // The recorded queue's cached lane is stale; replay must re-resolve
+    // against the new layout rather than submit to a drained lane.
+    g.launch(q);
+    q.synchronize();
+
+    ::setenv("JACC_QUEUES", "2", 1);
+    initialize();
+    set_backend(backend::threads);
+    g.launch(q);
+    q.synchronize();
+
+    EXPECT_DOUBLE_EQ(v.host_data()[0], 3.0);
+    EXPECT_DOUBLE_EQ(v.host_data()[n - 1], 3.0);
+  }
+  if (old_env != nullptr) {
+    ::setenv("JACC_QUEUES", saved_env.c_str(), 1);
+  } else {
+    ::unsetenv("JACC_QUEUES");
+  }
+  initialize();
+}
+
+TEST_F(GraphTest, ReplayConcurrentWithCaptureOnAnotherQueue) {
+  // A replay in flight must not interfere with an unrelated capture (the
+  // capture check on the hot path is one atomic load).  TSan target.
+  set_backend(backend::threads);
+  const index_t n = 2048;
+  array<double> x(iota_vec(n, 1.0));
+  array<double> y(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  queue qr("graph.conc.replay");
+  qr.begin_capture();
+  parallel_for(qr, n, scale, 2.0, x, y);
+  graph g = qr.end_capture();
+
+  constexpr int kRounds = 50;
+  std::thread replayer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      g.launch(qr);
+      qr.synchronize();
+    }
+  });
+  std::thread capturer([&] {
+    array<double> cx(iota_vec(n, 2.0));
+    array<double> cy(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    for (int i = 0; i < kRounds; ++i) {
+      queue qc("graph.conc.capture");
+      qc.begin_capture();
+      parallel_for(qc, n, scale, 4.0, cx, cy);
+      graph cg = qc.end_capture();
+      cg.launch(qc);
+      qc.synchronize();
+    }
+    EXPECT_DOUBLE_EQ(cy.to_host()[0], 8.0);
+  });
+  replayer.join();
+  capturer.join();
+  EXPECT_DOUBLE_EQ(y.to_host()[0], 2.0);
+  EXPECT_EQ(g.replays(), static_cast<std::uint64_t>(kRounds));
+}
+
+// --- cross-device wait (eager path fix) -------------------------------------
+
+TEST_F(GraphTest, CrossDeviceWaitChargesConsumerStream) {
+  // q.wait(e) where e was recorded on another device must become a stream
+  // edge on the *consumer's* device (clocks share an origin), not a host
+  // synchronization.
+  set_backend(backend::cuda_a100);
+  backend_device(backend::hip_mi100)->reset_clock();
+  const index_t n = 1 << 16;
+  array<double> x(iota_vec(n, 1.0));
+  array<double> y(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  queue qa("graph.xdev.a");
+  parallel_for(qa, n, scale, 2.0, x, y);
+  const event e = qa.record();
+  ASSERT_TRUE(e.valid());
+  EXPECT_GT(e.sim_time_us(), 0.0);
+
+  set_backend(backend::hip_mi100);
+  queue qb("graph.xdev.b");
+  qb.wait(e);
+  EXPECT_GE(qb.now_us(), e.sim_time_us());
+}
+
+// --- error paths ------------------------------------------------------------
+
+TEST_F(GraphTest, ContractViolationsThrow) {
+  set_backend(backend::threads);
+  const index_t n = 256;
+  array<double> x(iota_vec(n, 1.0)), y(iota_vec(n, 2.0));
+
+  queue q("graph.errors");
+  EXPECT_THROW(q.end_capture(), jaccx::usage_error); // end without begin
+  EXPECT_THROW(queue::default_queue().begin_capture(), jaccx::usage_error);
+
+  q.begin_capture();
+  EXPECT_THROW(q.begin_capture(), jaccx::usage_error); // already recording
+  EXPECT_THROW(q.synchronize(), jaccx::usage_error);   // host-blocking
+  EXPECT_THROW((void)parallel_reduce(q, n, dot_term, x, y),
+               jaccx::usage_error); // host-blocking reduce
+  graph g = q.end_capture();
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.node_count(), 0u);
+
+  graph empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.launch(), jaccx::usage_error);
+  EXPECT_THROW(g.launch(queue::default_queue()), jaccx::usage_error);
+
+  capture_scope sc{&q};
+  (void)sc.end();
+  EXPECT_THROW((void)sc.end(), jaccx::usage_error); // end called twice
+
+  // Replay under a different backend than the capture recorded.
+  queue qs("graph.errors.serial");
+  qs.begin_capture();
+  parallel_for(qs, n, axpy, 2.0, x, y);
+  graph gt = qs.end_capture();
+  set_backend(backend::serial);
+  EXPECT_THROW(gt.launch(qs), jaccx::usage_error);
+  set_backend(backend::threads);
+  gt.launch(qs); // and fine again on the captured backend
+  qs.synchronize();
+}
+
+} // namespace
+} // namespace jacc
