@@ -32,8 +32,9 @@ void bench_point(benchmark::State& state, arch a, bool via_jacc, index_t n) {
 /// layer's host-side cost on the same sweep — and under JACC_PROFILE=trace
 /// it is what populates the trace with real threads-backend kernels and
 /// pool worker busy/park slices alongside the simulated timelines.
-void bench_threads_wallclock(benchmark::State& state, index_t n) {
-  jacc::scoped_backend sb(jacc::backend::threads);
+void bench_host_wallclock(benchmark::State& state, jacc::backend be,
+                          index_t n) {
+  jacc::scoped_backend sb(be);
   jaccx::cg::paper_state st(n);
   jaccx::cg::paper_iteration(st); // warm-up
   for (auto _ : state) {
@@ -42,14 +43,25 @@ void bench_threads_wallclock(benchmark::State& state, index_t n) {
 }
 
 void register_all() {
-  for (index_t n : sizes) {
-    const std::string name =
-        "fig13/cg/threads_wallclock/jacc/" + std::to_string(n);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [n](benchmark::State& st) { bench_threads_wallclock(st, n); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMicrosecond);
+  // Wall-clock host rows on both real back ends: under
+  // JACC_PROFILE=roofline these are the "serial" and "threads" targets of
+  // the roof-placement table (real rates against the configured host roof).
+  const struct {
+    const char* name;
+    jacc::backend be;
+  } host_backends[] = {{"serial_wallclock", jacc::backend::serial},
+                       {"threads_wallclock", jacc::backend::threads}};
+  for (const auto& hb : host_backends) {
+    for (index_t n : sizes) {
+      const std::string name =
+          std::string("fig13/cg/") + hb.name + "/jacc/" + std::to_string(n);
+      const jacc::backend be = hb.be;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [be, n](benchmark::State& st) { bench_host_wallclock(st, be, n); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
   }
   for (const auto& a : all_archs) {
     for (bool via_jacc : {false, true}) {

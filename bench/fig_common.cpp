@@ -313,6 +313,26 @@ bench_session::~bench_session() {
       out << buf;
       first = false;
     }
+    out << "\n  ],\n  \"roofline\": [";
+    first = true;
+    for (const auto& r : prof::aggregate_roofline()) {
+      std::snprintf(
+          buf, sizeof buf,
+          "%s\n    {\"name\": %s, \"target\": %s, \"simulated\": %s, "
+          "\"count\": %llu, \"time_us\": %.3f, \"flops\": %.0f, "
+          "\"bytes\": %.0f, \"intensity\": %.6f, \"peak_gbps\": %.1f, "
+          "\"peak_gflops\": %.1f, \"ridge\": %.4f, \"achieved_gbps\": %.3f, "
+          "\"achieved_gflops\": %.3f, \"attainable_gflops\": %.3f, "
+          "\"pct_of_roof\": %.2f, \"memory_bound\": %s}",
+          first ? "" : ",", json_str(r.name).c_str(),
+          json_str(r.target).c_str(), r.simulated ? "true" : "false",
+          static_cast<unsigned long long>(r.count), r.time_us, r.flops,
+          r.bytes, r.intensity, r.peak.gbps, r.peak.gflops, r.ridge,
+          r.achieved_gbps, r.achieved_gflops, r.attainable_gflops,
+          r.pct_of_roof, r.memory_bound ? "true" : "false");
+      out << buf;
+      first = false;
+    }
     out << "\n  ],\n  \"pools\": [";
     first = true;
     for (const auto& p : prof::aggregate_pools()) {

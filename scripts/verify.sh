@@ -34,6 +34,37 @@ if [[ $RUN_FULL -eq 1 ]]; then
   JACC_QUEUES=2 JACC_MEM_POOL=none ctest --test-dir build \
     -R 'DistAsync|QueueTest|GraphTest|CgPipelined|CgGraphed|PipelinedSolve|GraphedSolve' \
     --output-on-failure -j"$JOBS"
+
+  # Roofline smoke: the fig13 CG bench under JACC_PROFILE=roofline must
+  # print per-kernel roof placements for the host backends and at least two
+  # sim models, and mirror the same rows into BENCH_fig13_cg.json.  Output
+  # goes to a file (not a pipe) so the bench never sees a closed stdout.
+  rm -f roofline_smoke.out BENCH_fig13_cg.json
+  JACC_NUM_THREADS=4 JACC_PROFILE=roofline ./build/bench/fig13_cg \
+    --benchmark_filter='fig13/cg/(serial_wallclock/jacc/16384|threads_wallclock/jacc/16384|a100/jacc/16384|mi100/jacc/16384)' \
+    > roofline_smoke.out 2>&1
+  grep -q 'jaccx::prof roofline' roofline_smoke.out
+  for target in serial threads a100 mi100; do
+    grep -Eq "^${target} " roofline_smoke.out
+  done
+  grep -q '"roofline"' BENCH_fig13_cg.json
+  rm -f roofline_smoke.out BENCH_fig13_cg.json
+
+  # dlopen-tool smoke: a KokkosP-analogue tool named via JACC_TOOLS_LIBS
+  # must receive callbacks from an unmodified binary and print its finalize
+  # summary at exit.  Output to a file (grep -q on a pipe would SIGPIPE the
+  # binary under pipefail).
+  JACC_TOOLS_LIBS=./build/tests/tools/libjaccp_test_tool.so \
+    ./build/examples/quickstart > tool_smoke.out 2>&1
+  grep -q 'jaccp_test_tool:' tool_smoke.out
+  rm -f tool_smoke.out
+
+  # Trace-file %p substitution: one process, one PID-stamped trace file.
+  rm -f trace_verify_*.json
+  JACC_PROFILE=trace JACC_TRACE_FILE=trace_verify_%p.json \
+    ./build/examples/quickstart > /dev/null
+  ls trace_verify_*.json > /dev/null
+  rm -f trace_verify_*.json
 fi
 
 cmake -B build-tsan -S . -DJACCX_SANITIZE=thread \

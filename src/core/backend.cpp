@@ -9,6 +9,7 @@
 #include "core/queue.hpp"
 #include "mem/pool.hpp"
 #include "prof/prof.hpp"
+#include "prof/tools.hpp"
 #include "sim/device.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -111,6 +112,9 @@ void initialize() {
   g_backend.store(static_cast<int>(resolve_from_preferences()),
                   std::memory_order_release);
   jaccx::mem::set_mode(resolve_mem_pool());
+  // External profiling tools (JACC_TOOLS_LIBS) attach here, before any
+  // kernel can launch; the loader is idempotent across re-initialization.
+  jaccx::prof::load_tools_from_env();
   // Tear down any lanes from a previous initialize/finalize cycle so the
   // lane policy (JACC_QUEUES vs. pool width) is re-read under the current
   // environment.  Surviving queue handles re-resolve on next submission.
@@ -127,6 +131,7 @@ backend current_backend() {
       g_backend.store(static_cast<int>(resolve_from_preferences()),
                       std::memory_order_release);
       jaccx::mem::set_default_mode(resolve_mem_pool());
+      jaccx::prof::load_tools_from_env();
     });
     b = g_backend.load(std::memory_order_acquire);
   }

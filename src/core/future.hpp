@@ -29,6 +29,7 @@
 
 #include "core/event.hpp"
 #include "mem/pool.hpp"
+#include "prof/prof.hpp"
 #include "support/error.hpp"
 
 namespace jacc {
@@ -87,9 +88,17 @@ public:
   event done() const { return st_ != nullptr ? st_->e : event{}; }
 
   /// The value half: blocks until complete (no-op when already done) and
-  /// returns the result.  Repeatable.
+  /// returns the result.  Repeatable.  The profiler records how long the
+  /// host blocked here (0 for a ready future) — disabled cost is the usual
+  /// one relaxed load and predictable branch.
   T get() const {
     JACCX_ASSERT(st_ != nullptr && "get() on an empty jacc::future");
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      const std::uint64_t t0 = jaccx::prof::now_ns();
+      st_->e.wait();
+      jaccx::prof::note_future_wait(t0, jaccx::prof::now_ns());
+      return *st_->value();
+    }
     st_->e.wait();
     return *st_->value();
   }

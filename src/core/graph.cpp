@@ -326,7 +326,14 @@ event graph::launch(queue& q) {
         "graph replayed under a different backend than it was captured on");
   }
   g->replays.fetch_add(1, std::memory_order_relaxed);
-  const jaccx::prof::scoped_region region("jacc.graph.launch");
+  std::uint64_t kernel_count = 0;
+  for (const std::uint64_t k : g->slot_kernels) {
+    kernel_count += k;
+  }
+  // One span per replay (all three replay paths return through this scope),
+  // carrying the node and kernel-node counts into the trace and summary.
+  const jaccx::prof::graph_replay_scope replay_scope(g->nodes.size(),
+                                                     kernel_count);
 
   // Slot 0 is substituted by the launch queue; secondary captured queues
   // replay as themselves.  Per-queue counters are bulk-added from the

@@ -31,6 +31,7 @@ struct lane_task {
   std::function<void(jaccx::pool::thread_pool*)> fn;
   std::shared_ptr<event_state> done;
   std::shared_ptr<queue_impl> owner;
+  std::uint64_t flow = 0; ///< prof flow id; 0 when profiling was off at submit
 };
 
 /// One async lane: a dispatcher thread draining an in-order task deque into
@@ -88,7 +89,17 @@ struct lane {
                                          ".dispatch");
           labeled = true;
         }
-        t.fn(pool.get());
+        // A task carries a flow id only when profiling was on at submit, so
+        // the span and its flow-finish always have a matching flow-start.
+        if (t.flow != 0 && jaccx::prof::enabled()) [[unlikely]] {
+          const std::uint64_t t0 = jaccx::prof::now_ns();
+          t.fn(pool.get());
+          jaccx::prof::note_queue_task(t.owner->id, t.flow,
+                                       static_cast<unsigned>(index), t0,
+                                       jaccx::prof::now_ns());
+        } else {
+          t.fn(pool.get());
+        }
       }
       t.done->mark_complete();
       {
@@ -292,6 +303,11 @@ void queue_submit(queue& q,
   queue_registry& r = reg();
   auto owner = queue_access::impl_ptr(q);
   done->queue_id = owner->id;
+  std::uint64_t flow = 0;
+  if (jaccx::prof::enabled()) [[unlikely]] {
+    flow = jaccx::prof::next_flow_id();
+    jaccx::prof::note_queue_submit(owner->id, flow);
+  }
   // lanes_mu pins the lane set for the whole routing step: a concurrent
   // quiesce_lanes() either completes before (we rebuild and route into the
   // fresh set) or waits until the task is safely enqueued.
@@ -327,7 +343,7 @@ void queue_submit(queue& q,
   {
     const std::lock_guard lock(l.mu);
     l.tasks.push_back(lane_task{std::move(task), std::move(done),
-                                std::move(owner)});
+                                std::move(owner), flow});
   }
   lanes_lock.unlock();
   l.cv.notify_one();

@@ -5,6 +5,7 @@
 
 #include "core/queue.hpp"
 #include "mem/pool.hpp"
+#include "prof/prof.hpp"
 #include "sim/stream.hpp"
 
 namespace jaccx::dist {
@@ -85,6 +86,9 @@ void communicator::reset() {
 
 void communicator::charge_pair(int a, int b, std::uint64_t bytes,
                                std::string_view name) {
+  if (jaccx::prof::enabled()) [[unlikely]] {
+    jaccx::prof::note_comm(name, bytes);
+  }
   auto& da = dev(a);
   auto& db = dev(b);
   const double start = std::max(da.tl().now_us(), db.tl().now_us());
@@ -150,6 +154,12 @@ double communicator::allreduce_sum(const double* per_rank, int count,
   // advance by rounds * (latency + 8B/bw), serialized after the laggard.
   const int rounds = allreduce_rounds();
   if (rounds > 0) {
+    if (jaccx::prof::enabled()) [[unlikely]] {
+      // Wire volume of recursive doubling: one 8-byte exchange per rank per
+      // round.
+      jaccx::prof::note_comm(name, static_cast<std::uint64_t>(rounds) * 8 *
+                                       static_cast<std::uint64_t>(ranks()));
+    }
     const double start = now_us();
     const double per_round =
         nic_.latency_us + 8.0 / (nic_.bandwidth_gbps * 1e3);
@@ -206,6 +216,9 @@ jacc::event communicator::isend_recv(int src_rank, const double* src,
   if (bytes > 0) {
     stage_copy(dst, src, bytes);
   }
+  if (jaccx::prof::enabled()) [[unlikely]] {
+    jaccx::prof::note_comm(name, bytes);
+  }
   auto& sa = rank_stream(src_rank);
   auto& sb = rank_stream(dst_rank);
   // Data readiness: the payload exists once the producing kernels on the
@@ -234,6 +247,9 @@ jacc::event communicator::iexchange(int rank_a, const double* a_out,
     // Full-duplex: both directions move now and share one charged step.
     stage_copy(b_in, a_out, bytes);
     stage_copy(a_in, b_out, bytes);
+  }
+  if (jaccx::prof::enabled()) [[unlikely]] {
+    jaccx::prof::note_comm(name, bytes);
   }
   auto& sa = rank_stream(rank_a);
   auto& sb = rank_stream(rank_b);
@@ -265,6 +281,10 @@ jacc::future<double> communicator::iallreduce_sum(const double* per_rank,
   const int rounds = allreduce_rounds();
   if (rounds == 0) {
     return jacc::detail::make_ready_future<double>(total);
+  }
+  if (jaccx::prof::enabled()) [[unlikely]] {
+    jaccx::prof::note_comm(name, static_cast<std::uint64_t>(rounds) * 8 *
+                                     static_cast<std::uint64_t>(ranks()));
   }
   // Recursive doubling charged pairwise on the comm streams: in round k,
   // rank r pairs with r ^ 2^k, each pair's step going through both link

@@ -2,10 +2,13 @@
 
 #include "prof/internal.hpp"
 
+#include <array>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -38,6 +41,16 @@ const char* to_string(construct c) {
     return "copy.h2d";
   case construct::copy_d2h:
     return "copy.d2h";
+  case construct::queue_submit:
+    return "queue.submit";
+  case construct::queue_task:
+    return "queue.task";
+  case construct::graph_replay:
+    return "graph.replay";
+  case construct::future_wait:
+    return "future.wait";
+  case construct::comm:
+    return "comm";
   }
   return "?";
 }
@@ -85,6 +98,12 @@ struct state_t {
 
   std::function<std::vector<mem_pool_stats>()> mem_pool_source;
   std::function<std::vector<queue_stats>()> queue_source;
+  std::function<std::optional<roof_rates>(std::string_view)> roof_source;
+
+  /// Host roofline ceilings; resolved lazily from JACC_HOST_ROOF (or the
+  /// configured default) on first read, overridable via set_host_roof.
+  bool host_roof_set = false;
+  roof_rates host_roof;
 
   std::string trace_path;
 
@@ -151,6 +170,20 @@ std::vector<inflight>& my_stack() {
 }
 
 std::atomic<std::uint64_t> g_next_kid{1};
+std::atomic<std::uint64_t> g_next_flow{1};
+
+/// Future-wait latency histogram (lock-free: get() may run on any thread).
+std::array<std::atomic<std::uint64_t>, future_wait_buckets> g_wait_hist{};
+
+std::size_t wait_bucket(std::uint64_t wait_ns) {
+  std::uint64_t us = wait_ns / 1000;
+  std::size_t b = 0;
+  while (us != 0 && b + 1 < future_wait_buckets) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
 
 /// Registered during static initialization, i.e. before main() and before
 /// any function-local static (default_pool, sim devices) is constructed —
@@ -190,6 +223,8 @@ std::optional<unsigned> parse_mode_spec(std::string_view spec) {
       bits |= mode_summary | mode_collect;
     } else if (word == "trace") {
       bits |= mode_trace | mode_collect;
+    } else if (word == "roofline") {
+      bits |= mode_roofline | mode_collect;
     } else {
       return std::nullopt;
     }
@@ -434,6 +469,138 @@ void note_sim_event(std::string_view device_label, std::string_view name,
   s.sim_events.push_back(std::move(ev));
 }
 
+std::uint64_t next_flow_id() {
+  return g_next_flow.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_queue_submit(std::uint64_t queue_id, std::uint64_t flow_id) {
+  if (!collecting()) {
+    return;
+  }
+  record r;
+  r.name = intern("queue.submit");
+  r.kind = construct::queue_submit;
+  r.t0_ns = r.t1_ns = now_ns();
+  r.units = queue_id;
+  r.aux = flow_id;
+  my_ring().push(r);
+}
+
+void note_queue_task(std::uint64_t queue_id, std::uint64_t flow_id,
+                     unsigned lane, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  if (!collecting()) {
+    return;
+  }
+  record r;
+  // The lane index lives in the interned name so the fold keys produce one
+  // per-lane utilization row for free (worker carries it for trace args).
+  r.name = intern("queue.task.lane" + std::to_string(lane));
+  r.kind = construct::queue_task;
+  r.worker = static_cast<std::uint16_t>(lane);
+  r.t0_ns = t0_ns;
+  r.t1_ns = t1_ns;
+  r.units = queue_id;
+  r.aux = flow_id;
+  my_ring().push(r);
+}
+
+void note_graph_replay(std::uint64_t nodes, std::uint64_t kernels,
+                       std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  if (!collecting()) {
+    return;
+  }
+  record r;
+  r.name = intern("graph.replay");
+  r.kind = construct::graph_replay;
+  r.t0_ns = t0_ns;
+  r.t1_ns = t1_ns;
+  r.units = nodes;
+  r.aux = kernels;
+  my_ring().push(r);
+}
+
+void note_future_wait(std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  if (!collecting()) {
+    return;
+  }
+  g_wait_hist[wait_bucket(t1_ns - t0_ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  record r;
+  r.name = intern("future.wait");
+  r.kind = construct::future_wait;
+  r.t0_ns = t0_ns;
+  r.t1_ns = t1_ns;
+  my_ring().push(r);
+}
+
+void note_comm(std::string_view name, std::uint64_t bytes) {
+  if (!collecting()) {
+    return;
+  }
+  record r;
+  r.name = intern(name);
+  r.kind = construct::comm;
+  r.t0_ns = r.t1_ns = now_ns();
+  r.units = bytes;
+  my_ring().push(r);
+}
+
+std::vector<std::uint64_t> future_wait_histogram() {
+  std::vector<std::uint64_t> out(future_wait_buckets, 0);
+  for (std::size_t i = 0; i < future_wait_buckets; ++i) {
+    out[i] = g_wait_hist[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void register_roof_source(
+    std::function<std::optional<roof_rates>(std::string_view)> fetch) {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.roof_source = std::move(fetch);
+}
+
+std::optional<roof_rates> model_roof(std::string_view model) {
+  state_t& s = st();
+  std::function<std::optional<roof_rates>(std::string_view)> fetch;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    fetch = s.roof_source;
+  }
+  return fetch ? fetch(model) : std::nullopt;
+}
+
+roof_rates host_roof() {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.host_roof_set) {
+    roof_rates r;
+    // Configured defaults: a conservative DDR4 stream figure and 2 GF/s
+    // per hardware thread.  JACC_HOST_ROOF="<GB/s>,<GF/s>" overrides.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    r.gbps = 16.0;
+    r.gflops = 2.0 * static_cast<double>(hw);
+    if (const auto spec = get_env("JACC_HOST_ROOF")) {
+      double gbps = 0.0, gflops = 0.0;
+      if (std::sscanf(spec->c_str(), "%lf,%lf", &gbps, &gflops) == 2 &&
+          gbps > 0.0 && gflops > 0.0) {
+        r.gbps = gbps;
+        r.gflops = gflops;
+      }
+    }
+    s.host_roof = r;
+    s.host_roof_set = true;
+  }
+  return s.host_roof;
+}
+
+void set_host_roof(roof_rates r) {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.host_roof = r;
+  s.host_roof_set = true;
+}
+
 void register_pool(const void* owner, std::function<pool_stats()> fetch) {
   state_t& s = st();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -505,6 +672,9 @@ void reset() {
   s.sim_events.clear();
   s.frozen_pools.clear();
   s.last_report_signature = ~std::uint64_t{0};
+  for (auto& b : g_wait_hist) {
+    b.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::size_t debug_ring_count() {

@@ -38,15 +38,17 @@ namespace jaccx::prof {
 // --- mode / gating ----------------------------------------------------------
 
 /// Bit flags resolved from JACC_PROFILE (or set_mode).  `collect` fills the
-/// event rings; `summary` and `trace` imply collect and choose what
-/// finalize() does with the data.
+/// event rings; `summary`, `trace`, and `roofline` imply collect and choose
+/// what finalize() does with the data.
 inline constexpr unsigned mode_off = 0u;
 inline constexpr unsigned mode_collect = 1u;
 inline constexpr unsigned mode_summary = 2u;
 inline constexpr unsigned mode_trace = 4u;
+inline constexpr unsigned mode_roofline = 8u;
 
-/// Parses a JACC_PROFILE spec: "off", "summary", "trace", "collect", or a
-/// comma list ("summary,trace").  Returns nullopt for unknown values.
+/// Parses a JACC_PROFILE spec: "off", "summary", "trace", "roofline",
+/// "collect", or a comma list ("summary,trace").  Returns nullopt for
+/// unknown values.
 std::optional<unsigned> parse_mode_spec(std::string_view spec);
 
 namespace detail {
@@ -65,6 +67,7 @@ inline unsigned mode() {
 }
 inline bool collecting() { return (mode() & mode_collect) != 0; }
 inline bool trace_enabled() { return (mode() & mode_trace) != 0; }
+inline bool roofline_enabled() { return (mode() & mode_roofline) != 0; }
 
 /// Installs a mode programmatically (tests, benches).  `trace_path` is only
 /// consulted when `bits` includes mode_trace; empty keeps the current path.
@@ -136,12 +139,47 @@ void emit_pool_slice(construct kind, unsigned worker, std::uint64_t t0_ns,
                      std::uint64_t t1_ns, std::uint64_t chunks);
 
 /// Tee for one simulated-timeline event; called by sim::timeline::record
-/// when trace mode is on so bench-time logging toggles and clock resets
-/// cannot lose the events the user asked to export.
+/// when trace or roofline mode is on so bench-time logging toggles and
+/// clock resets cannot lose the events the user asked to export (roofline
+/// needs the modeled DRAM/flop tallies at simulated time — host wall-clock
+/// rates are meaningless for the sim backends).
 void note_sim_event(std::string_view device_label, std::string_view name,
                     std::string_view category, double ts_us, double dur_us,
                     std::uint64_t dram_bytes, std::uint64_t cache_bytes,
                     std::uint64_t flops, std::uint64_t indices);
+
+// --- async-substrate instrumentation (queues, graphs, futures, dist) --------
+
+/// Mints a process-unique flow id linking one queue submission to the lane
+/// task that executes it (Chrome-trace flow events).
+std::uint64_t next_flow_id();
+
+/// Instant on the submitting thread: work entered `queue_id`'s deque (or
+/// degraded to an inline run).  `flow_id` 0 means no matching task span.
+void note_queue_submit(std::uint64_t queue_id, std::uint64_t flow_id);
+
+/// Span on the lane dispatcher thread: one task of `queue_id` executed on
+/// `lane` between t0 and t1.
+void note_queue_task(std::uint64_t queue_id, std::uint64_t flow_id,
+                     unsigned lane, std::uint64_t t0_ns, std::uint64_t t1_ns);
+
+/// Span: one graph::launch replay of `nodes` nodes (`kernels` of them
+/// kernel nodes).
+void note_graph_replay(std::uint64_t nodes, std::uint64_t kernels,
+                       std::uint64_t t0_ns, std::uint64_t t1_ns);
+
+/// Span: the host blocked in future::get between t0 and t1 (t0 == t1 for a
+/// ready future).  Also folded into the wait-latency histogram.
+void note_future_wait(std::uint64_t t0_ns, std::uint64_t t1_ns);
+
+/// Instant: `bytes` of dist payload charged to the wire under `name`
+/// (per charged transfer; an exchange's two directions share one charge).
+void note_comm(std::string_view name, std::uint64_t bytes);
+
+/// Future-wait latency histogram: bucket 0 counts waits under 1 us, bucket
+/// k >= 1 counts waits in [2^(k-1), 2^k) us; the last bucket is open-ended.
+inline constexpr std::size_t future_wait_buckets = 20;
+std::vector<std::uint64_t> future_wait_histogram();
 
 // --- RAII helpers used by the dispatch layer --------------------------------
 
@@ -170,6 +208,31 @@ private:
   bool armed_;
   construct kind_;
   std::uint64_t kid_; // only written/read when armed_; no eager zeroing
+};
+
+/// Brackets one graph::launch replay; same disabled-cost shape as
+/// kernel_scope (one relaxed load + predictable branch per end).
+class graph_replay_scope {
+public:
+  graph_replay_scope(std::uint64_t nodes, std::uint64_t kernels)
+      : armed_(enabled()), nodes_(nodes), kernels_(kernels) {
+    if (armed_) [[unlikely]] {
+      t0_ = now_ns();
+    }
+  }
+  ~graph_replay_scope() {
+    if (armed_) [[unlikely]] {
+      note_graph_replay(nodes_, kernels_, t0_, now_ns());
+    }
+  }
+  graph_replay_scope(const graph_replay_scope&) = delete;
+  graph_replay_scope& operator=(const graph_replay_scope&) = delete;
+
+private:
+  bool armed_;
+  std::uint64_t nodes_;
+  std::uint64_t kernels_;
+  std::uint64_t t0_; // only written/read when armed_
 };
 
 /// User-facing named region (nests).
@@ -270,6 +333,93 @@ void register_queue_source(std::function<std::vector<queue_stats>()> fetch);
 /// when no source is registered or no queue has done work.
 std::vector<queue_stats> aggregate_queues();
 
+// --- roofline ---------------------------------------------------------------
+
+/// Roofline ceilings for one execution target: peak DRAM bandwidth and peak
+/// double-precision rate.
+struct roof_rates {
+  double gbps = 0.0;
+  double gflops = 0.0;
+};
+
+/// The sim layer registers a resolver mapping a device-model name
+/// ("a100"...) to its peak rates (an empty function clears it); prof stays
+/// independent of the model tables the same way register_pool keeps it
+/// independent of the thread pool.
+void register_roof_source(
+    std::function<std::optional<roof_rates>(std::string_view)> fetch);
+
+/// Peak rates for one device-model name via the registered source; nullopt
+/// for unknown names or when no source is registered.
+std::optional<roof_rates> model_roof(std::string_view model);
+
+/// The host (serial/threads) ceilings used for roofline placement:
+/// JACC_HOST_ROOF="<GB/s>,<GF/s>" when set, else a conservative configured
+/// estimate (DRAM 16 GB/s, 2 GF/s per hardware thread).  set_host_roof
+/// overrides programmatically (benches that measured a STREAM figure).
+roof_rates host_roof();
+void set_host_roof(roof_rates r);
+
+/// One (kernel, target) roofline placement.  Host targets ("serial",
+/// "threads") are built from the ring aggregates' launch hints and real
+/// wall-clock; simulated targets (model names) from the teed sim events'
+/// modeled DRAM/flop tallies at simulated time.
+struct roofline_stats {
+  std::string name;       ///< kernel name
+  std::string target;     ///< "serial", "threads", or a sim model name
+  bool simulated = false;
+  std::uint64_t count = 0;
+  double time_us = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;              ///< DRAM bytes (hinted or modeled)
+  double intensity = 0.0;          ///< arithmetic intensity, flop / DRAM byte
+  roof_rates peak;                 ///< ceilings for `target`
+  double ridge = 0.0;              ///< peak.gflops / peak.gbps
+  double achieved_gbps = 0.0;
+  double achieved_gflops = 0.0;
+  double attainable_gflops = 0.0;  ///< min(peak.gflops, intensity*peak.gbps)
+  double pct_of_roof = 0.0;        ///< achieved as % of its roof
+  bool memory_bound = true;        ///< intensity < ridge
+};
+
+/// Roofline rows for everything recorded so far, sorted by target then
+/// descending time.  Unhinted host kernels (no flops/bytes) are dropped.
+std::vector<roofline_stats> aggregate_roofline();
+
+/// The JACC_PROFILE=roofline report.
+std::string roofline_text();
+
+// --- async-substrate aggregation --------------------------------------------
+
+struct lane_util {
+  std::string label; ///< "queue.task.lane<N>"
+  std::uint64_t tasks = 0;
+  double busy_us = 0.0;
+};
+
+struct comm_stat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Folded async-substrate counters (exact across ring overflow).
+struct async_stats {
+  std::uint64_t queue_submits = 0;
+  std::uint64_t queue_tasks = 0;
+  double queue_task_us = 0.0;
+  std::vector<lane_util> lanes;
+  std::uint64_t graph_replays = 0;
+  std::uint64_t graph_nodes = 0;   ///< Σ nodes over all replays
+  std::uint64_t graph_kernels = 0; ///< Σ kernel nodes over all replays
+  double graph_replay_us = 0.0;
+  std::uint64_t future_waits = 0;
+  double future_wait_us = 0.0;
+  std::vector<comm_stat> comms;
+};
+
+async_stats aggregate_async();
+
 // --- aggregation / output ---------------------------------------------------
 
 struct kernel_stats {
@@ -304,7 +454,12 @@ std::string summary_text();
 
 /// The unified Chrome-trace JSON: host rings as pid 1 (one tid per thread),
 /// each simulated device as its own pid, Perfetto/about:tracing loadable.
+/// Queue submissions and their lane tasks are linked with flow events.
 std::string chrome_trace_json();
+
+/// Expands "%p" in a JACC_TRACE_FILE path to the current pid, so parallel
+/// ctest invocations with trace mode on don't clobber each other's JSON.
+std::string expand_trace_path(std::string_view path);
 
 /// Acts on the current mode: prints the summary (stdout) and/or writes the
 /// trace file.  Idempotent until new events arrive; called by

@@ -5,7 +5,14 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "prof/internal.hpp"
 #include "prof/prof.hpp"
@@ -166,6 +173,185 @@ std::vector<pool_stats> aggregate_pools() {
   return out;
 }
 
+async_stats aggregate_async() {
+  async_stats a;
+  std::map<std::string, comm_stat> comms;
+  std::map<std::string, lane_util> lanes;
+  for (const auto& [key, value] : fold_all_rings()) {
+    const std::string name = key.name != nullptr ? *key.name : std::string();
+    switch (key.kind) {
+    case construct::queue_submit:
+      a.queue_submits += value.count;
+      break;
+    case construct::queue_task: {
+      a.queue_tasks += value.count;
+      a.queue_task_us += static_cast<double>(value.total_ns) * 1e-3;
+      lane_util& l = lanes[name];
+      l.label = name;
+      l.tasks += value.count;
+      l.busy_us += static_cast<double>(value.total_ns) * 1e-3;
+      break;
+    }
+    case construct::graph_replay:
+      a.graph_replays += value.count;
+      a.graph_nodes += value.units;
+      a.graph_kernels += value.aux;
+      a.graph_replay_us += static_cast<double>(value.total_ns) * 1e-3;
+      break;
+    case construct::future_wait:
+      a.future_waits += value.count;
+      a.future_wait_us += static_cast<double>(value.total_ns) * 1e-3;
+      break;
+    case construct::comm: {
+      comm_stat& c = comms[name];
+      c.name = name;
+      c.count += value.count;
+      c.bytes += value.units;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  for (auto& [_, l] : lanes) {
+    a.lanes.push_back(std::move(l));
+  }
+  for (auto& [_, c] : comms) {
+    a.comms.push_back(std::move(c));
+  }
+  return a;
+}
+
+namespace {
+
+/// Fills the rate/placement fields from (flops, bytes, time, peaks).
+void place_on_roof(roofline_stats& r) {
+  if (r.time_us > 0.0) {
+    // bytes/us == MB/s; /1e3 == GB/s.  flops/us/1e3 == GF/s.
+    r.achieved_gbps = r.bytes / r.time_us * 1e-3;
+    r.achieved_gflops = r.flops / r.time_us * 1e-3;
+  }
+  r.intensity = r.bytes > 0.0 ? r.flops / r.bytes : 0.0;
+  if (r.peak.gbps > 0.0 && r.peak.gflops > 0.0) {
+    r.ridge = r.peak.gflops / r.peak.gbps;
+    r.memory_bound = r.intensity < r.ridge;
+    r.attainable_gflops =
+        std::min(r.peak.gflops, r.intensity * r.peak.gbps);
+    if (r.flops > 0.0 && r.attainable_gflops > 0.0) {
+      r.pct_of_roof = 100.0 * r.achieved_gflops / r.attainable_gflops;
+    } else if (r.peak.gbps > 0.0) {
+      // Pure data-movement kernel: place it against the bandwidth roof.
+      r.pct_of_roof = 100.0 * r.achieved_gbps / r.peak.gbps;
+    }
+  }
+}
+
+} // namespace
+
+std::vector<roofline_stats> aggregate_roofline() {
+  std::vector<roofline_stats> out;
+
+  // Host rows: real wall-clock rates from the ring aggregates' hints, only
+  // for backends that actually execute on the host clock.
+  for (const auto& [key, value] : fold_all_rings()) {
+    if (key.kind != construct::parallel_for &&
+        key.kind != construct::parallel_reduce) {
+      continue;
+    }
+    const std::string backend =
+        key.backend != nullptr
+            ? std::string(static_cast<const char*>(key.backend))
+            : std::string();
+    if (backend != "serial" && backend != "threads") {
+      continue;
+    }
+    if (value.flops <= 0.0 && value.bytes <= 0.0) {
+      continue; // unhinted: nothing to place
+    }
+    roofline_stats r;
+    r.name = key.name != nullptr ? *key.name : std::string("?");
+    r.target = backend;
+    r.count = value.count;
+    r.time_us = static_cast<double>(value.total_ns) * 1e-3;
+    r.flops = value.flops;
+    r.bytes = value.bytes;
+    r.peak = host_roof();
+    place_on_roof(r);
+    out.push_back(std::move(r));
+  }
+
+  // Simulated rows: modeled DRAM/flop tallies at simulated time, folded per
+  // (model, kernel).  A stream label "a100.q1" / "a100.rank0" belongs to
+  // model "a100"; labels that resolve to no known model are skipped.
+  std::map<std::pair<std::string, std::string>, roofline_stats> sims;
+  for (const auto& ev : internal::sim_snapshot()) {
+    if (ev.category != "kernel") {
+      continue; // transfers/allocs move bytes but are not roofline subjects
+    }
+    if (ev.dur_us <= 0.0 || (ev.flops == 0 && ev.dram_bytes == 0)) {
+      continue; // stall/wait bookkeeping, not kernel work
+    }
+    const std::string model = ev.device.substr(0, ev.device.find('.'));
+    const auto peak = model_roof(model);
+    if (!peak) {
+      continue;
+    }
+    roofline_stats& r = sims[{model, ev.name}];
+    if (r.count == 0) {
+      r.name = ev.name;
+      r.target = model;
+      r.simulated = true;
+      r.peak = *peak;
+    }
+    ++r.count;
+    r.time_us += ev.dur_us;
+    r.flops += static_cast<double>(ev.flops);
+    r.bytes += static_cast<double>(ev.dram_bytes);
+  }
+  for (auto& [_, r] : sims) {
+    place_on_roof(r);
+    out.push_back(std::move(r));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const roofline_stats& a, const roofline_stats& b) {
+              if (a.target != b.target) {
+                return a.target < b.target;
+              }
+              if (a.time_us != b.time_us) {
+                return a.time_us > b.time_us;
+              }
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string roofline_text() {
+  std::ostringstream os;
+  os << "== jaccx::prof roofline ==\n";
+  const auto rows = aggregate_roofline();
+  if (rows.empty()) {
+    os << "(no hinted kernels recorded; sim rows need JACC_PROFILE=roofline "
+          "at kernel time)\n";
+    return os.str();
+  }
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%-10s %-28s %9s %9s %9s %10s %10s %-7s %7s\n", "target",
+                "kernel", "AI f/B", "peak GB/s", "peak GF/s", "ach GB/s",
+                "ach GF/s", "bound", "%roof");
+  os << line;
+  for (const roofline_stats& r : rows) {
+    std::snprintf(line, sizeof line,
+                  "%-10s %-28s %9.3f %9.0f %9.0f %10.2f %10.2f %-7s %6.1f%%\n",
+                  r.target.c_str(), r.name.c_str(), r.intensity, r.peak.gbps,
+                  r.peak.gflops, r.achieved_gbps, r.achieved_gflops,
+                  r.memory_bound ? "memory" : "compute", r.pct_of_roof);
+    os << line;
+  }
+  return os.str();
+}
+
 std::string summary_text() {
   std::ostringstream os;
   os << "== jaccx::prof summary ==\n";
@@ -261,6 +447,62 @@ std::string summary_text() {
       os << line;
     }
   }
+
+  const async_stats a = aggregate_async();
+  if (a.queue_submits + a.queue_tasks + a.graph_replays + a.future_waits != 0 ||
+      !a.comms.empty()) {
+    os << "-- async --\n";
+    char line[224];
+    std::snprintf(line, sizeof line,
+                  "queue submits %8" PRIu64 "  tasks %8" PRIu64
+                  "  busy %10.1f us\n",
+                  a.queue_submits, a.queue_tasks, a.queue_task_us);
+    os << line;
+    for (const lane_util& l : a.lanes) {
+      const double share =
+          a.queue_task_us > 0.0 ? 100.0 * l.busy_us / a.queue_task_us : 0.0;
+      std::snprintf(line, sizeof line,
+                    "  %-22s tasks %8" PRIu64
+                    "  busy %10.1f us  (%5.1f%% of queue busy)\n",
+                    l.label.c_str(), l.tasks, l.busy_us, share);
+      os << line;
+    }
+    if (a.graph_replays != 0) {
+      std::snprintf(line, sizeof line,
+                    "graph replays %8" PRIu64 "  nodes %8" PRIu64
+                    "  kernels %8" PRIu64 "  span %10.1f us\n",
+                    a.graph_replays, a.graph_nodes, a.graph_kernels,
+                    a.graph_replay_us);
+      os << line;
+    }
+    if (a.future_waits != 0) {
+      std::snprintf(line, sizeof line,
+                    "future waits  %8" PRIu64
+                    "  blocked %10.1f us  mean %8.2f us\n",
+                    a.future_waits, a.future_wait_us,
+                    a.future_wait_us / static_cast<double>(a.future_waits));
+      os << line;
+      const auto hist = future_wait_histogram();
+      os << "wait histogram:";
+      for (std::size_t b = 0; b < hist.size(); ++b) {
+        if (hist[b] == 0) {
+          continue;
+        }
+        if (b == 0) {
+          os << " <1us:" << hist[b];
+        } else {
+          os << " <" << (std::uint64_t{1} << b) << "us:" << hist[b];
+        }
+      }
+      os << "\n";
+    }
+    for (const comm_stat& c : a.comms) {
+      std::snprintf(line, sizeof line, "comm %-20s %8" PRIu64 "x  %12.1f KiB\n",
+                    c.name.c_str(), c.count,
+                    static_cast<double>(c.bytes) / 1024.0);
+      os << line;
+    }
+  }
   return os.str();
 }
 
@@ -296,7 +538,21 @@ std::string chrome_trace_json() {
         os << "  {\"ph\":\"i\",\"s\":\"t\",\"pid\":" << host_pid
            << ",\"tid\":" << tid << ",\"ts\":" << ts << ",\"name\":\""
            << json_escape(name) << "\",\"cat\":\"" << to_string(r.kind)
-           << "\",\"args\":{\"bytes\":" << r.units << "}}";
+           << "\",\"args\":{";
+        if (r.kind == construct::queue_submit) {
+          os << "\"queue\":" << r.units << ",\"flow\":" << r.aux;
+        } else {
+          os << "\"bytes\":" << r.units;
+        }
+        os << "}}";
+        if (r.kind == construct::queue_submit && r.aux != 0) {
+          // Flow start: pairs with the "f" event on the executing lane task,
+          // drawing the submission→execution arrow in the trace viewer.
+          os << ",\n  {\"ph\":\"s\",\"id\":" << r.aux
+             << ",\"pid\":" << host_pid << ",\"tid\":" << tid
+             << ",\"ts\":" << ts
+             << ",\"name\":\"queue.flow\",\"cat\":\"queue\"}";
+        }
         continue;
       }
       os << "  {\"ph\":\"X\",\"pid\":" << host_pid << ",\"tid\":" << tid
@@ -305,6 +561,13 @@ std::string chrome_trace_json() {
          << "\",\"args\":{";
       if (r.kind == construct::pool_busy || r.kind == construct::pool_park) {
         os << "\"worker\":" << r.worker << ",\"chunks\":" << r.units;
+      } else if (r.kind == construct::queue_task) {
+        os << "\"lane\":" << r.worker << ",\"queue\":" << r.units
+           << ",\"flow\":" << r.aux;
+      } else if (r.kind == construct::graph_replay) {
+        os << "\"nodes\":" << r.units << ",\"kernels\":" << r.aux;
+      } else if (r.kind == construct::future_wait) {
+        os << "\"wait_us\":" << dur;
       } else {
         os << "\"indices\":" << r.units
            << ",\"flops_per_index\":" << r.flops_per_index
@@ -314,6 +577,13 @@ std::string chrome_trace_json() {
         }
       }
       os << "}}";
+      if (r.kind == construct::queue_task && r.aux != 0) {
+        // Flow finish bound to this span's start (bp:"e").
+        os << ",\n  {\"ph\":\"f\",\"bp\":\"e\",\"id\":" << r.aux
+           << ",\"pid\":" << host_pid << ",\"tid\":" << tid
+           << ",\"ts\":" << ts
+           << ",\"name\":\"queue.flow\",\"cat\":\"queue\"}";
+      }
     }
   }
 
@@ -353,9 +623,28 @@ std::string chrome_trace_json() {
   return os.str();
 }
 
+std::string expand_trace_path(std::string_view path) {
+#ifdef _WIN32
+  const long pid = static_cast<long>(_getpid());
+#else
+  const long pid = static_cast<long>(getpid());
+#endif
+  std::string out;
+  out.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'p') {
+      out += std::to_string(pid);
+      ++i;
+    } else {
+      out += path[i];
+    }
+  }
+  return out;
+}
+
 void finalize() {
   const unsigned m = mode();
-  if ((m & (mode_summary | mode_trace)) == 0) {
+  if ((m & (mode_summary | mode_trace | mode_roofline)) == 0) {
     return;
   }
   if (!internal::report_signature_changed(current_signature())) {
@@ -366,11 +655,17 @@ void finalize() {
     std::fwrite(text.data(), 1, text.size(), stdout);
     std::fflush(stdout);
   }
+  if ((m & mode_roofline) != 0) {
+    const std::string text = roofline_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+  }
   if ((m & mode_trace) != 0) {
     std::string path = trace_path();
     if (path.empty()) {
       path = "jacc_trace.json";
     }
+    path = expand_trace_path(path);
     std::ofstream out(path, std::ios::trunc);
     if (out) {
       out << chrome_trace_json();

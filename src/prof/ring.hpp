@@ -25,8 +25,9 @@
 namespace jaccx::prof {
 
 /// What a profiling record describes.  The first three mirror the public
-/// constructs; the pool_* kinds are fork/join worker slices; the rest are
-/// memory-traffic markers from jacc::array.
+/// constructs; the pool_* kinds are fork/join worker slices; alloc..copy_d2h
+/// are memory-traffic markers from jacc::array; the rest are async-substrate
+/// markers (queues, graph replay, futures, dist collectives).
 enum class construct : unsigned char {
   parallel_for,
   parallel_reduce,
@@ -37,6 +38,14 @@ enum class construct : unsigned char {
   free_,
   copy_h2d,
   copy_d2h,
+  queue_submit, ///< instant: work handed to a queue (units = queue id,
+                ///< aux = flow id linking to the executing queue_task)
+  queue_task,   ///< span: one lane task executing (worker = lane index,
+                ///< units = queue id, aux = flow id)
+  graph_replay, ///< span: one graph::launch replay (units = node count,
+                ///< aux = kernel-node count)
+  future_wait,  ///< span: host blocked in future::get / event wait
+  comm,         ///< instant: dist payload on the wire (units = bytes)
 };
 
 const char* to_string(construct c);
@@ -52,7 +61,10 @@ struct record {
   std::uint64_t t0_ns = 0;      ///< steady-clock, relative to the trace epoch
   std::uint64_t t1_ns = 0;
   std::uint64_t units = 0;      ///< indices (kernels), bytes (memory),
-                                ///< chunks (pool_busy)
+                                ///< chunks (pool_busy), queue id (queue_*),
+                                ///< nodes (graph_replay)
+  std::uint64_t aux = 0;        ///< flow id (queue_*), kernel-node count
+                                ///< (graph_replay); 0 elsewhere
   double flops_per_index = 0.0;
   double bytes_per_index = 0.0;
 };
@@ -81,6 +93,7 @@ struct agg_key_hash {
 struct agg_value {
   std::uint64_t count = 0;
   std::uint64_t units = 0;
+  std::uint64_t aux = 0;
   std::uint64_t total_ns = 0;
   std::uint64_t min_ns = ~std::uint64_t{0};
   std::uint64_t max_ns = 0;
@@ -91,6 +104,7 @@ struct agg_value {
     const std::uint64_t d = r.t1_ns - r.t0_ns;
     ++count;
     units += r.units;
+    aux += r.aux;
     total_ns += d;
     min_ns = d < min_ns ? d : min_ns;
     max_ns = d > max_ns ? d : max_ns;
@@ -101,6 +115,7 @@ struct agg_value {
   void merge(const agg_value& o) {
     count += o.count;
     units += o.units;
+    aux += o.aux;
     total_ns += o.total_ns;
     min_ns = o.min_ns < min_ns ? o.min_ns : min_ns;
     max_ns = o.max_ns > max_ns ? o.max_ns : max_ns;

@@ -1,0 +1,293 @@
+// dlopen loader adapting jaccp_* tool libraries onto the hook registry.
+#include "prof/tools.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <dlfcn.h>
+#endif
+
+#include "prof/prof.hpp"
+#include "support/env.hpp"
+
+namespace jaccx::prof {
+
+namespace {
+
+/// One loaded tool: the dlopen handle, its resolved symbols, and the
+/// registry id its adapters are registered under.  Instances are leaked on
+/// purpose — a tool's code may be running on another thread during process
+/// teardown, and the handle must outlive every possible callback.
+struct tool_lib {
+  std::string path;
+  void* handle = nullptr;
+  std::uint64_t cb_id = 0;
+  bool active = false;
+
+  void (*init)(int, std::uint64_t, std::uint32_t, void*) = nullptr;
+  void (*fini)() = nullptr;
+  void (*begin_for)(const char*, std::uint32_t, std::uint64_t*) = nullptr;
+  void (*end_for)(std::uint64_t) = nullptr;
+  void (*begin_reduce)(const char*, std::uint32_t, std::uint64_t*) = nullptr;
+  void (*end_reduce)(std::uint64_t) = nullptr;
+  void (*alloc)(const char*, std::uint64_t) = nullptr;
+  void (*dealloc)(std::uint64_t) = nullptr;
+  void (*copy)(const char*, int, std::uint64_t) = nullptr;
+  void (*push)(const char*) = nullptr;
+  void (*pop)() = nullptr;
+};
+
+std::mutex g_mu;
+std::vector<tool_lib*> g_tools;
+int g_load_seq = 0;
+bool g_env_parsed = false;
+
+// --- adapters: registry callbacks → C ABI -----------------------------------
+// Hook names arrive as string_views into interned storage; the C ABI wants
+// NUL-terminated strings, so adapters copy.  This only runs when a tool is
+// loaded — the disabled path never reaches here.
+
+void a_begin_for(void* user, const kernel_info& info, std::uint64_t kid) {
+  auto* t = static_cast<tool_lib*>(user);
+  const std::string name(info.name);
+  std::uint64_t k = kid;
+  t->begin_for(name.c_str(), 0, &k);
+}
+
+void a_end_for(void* user, std::uint64_t kid) {
+  static_cast<tool_lib*>(user)->end_for(kid);
+}
+
+void a_begin_reduce(void* user, const kernel_info& info, std::uint64_t kid) {
+  auto* t = static_cast<tool_lib*>(user);
+  const std::string name(info.name);
+  std::uint64_t k = kid;
+  t->begin_reduce(name.c_str(), 0, &k);
+}
+
+void a_end_reduce(void* user, std::uint64_t kid) {
+  static_cast<tool_lib*>(user)->end_reduce(kid);
+}
+
+void a_alloc(void* user, std::string_view name, std::uint64_t bytes) {
+  const std::string n(name);
+  static_cast<tool_lib*>(user)->alloc(n.c_str(), bytes);
+}
+
+void a_free(void* user, std::uint64_t bytes) {
+  static_cast<tool_lib*>(user)->dealloc(bytes);
+}
+
+void a_copy(void* user, std::string_view name, bool to_device,
+            std::uint64_t bytes) {
+  const std::string n(name);
+  static_cast<tool_lib*>(user)->copy(n.c_str(), to_device ? 1 : 0, bytes);
+}
+
+void a_push(void* user, std::string_view name) {
+  const std::string n(name);
+  static_cast<tool_lib*>(user)->push(n.c_str());
+}
+
+void a_pop(void* user) { static_cast<tool_lib*>(user)->pop(); }
+
+} // namespace
+
+std::uint64_t load_tool_library(const std::string& path, std::string* error) {
+#ifdef _WIN32
+  (void)path;
+  if (error != nullptr) {
+    *error = "tool libraries are not supported on this platform";
+  }
+  return 0;
+#else
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (error != nullptr) {
+      const char* why = dlerror();
+      *error = why != nullptr ? why : "dlopen failed";
+    }
+    return 0;
+  }
+
+  auto* t = new tool_lib; // leaked; see tool_lib comment
+  t->path = path;
+  t->handle = handle;
+  const auto sym = [&](const char* name) { return dlsym(handle, name); };
+  t->init = reinterpret_cast<decltype(t->init)>(sym("jaccp_init_library"));
+  t->fini = reinterpret_cast<decltype(t->fini)>(sym("jaccp_finalize_library"));
+  t->begin_for = reinterpret_cast<decltype(t->begin_for)>(
+      sym("jaccp_begin_parallel_for"));
+  t->end_for =
+      reinterpret_cast<decltype(t->end_for)>(sym("jaccp_end_parallel_for"));
+  t->begin_reduce = reinterpret_cast<decltype(t->begin_reduce)>(
+      sym("jaccp_begin_parallel_reduce"));
+  t->end_reduce = reinterpret_cast<decltype(t->end_reduce)>(
+      sym("jaccp_end_parallel_reduce"));
+  t->alloc =
+      reinterpret_cast<decltype(t->alloc)>(sym("jaccp_allocate_data"));
+  t->dealloc =
+      reinterpret_cast<decltype(t->dealloc)>(sym("jaccp_deallocate_data"));
+  t->copy = reinterpret_cast<decltype(t->copy)>(sym("jaccp_copy_data"));
+  t->push = reinterpret_cast<decltype(t->push)>(
+      sym("jaccp_push_profile_region"));
+  t->pop =
+      reinterpret_cast<decltype(t->pop)>(sym("jaccp_pop_profile_region"));
+
+  const bool any_hook = t->begin_for != nullptr || t->end_for != nullptr ||
+                        t->begin_reduce != nullptr ||
+                        t->end_reduce != nullptr || t->alloc != nullptr ||
+                        t->dealloc != nullptr || t->copy != nullptr ||
+                        t->push != nullptr || t->pop != nullptr;
+  if (!any_hook && t->init == nullptr) {
+    if (error != nullptr) {
+      *error = "no jaccp_* symbols found in " + path;
+    }
+    delete t;
+    dlclose(handle);
+    return 0;
+  }
+
+  int seq = 0;
+  {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    seq = g_load_seq++;
+  }
+  if (t->init != nullptr) {
+    t->init(seq, tools_interface_version, 0, nullptr);
+  }
+
+  callbacks cb;
+  cb.user = t;
+  if (t->begin_for != nullptr) {
+    cb.begin_parallel_for = a_begin_for;
+  }
+  if (t->end_for != nullptr) {
+    cb.end_parallel_for = a_end_for;
+  }
+  if (t->begin_reduce != nullptr) {
+    cb.begin_parallel_reduce = a_begin_reduce;
+  }
+  if (t->end_reduce != nullptr) {
+    cb.end_parallel_reduce = a_end_reduce;
+  }
+  if (t->alloc != nullptr) {
+    cb.alloc = a_alloc;
+  }
+  if (t->dealloc != nullptr) {
+    cb.free_ = a_free;
+  }
+  if (t->copy != nullptr) {
+    cb.copy = a_copy;
+  }
+  if (t->push != nullptr) {
+    cb.region_push = a_push;
+  }
+  if (t->pop != nullptr) {
+    cb.region_pop = a_pop;
+  }
+  t->cb_id = register_callbacks(cb);
+  t->active = true;
+  {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    g_tools.push_back(t);
+    // KokkosP semantics: tools still loaded at exit get their finalize call
+    // (where they print summaries / flush output files) even if nobody
+    // unloads them explicitly.  Registered on first load so the handler
+    // runs before prof's own atexit report (atexit is LIFO and prof's state
+    // is created before any tool can be loaded through it).
+    static const int registered = std::atexit([] { finalize_tool_libraries(); });
+    (void)registered;
+  }
+  return t->cb_id;
+#endif
+}
+
+void finalize_tool_libraries() {
+  std::vector<tool_lib*> active;
+  {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    for (tool_lib* t : g_tools) {
+      if (t->active) {
+        t->active = false;
+        active.push_back(t);
+      }
+    }
+  }
+  for (tool_lib* t : active) {
+    unregister_callbacks(t->cb_id);
+    if (t->fini != nullptr) {
+      t->fini();
+    }
+  }
+}
+
+bool unload_tool_library(std::uint64_t id) {
+  tool_lib* found = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    for (tool_lib* t : g_tools) {
+      if (t->active && t->cb_id == id) {
+        t->active = false;
+        found = t;
+        break;
+      }
+    }
+  }
+  if (found == nullptr) {
+    return false;
+  }
+  unregister_callbacks(id);
+  if (found->fini != nullptr) {
+    found->fini();
+  }
+  return true;
+}
+
+std::size_t load_tools_from_env() {
+  {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    if (g_env_parsed) {
+      return 0;
+    }
+    g_env_parsed = true;
+  }
+  const auto spec = get_env("JACC_TOOLS_LIBS");
+  if (!spec || spec->empty()) {
+    return 0;
+  }
+  std::size_t loaded = 0;
+  std::size_t begin = 0;
+  while (begin <= spec->size()) {
+    const std::size_t end = spec->find(':', begin);
+    const std::string path =
+        spec->substr(begin, end == std::string::npos ? end : end - begin);
+    begin = end == std::string::npos ? spec->size() + 1 : end + 1;
+    if (path.empty()) {
+      continue;
+    }
+    std::string error;
+    if (load_tool_library(path, &error) != 0) {
+      ++loaded;
+    } else {
+      std::fprintf(stderr, "jaccx::prof: cannot load tool '%s': %s\n",
+                   path.c_str(), error.c_str());
+    }
+  }
+  return loaded;
+}
+
+std::size_t loaded_tool_count() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  std::size_t n = 0;
+  for (const tool_lib* t : g_tools) {
+    n += t->active ? 1 : 0;
+  }
+  return n;
+}
+
+} // namespace jaccx::prof

@@ -1,0 +1,63 @@
+// Loadable profiling tools for jaccx::prof — the KokkosP dlopen analogue.
+//
+// JACC_TOOLS_LIBS names one or more shared libraries (colon-separated, like
+// KOKKOS_TOOLS_LIBS).  Each is dlopen'd at jacc::initialize(); any resolved
+// jaccp_* callback symbols are adapted onto the in-process hook registry
+// (prof::register_callbacks), so an external tool observes an unmodified
+// binary exactly the way a Kokkos Tools connector does.
+//
+// The C ABI a tool exports (all optional; unresolved symbols are skipped):
+//
+//   void jaccp_init_library(int load_seq, uint64_t interface_version,
+//                           uint32_t device_count, void* device_info);
+//   void jaccp_finalize_library(void);
+//   void jaccp_begin_parallel_for(const char* name, uint32_t device_id,
+//                                 uint64_t* kernel_id);   // *kernel_id is
+//   void jaccp_end_parallel_for(uint64_t kernel_id);      // pre-set by jacc
+//   void jaccp_begin_parallel_reduce(const char* name, uint32_t device_id,
+//                                    uint64_t* kernel_id);
+//   void jaccp_end_parallel_reduce(uint64_t kernel_id);
+//   void jaccp_allocate_data(const char* name, uint64_t bytes);
+//   void jaccp_deallocate_data(uint64_t bytes);
+//   void jaccp_copy_data(const char* name, int to_device, uint64_t bytes);
+//   void jaccp_push_profile_region(const char* name);
+//   void jaccp_pop_profile_region(void);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jaccx::prof {
+
+/// Interface version handed to jaccp_init_library.
+inline constexpr std::uint64_t tools_interface_version = 1;
+
+/// Loads one tool library, resolves its jaccp_* symbols, calls its init
+/// hook, and registers the adapted callbacks.  Returns the callback id
+/// (nonzero) on success; 0 on failure with a diagnostic in *error.
+std::uint64_t load_tool_library(const std::string& path,
+                                std::string* error = nullptr);
+
+/// Unregisters a tool loaded by load_tool_library and calls its
+/// jaccp_finalize_library hook.  The dlopen handle intentionally stays open
+/// (tool code may still be referenced from in-flight callbacks).  Returns
+/// false when `id` names no active tool.
+bool unload_tool_library(std::uint64_t id);
+
+/// Loads every library named in JACC_TOOLS_LIBS (colon-separated).
+/// Idempotent: only the first call parses the variable.  Returns the number
+/// of tools loaded by this call; failures are reported on stderr and
+/// skipped so one bad path cannot take down the run.
+std::size_t load_tools_from_env();
+
+/// Number of currently active (loaded and not unloaded) tools.
+std::size_t loaded_tool_count();
+
+/// Unregisters and finalizes every still-active tool (KokkosP semantics:
+/// jaccp_finalize_library fires at process exit).  Runs automatically from
+/// an atexit handler registered on first load; safe to call again — already
+/// finalized tools are skipped.
+void finalize_tool_libraries();
+
+} // namespace jaccx::prof

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "prof/prof.hpp"
 #include "support/error.hpp"
 
 namespace jaccx::sim {
@@ -130,6 +131,29 @@ const std::array<device_model, 4>& models() {
 
 } // namespace
 
+namespace {
+
+/// Hands the model peak rates to the profiler so JACC_PROFILE=roofline can
+/// place simulated kernels without prof linking against sim (the dependency
+/// already runs sim → prof through the timeline tee).
+struct roof_source_registrar {
+  roof_source_registrar() {
+    jaccx::prof::register_roof_source(
+        [](std::string_view name)
+            -> std::optional<jaccx::prof::roof_rates> {
+          const auto peak = model_peak_rates(name);
+          if (!peak) {
+            return std::nullopt;
+          }
+          return jaccx::prof::roof_rates{peak->dram_gbps, peak->gflops};
+        });
+  }
+};
+
+const roof_source_registrar g_roof_source_registrar;
+
+} // namespace
+
 const device_model& builtin_model(std::string_view name) {
   for (const auto& m : models()) {
     if (m.name == name) {
@@ -139,6 +163,23 @@ const device_model& builtin_model(std::string_view name) {
   throw_config_error(std::string("unknown device model '") +
                      std::string(name) +
                      "' (known: rome64, mi100, a100, max1550)");
+}
+
+const device_model* find_builtin_model(std::string_view name) {
+  for (const auto& m : models()) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<peak_rates> model_peak_rates(std::string_view name) {
+  const device_model* m = find_builtin_model(name);
+  if (m == nullptr) {
+    return std::nullopt;
+  }
+  return peak_rates{m->dram_bw_gbps, m->flops_gflops};
 }
 
 std::vector<std::string> builtin_model_names() {

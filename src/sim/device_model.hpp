@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -86,7 +87,20 @@ struct device_model {
 /// "max1550").  Throws jaccx::config_error for unknown names.
 const device_model& builtin_model(std::string_view name);
 
+/// Non-throwing lookup: nullptr for unknown names.
+const device_model* find_builtin_model(std::string_view name);
+
 /// Names of all built-in models, in the order the paper lists them.
 std::vector<std::string> builtin_model_names();
+
+/// Roofline ceilings of one model, as used by JACC_PROFILE=roofline and
+/// tools/jacc_info: achievable DRAM bandwidth and peak DP rate.
+struct peak_rates {
+  double dram_gbps = 0.0;
+  double gflops = 0.0;
+};
+
+/// Peak rates for `name`; nullopt for unknown names.
+std::optional<peak_rates> model_peak_rates(std::string_view name);
 
 } // namespace jaccx::sim

@@ -21,7 +21,10 @@ void timeline::record(std::string name, event_kind kind, double duration_us,
   // Tee into the profiler's unified trace, independent of the logging_
   // flag: benchmarks disable logging and reset clocks between samples,
   // which must not lose the events a JACC_PROFILE=trace run asked for.
-  if (jaccx::prof::trace_enabled()) [[unlikely]] {
+  // Roofline mode needs the same stream (modeled DRAM/flop tallies at
+  // simulated time) to place simulated kernels on their roofs.
+  if (jaccx::prof::trace_enabled() || jaccx::prof::roofline_enabled())
+      [[unlikely]] {
     jaccx::prof::note_sim_event(label_.empty() ? "sim" : label_, name,
                                 to_string(kind), now_us_, duration_us,
                                 tally.dram_bytes, tally.cache_bytes,

@@ -5,12 +5,21 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdint>
+#include <numeric>
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <dlfcn.h>
+#include <unistd.h>
+#endif
+
 #include "cg/solver.hpp"
 #include "core/jacc.hpp"
+#include "dist/comm.hpp"
 #include "prof/prof.hpp"
+#include "prof/tools.hpp"
 #include "threadpool/thread_pool.hpp"
 
 namespace jaccx::prof {
@@ -36,8 +45,22 @@ TEST(Prof, ParseModeSpec) {
   EXPECT_EQ(parse_mode_spec("trace"), mode_trace | mode_collect);
   EXPECT_EQ(parse_mode_spec("summary,trace"),
             mode_summary | mode_trace | mode_collect);
+  EXPECT_EQ(parse_mode_spec("roofline"), mode_roofline | mode_collect);
+  EXPECT_EQ(parse_mode_spec("roofline,summary"),
+            mode_roofline | mode_summary | mode_collect);
   EXPECT_FALSE(parse_mode_spec("bogus").has_value());
   EXPECT_FALSE(parse_mode_spec("summary,bogus").has_value());
+}
+
+TEST(Prof, TracePathPidSubstitution) {
+#ifndef _WIN32
+  const std::string pid = std::to_string(static_cast<long>(getpid()));
+  EXPECT_EQ(expand_trace_path("trace_%p.json"),
+            "trace_" + pid + ".json");
+  EXPECT_EQ(expand_trace_path("%p%p"), pid + pid);
+  EXPECT_EQ(expand_trace_path("plain.json"), "plain.json");
+  EXPECT_EQ(expand_trace_path("ends_with_%"), "ends_with_%");
+#endif
 }
 
 /// Tool that logs every hook invocation as a compact string.
@@ -299,11 +322,331 @@ TEST(Prof, DisabledDispatchLeavesNoTrace) {
     jacc::parallel_for(jacc::hints{.name = "dark"}, 16,
                        [](jacc::index_t) {});
   }
+  // The new async hook sites must be just as dark: queue submission, graph
+  // replay, future waits, and dist collectives with the profiler off.
+  {
+    jacc::queue q("dark.q");
+    jacc::array<double> x(64), y(64);
+    jacc::parallel_for(q, 64,
+                       [](jacc::index_t i, jacc::array<double>& v) {
+                         v[i] = 1.0;
+                       },
+                       x);
+    auto f = q.parallel_reduce(
+        64,
+        [](jacc::index_t i, const jacc::array<double>& a,
+           const jacc::array<double>& b) -> double { return a[i] * b[i]; },
+        x, y);
+    (void)f.get();
+    q.begin_capture();
+    jacc::parallel_for(q, 64,
+                       [](jacc::index_t i, jacc::array<double>& v) {
+                         v[i] = 2.0;
+                       },
+                       y);
+    jacc::graph g = q.end_capture();
+    g.launch(q);
+    q.synchronize();
+  }
+  {
+    jaccx::dist::communicator comm(2, "a100");
+    std::vector<double> a_out(8, 1.0), b_out(8, 2.0), a_in(8), b_in(8);
+    comm.exchange(0, a_out.data(), a_in.data(), 1, b_out.data(),
+                  b_in.data(), 8);
+  }
   EXPECT_EQ(debug_ring_count(), rings_before);
   for (const auto& k : aggregate_kernels()) {
     EXPECT_NE(k.name, "dark");
   }
+  const async_stats a = aggregate_async();
+  EXPECT_EQ(a.queue_submits, 0u);
+  EXPECT_EQ(a.queue_tasks, 0u);
+  EXPECT_EQ(a.graph_replays, 0u);
+  EXPECT_EQ(a.future_waits, 0u);
+  EXPECT_TRUE(a.comms.empty());
+  const auto hist = future_wait_histogram();
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::uint64_t{0}), 0u);
 }
+
+TEST(Prof, RooflineMathMatchesHandComputed) {
+  prof_sandbox sandbox;
+  const roof_rates saved = host_roof();
+  set_host_roof({100.0, 50.0}); // ridge = 0.5 flop/byte
+  set_mode(mode_collect | mode_roofline);
+
+  {
+    // 1024 indices x (4 flop, 32 B) -> intensity 0.125, memory-bound,
+    // attainable = min(50, 0.125 * 100) = 12.5 GF/s.
+    jacc::scoped_backend sb(jacc::backend::serial);
+    jacc::parallel_for(
+        jacc::hints{.name = "roof.k", .flops_per_index = 4.0,
+                    .bytes_per_index = 32.0},
+        1024, [](jacc::index_t) {});
+  }
+  {
+    jacc::scoped_backend sb(jacc::backend::cuda_a100);
+    jacc::array<double> x(4096);
+    jacc::parallel_for(jacc::hints{.name = "roof.sim"}, 4096,
+                       [](jacc::index_t i, jacc::array<double>& x_) {
+                         x_[i] = 2.0 * static_cast<double>(i);
+                       },
+                       x);
+  }
+
+  bool host_found = false;
+  bool sim_found = false;
+  for (const auto& r : aggregate_roofline()) {
+    if (r.name == "roof.k" && r.target == "serial") {
+      host_found = true;
+      EXPECT_FALSE(r.simulated);
+      EXPECT_EQ(r.count, 1u);
+      EXPECT_DOUBLE_EQ(r.flops, 4096.0);
+      EXPECT_DOUBLE_EQ(r.bytes, 32768.0);
+      EXPECT_DOUBLE_EQ(r.intensity, 0.125);
+      EXPECT_DOUBLE_EQ(r.peak.gbps, 100.0);
+      EXPECT_DOUBLE_EQ(r.peak.gflops, 50.0);
+      EXPECT_DOUBLE_EQ(r.ridge, 0.5);
+      EXPECT_TRUE(r.memory_bound);
+      EXPECT_DOUBLE_EQ(r.attainable_gflops, 12.5);
+      EXPECT_GT(r.achieved_gbps, 0.0);
+      // Cross-check the GB/s <-> GF/s identity: both derive from the same
+      // time, so achieved_gflops / achieved_gbps == intensity.
+      EXPECT_NEAR(r.achieved_gflops / r.achieved_gbps, r.intensity, 1e-9);
+      EXPECT_NEAR(r.pct_of_roof,
+                  100.0 * r.achieved_gflops / r.attainable_gflops, 1e-9);
+    }
+    if (r.target == "a100" && r.simulated) {
+      sim_found = true;
+      EXPECT_DOUBLE_EQ(r.peak.gbps, 1400.0);
+      EXPECT_DOUBLE_EQ(r.peak.gflops, 9700.0);
+      EXPECT_GT(r.time_us, 0.0);
+    }
+  }
+  EXPECT_TRUE(host_found);
+  EXPECT_TRUE(sim_found);
+
+  const auto a100 = model_roof("a100");
+  ASSERT_TRUE(a100.has_value());
+  EXPECT_DOUBLE_EQ(a100->gbps, 1400.0);
+  EXPECT_DOUBLE_EQ(a100->gflops, 9700.0);
+  EXPECT_FALSE(model_roof("nonesuch").has_value());
+
+  const std::string text = roofline_text();
+  EXPECT_NE(text.find("jaccx::prof roofline"), std::string::npos);
+  EXPECT_NE(text.find("roof.k"), std::string::npos);
+
+  set_host_roof(saved);
+}
+
+TEST(Prof, AsyncQueueSubmitTaskPairing) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::threads);
+  set_mode(mode_collect | mode_trace);
+
+  constexpr int submits = 8;
+  {
+    jacc::queue q("pair.q");
+    jacc::array<double> x(256);
+    for (int rep = 0; rep < submits; ++rep) {
+      jacc::parallel_for(q, 256,
+                         [](jacc::index_t i, jacc::array<double>& x_) {
+                           x_[i] += 1.0;
+                         },
+                         x);
+    }
+    q.synchronize();
+  }
+
+  const async_stats a = aggregate_async();
+  if (jacc::queue_lane_count() > 1) {
+    // Truly async config: every submission was recorded, and each executed
+    // task span pairs back to a submission (tasks can be fewer only if a
+    // lane-full degrade ran some inline).
+    EXPECT_GE(a.queue_submits, static_cast<std::uint64_t>(submits));
+  }
+  EXPECT_LE(a.queue_tasks, a.queue_submits);
+  if (a.queue_tasks > 0) {
+    EXPECT_GT(a.queue_task_us, 0.0);
+    ASSERT_FALSE(a.lanes.empty());
+    std::uint64_t lane_tasks = 0;
+    for (const auto& l : a.lanes) {
+      EXPECT_NE(l.label.find("queue.task.lane"), std::string::npos);
+      lane_tasks += l.tasks;
+    }
+    EXPECT_EQ(lane_tasks, a.queue_tasks);
+    // Submission and execution are linked in the trace by flow events.
+    const std::string json = chrome_trace_json();
+    EXPECT_NE(json.find("queue.flow"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\""), std::string::npos);
+  }
+}
+
+TEST(Prof, GraphReplaySpansCounted) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::threads);
+  set_mode(mode_collect);
+
+  jacc::queue q("graph.q");
+  jacc::array<double> x(128), y(128);
+  jacc::parallel_for(q, 128,
+                     [](jacc::index_t i, jacc::array<double>& v) {
+                       v[i] = 1.0;
+                     },
+                     x);
+  q.begin_capture();
+  jacc::parallel_for(q, 128,
+                     [](jacc::index_t i, double alpha,
+                        const jacc::array<double>& x_,
+                        jacc::array<double>& y_) {
+                       y_[i] += alpha * x_[i];
+                     },
+                     2.0, x, y);
+  jacc::graph g = q.end_capture();
+  constexpr int replays = 3;
+  for (int rep = 0; rep < replays; ++rep) {
+    g.launch(q);
+  }
+  q.synchronize();
+
+  const async_stats a = aggregate_async();
+  EXPECT_EQ(a.graph_replays, static_cast<std::uint64_t>(replays));
+  // Each replay walks the same DAG, so node/kernel totals are exact
+  // multiples of the replay count.
+  EXPECT_GE(a.graph_nodes, static_cast<std::uint64_t>(replays));
+  EXPECT_EQ(a.graph_nodes % a.graph_replays, 0u);
+  EXPECT_GE(a.graph_kernels, static_cast<std::uint64_t>(replays));
+  EXPECT_EQ(a.graph_kernels % a.graph_replays, 0u);
+  EXPECT_GT(a.graph_replay_us, 0.0);
+
+  const std::string text = summary_text();
+  EXPECT_NE(text.find("graph replays"), std::string::npos);
+}
+
+TEST(Prof, FutureWaitLatencyRecorded) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::threads);
+  set_mode(mode_collect);
+
+  jacc::queue q("future.q");
+  jacc::array<double> x(512), y(512);
+  jacc::parallel_for(q, 512,
+                     [](jacc::index_t i, jacc::array<double>& a,
+                        jacc::array<double>& b) {
+                       a[i] = 1.0;
+                       b[i] = 2.0;
+                     },
+                     x, y);
+  auto f1 = q.parallel_reduce(
+      512,
+      [](jacc::index_t i, const jacc::array<double>& a,
+         const jacc::array<double>& b) { return a[i] * b[i]; },
+      x, y);
+  EXPECT_DOUBLE_EQ(f1.get(), 1024.0);
+  auto f2 = q.parallel_reduce(
+      512,
+      [](jacc::index_t i, const jacc::array<double>& a) -> double {
+        return a[i];
+      },
+      x);
+  EXPECT_DOUBLE_EQ(f2.get(), 512.0);
+  q.synchronize();
+
+  const async_stats a = aggregate_async();
+  EXPECT_EQ(a.future_waits, 2u);
+  EXPECT_GE(a.future_wait_us, 0.0);
+  const auto hist = future_wait_histogram();
+  ASSERT_EQ(hist.size(), future_wait_buckets);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::uint64_t{0}),
+            a.future_waits);
+}
+
+TEST(Prof, DistCommBytesCounted) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::serial);
+  set_mode(mode_collect);
+
+  jaccx::dist::communicator comm(2, "a100");
+  std::vector<double> a_out(128, 1.0), b_out(128, 2.0), a_in(128), b_in(128);
+  comm.exchange(0, a_out.data(), a_in.data(), 1, b_out.data(), b_in.data(),
+                128);
+  std::vector<double> per_rank = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(comm.allreduce_sum(per_rank), 7.0);
+
+  const async_stats a = aggregate_async();
+  bool exchange_found = false;
+  bool allreduce_found = false;
+  for (const auto& c : a.comms) {
+    if (c.name == "dist.exchange") {
+      exchange_found = true;
+      EXPECT_EQ(c.count, 1u);
+      EXPECT_EQ(c.bytes, 128u * 8u); // one full-duplex charged step
+    }
+    if (c.name == "dist.allreduce") {
+      allreduce_found = true;
+      // 2 ranks -> 1 recursive-doubling round -> 1 * 8 B * 2 ranks of wire.
+      EXPECT_EQ(c.bytes, 16u);
+    }
+  }
+  EXPECT_TRUE(exchange_found);
+  EXPECT_TRUE(allreduce_found);
+
+  const std::string text = summary_text();
+  EXPECT_NE(text.find("dist.exchange"), std::string::npos);
+}
+
+#ifndef _WIN32
+TEST(Prof, ToolLibraryReceivesCallbacks) {
+  prof_sandbox sandbox;
+  jacc::scoped_backend sb(jacc::backend::serial);
+
+  // Read the fixture's counters through its back-channel before and after:
+  // dlopen here resolves to the same library instance the loader opens, so
+  // both see the same atomics (delta-robust if the tool was ever loaded
+  // earlier in this process).
+  void* probe = dlopen(JACC_TEST_TOOL_PATH, RTLD_NOW | RTLD_LOCAL);
+  ASSERT_NE(probe, nullptr) << dlerror();
+  using counts_fn = void (*)(std::uint64_t*, std::uint64_t*);
+  auto counts = reinterpret_cast<counts_fn>(
+      dlsym(probe, "jaccp_test_tool_counts"));
+  ASSERT_NE(counts, nullptr);
+  std::uint64_t begins0 = 0, ends0 = 0;
+  counts(&begins0, &ends0);
+
+  std::string error;
+  const std::uint64_t tool = load_tool_library(JACC_TEST_TOOL_PATH, &error);
+  ASSERT_NE(tool, 0u) << error;
+  EXPECT_GE(loaded_tool_count(), 1u);
+  EXPECT_TRUE(enabled()); // a loaded tool arms the gate like any callback
+
+  jacc::parallel_for(jacc::hints{.name = "tool.for"}, 64,
+                     [](jacc::index_t) {});
+  const double s = jacc::parallel_reduce(
+      jacc::hints{.name = "tool.reduce"}, 64,
+      [](jacc::index_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(s, 64.0);
+
+  std::uint64_t begins1 = 0, ends1 = 0;
+  counts(&begins1, &ends1);
+  EXPECT_GE(begins1, begins0 + 2); // one parallel_for + one parallel_reduce
+  EXPECT_GE(ends1, ends0 + 2);
+  EXPECT_EQ(begins1 - begins0, ends1 - ends0); // every begin got its end
+
+  EXPECT_TRUE(unload_tool_library(tool));
+  EXPECT_FALSE(enabled()); // unhooked: gate drops back to dark
+
+  std::uint64_t begins2 = 0, ends2 = 0;
+  counts(&begins2, &ends2);
+  jacc::parallel_for(jacc::hints{.name = "tool.after"}, 64,
+                     [](jacc::index_t) {});
+  std::uint64_t begins3 = 0, ends3 = 0;
+  counts(&begins3, &ends3);
+  EXPECT_EQ(begins3, begins2); // no callbacks after unload
+  EXPECT_EQ(ends3, ends2);
+
+  dlclose(probe);
+}
+#endif
 
 TEST(Prof, RegionsNestInCgIteration) {
   prof_sandbox sandbox;

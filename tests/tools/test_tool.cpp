@@ -1,0 +1,108 @@
+// Fixture profiling tool loaded through JACC_TOOLS_LIBS (or directly by
+// prof::load_tool_library in tests).  Counts every callback into atomics;
+// the counts are readable in-process via jaccp_test_tool_counts (the test
+// dlopens this library itself and reads them back) and are printed as one
+// summary line from jaccp_finalize_library so the CI dlopen leg can grep
+// for proof the tool observed the run.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace {
+
+std::atomic<std::uint64_t> g_begins{0}; // begin_parallel_for + _reduce
+std::atomic<std::uint64_t> g_ends{0};   // end_parallel_for + _reduce
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_copies{0};
+std::atomic<std::uint64_t> g_regions{0};
+std::atomic<int> g_initialized{0};
+
+} // namespace
+
+extern "C" {
+
+void jaccp_init_library(int load_seq, std::uint64_t interface_version,
+                        std::uint32_t device_count, void* device_info) {
+  (void)load_seq;
+  (void)interface_version;
+  (void)device_count;
+  (void)device_info;
+  g_initialized.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_finalize_library(void) {
+  std::fprintf(stderr,
+               "jaccp_test_tool: begins=%llu ends=%llu allocs=%llu "
+               "copies=%llu regions=%llu\n",
+               static_cast<unsigned long long>(
+                   g_begins.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_ends.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_allocs.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_copies.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   g_regions.load(std::memory_order_relaxed)));
+}
+
+void jaccp_begin_parallel_for(const char* name, std::uint32_t device_id,
+                              std::uint64_t* kernel_id) {
+  (void)name;
+  (void)device_id;
+  (void)kernel_id;
+  g_begins.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_end_parallel_for(std::uint64_t kernel_id) {
+  (void)kernel_id;
+  g_ends.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_begin_parallel_reduce(const char* name, std::uint32_t device_id,
+                                 std::uint64_t* kernel_id) {
+  (void)name;
+  (void)device_id;
+  (void)kernel_id;
+  g_begins.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_end_parallel_reduce(std::uint64_t kernel_id) {
+  (void)kernel_id;
+  g_ends.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_allocate_data(const char* name, std::uint64_t bytes) {
+  (void)name;
+  (void)bytes;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_deallocate_data(std::uint64_t bytes) { (void)bytes; }
+
+void jaccp_copy_data(const char* name, int to_device, std::uint64_t bytes) {
+  (void)name;
+  (void)to_device;
+  (void)bytes;
+  g_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_push_profile_region(const char* name) {
+  (void)name;
+  g_regions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void jaccp_pop_profile_region(void) {}
+
+/// Test back-channel (not part of the tool ABI): the test dlopens this
+/// library again (same handle, same globals) and reads the counters.
+void jaccp_test_tool_counts(std::uint64_t* begins, std::uint64_t* ends) {
+  if (begins != nullptr) {
+    *begins = g_begins.load(std::memory_order_relaxed);
+  }
+  if (ends != nullptr) {
+    *ends = g_ends.load(std::memory_order_relaxed);
+  }
+}
+
+} // extern "C"

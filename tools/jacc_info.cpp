@@ -9,6 +9,7 @@
 #include "core/jacc.hpp"
 #include "mem/pool.hpp"
 #include "prof/prof.hpp"
+#include "sim/device_model.hpp"
 #include "support/env.hpp"
 #include "threadpool/thread_pool.hpp"
 
@@ -72,6 +73,9 @@ void print_runtime_tuning() {
       }
       if ((*bits & jaccx::prof::mode_trace) != 0) {
         prof += prof.empty() ? "trace" : "+trace";
+      }
+      if ((*bits & jaccx::prof::mode_roofline) != 0) {
+        prof += prof.empty() ? "roofline" : "+roofline";
       }
       if (prof.empty()) {
         prof = (*bits & jaccx::prof::mode_collect) != 0 ? "collect" : "off";
@@ -165,6 +169,28 @@ int main() {
                 m.kind == jaccx::sim::device_kind::cpu ? "cpu" : "gpu",
                 m.parallel_units, m.dram_bw_gbps, m.cache_bytes >> 20,
                 m.flops_gflops, m.launch_overhead_us, m.xfer_latency_us);
+  }
+
+  // The same ceilings JACC_PROFILE=roofline places kernels against: sim
+  // models via jaccx::sim::model_peak_rates, the host ("serial"/"threads")
+  // via JACC_HOST_ROOF or the configured default.  Ridge = GF/s / GB/s, the
+  // arithmetic intensity where a kernel stops being memory-bound.
+  std::printf("\nroofline ceilings (JACC_PROFILE=roofline)\n");
+  std::printf("  %-9s %10s %10s %10s\n", "target", "peak GB/s", "peak GF/s",
+              "ridge f/B");
+  const auto host = jaccx::prof::host_roof();
+  std::printf("  %-9s %10.0f %10.0f %10.2f  (host: serial/threads%s)\n",
+              "host", host.gbps, host.gflops,
+              host.gbps > 0.0 ? host.gflops / host.gbps : 0.0,
+              jaccx::get_env("JACC_HOST_ROOF") ? ", JACC_HOST_ROOF"
+                                               : ", configured default");
+  for (const auto& name : jaccx::sim::builtin_model_names()) {
+    if (const auto peak = jaccx::sim::model_peak_rates(name)) {
+      std::printf("  %-9s %10.0f %10.0f %10.2f\n", name.c_str(),
+                  peak->dram_gbps, peak->gflops,
+                  peak->dram_gbps > 0.0 ? peak->gflops / peak->dram_gbps
+                                        : 0.0);
+    }
   }
 
   std::printf("\ntransparent selection on an MI100 node (sKokkos-style):\n");
