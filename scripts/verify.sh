@@ -34,6 +34,22 @@ if [[ $RUN_FULL -eq 1 ]]; then
   JACC_QUEUES=2 JACC_MEM_POOL=none ctest --test-dir build \
     -R 'DistAsync|QueueTest|GraphTest|CgPipelined|CgGraphed|PipelinedSolve|GraphedSolve' \
     --output-on-failure -j"$JOBS"
+  # Kernel fusion (docs/FUSION.md): the whole suite must pass with both
+  # fusion levels forced on, and with fusion forced off — `none` must keep
+  # the seed's launch sequence and simulated charges bit for bit (the
+  # Fusion.NoneModeMatchesSeedChargesExactly test pins the charges; these
+  # legs prove nothing else quietly depends on the mode).
+  JACC_FUSE=all ctest --test-dir build --output-on-failure -j"$JOBS"
+  JACC_FUSE=none ctest --test-dir build --output-on-failure -j"$JOBS"
+
+  # Fusion ablation acceptance: the fused CG BLAS chain must charge >=1.5x
+  # less simulated DRAM traffic than the eager chain (the binary exits
+  # nonzero when the bar is missed) and emit roofline rows for the fused
+  # kernels into its JSON artifact.
+  rm -f BENCH_cg_fusion.json
+  JACC_NUM_THREADS=4 ./build/bench/abl_cg_fusion > /dev/null
+  grep -q '"roofline"' BENCH_cg_fusion.json
+  rm -f BENCH_cg_fusion.json
 
   # Roofline smoke: the fig13 CG bench under JACC_PROFILE=roofline must
   # print per-kernel roof placements for the host backends and at least two
@@ -123,5 +139,13 @@ JACC_NUM_THREADS=4 JACC_QUEUES=2 ./build-tsan/tests/tests_core \
   --gtest_filter="$GRAPH_TSAN_FILTER"
 JACC_NUM_THREADS=4 JACC_QUEUES=2 JACC_MEM_POOL=none \
   ./build-tsan/tests/tests_core --gtest_filter="$GRAPH_TSAN_FILTER"
+
+# Kernel fusion under forced lanes with both levels on: fused expr sweeps
+# and fused replay nodes run member bodies back-to-back on the worker pool,
+# which is the new race surface this PR adds.  The sim-charge tests stay
+# out for the SIMT-fiber reason above.
+FUSION_TSAN_FILTER='Fusion.*:-Fusion.ExprSimChargesLessDram:Fusion.NoneModeMatchesSeedChargesExactly:Fusion.CgSolveExprBitExactSerialAndSim'
+JACC_NUM_THREADS=4 JACC_QUEUES=2 JACC_FUSE=all ./build-tsan/tests/tests_core \
+  --gtest_filter="$FUSION_TSAN_FILTER"
 
 echo "verify: OK"

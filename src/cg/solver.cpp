@@ -17,23 +17,35 @@ cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
   darray p(jacc::uninit, n);
   darray s(jacc::uninit, n);
 
-  // r = b - A x;  p = r.
+  // r = b - A x;  p = r.  Under JACC_FUSE=expr|all the residual and the
+  // copy share one sweep (the copy reads the residual just stored at the
+  // same index — identical dataflow to the back-to-back kernels), and
+  // every dot reduces through the expression layer without a workspace
+  // pass over double-counted operands (docs/FUSION.md).
   apply(x, s);
-  jacc::parallel_for(
-      jacc::hints{.name = "cg.residual", .flops_per_index = 2.0,
-                  .bytes_per_index = 24.0},
-      n,
-      [](index_t i, const darray& b_, const darray& s_, darray& r_) {
-        r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
-      },
-      b, s, r);
-  jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
-                     n, copy_kernel, r, p);
+  if (jacc::fuse_expr()) {
+    jacc::eval("cg.setup", n, jacc::assign(r, jacc::ex(b) - jacc::ex(s)),
+               jacc::assign(p, jacc::ex(r)));
+  } else {
+    jacc::parallel_for(
+        jacc::hints{.name = "cg.residual", .flops_per_index = 2.0,
+                    .bytes_per_index = 24.0},
+        n,
+        [](index_t i, const darray& b_, const darray& s_, darray& r_) {
+          r_[i] = static_cast<double>(b_[i]) - static_cast<double>(s_[i]);
+        },
+        b, s, r);
+    jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},
+                       n, copy_kernel, r, p);
+  }
 
-  const double bb = jacc::parallel_reduce(
-      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
-                  .bytes_per_index = 16.0},
-      n, blas::dot, b, b);
+  const double bb =
+      jacc::fuse_expr()
+          ? jacc::dot("cg.dot", n, jacc::ex(b), jacc::ex(b))
+          : jacc::parallel_reduce(
+                jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                            .bytes_per_index = 16.0},
+                n, blas::dot, b, b);
   if (bb == 0.0) {
     // b = 0: x = 0 is exact.
     jacc::parallel_for(
@@ -42,15 +54,36 @@ cg_result cg_loop(index_t n, const Apply& apply, const darray& b, darray& x,
     return {0, 0.0, true};
   }
 
-  double rr = jacc::parallel_reduce(
-      jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
-                  .bytes_per_index = 16.0},
-      n, blas::dot, r, r);
+  double rr = jacc::fuse_expr()
+                  ? jacc::dot("cg.dot", n, jacc::ex(r), jacc::ex(r))
+                  : jacc::parallel_reduce(
+                        jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
+                                    .bytes_per_index = 16.0},
+                        n, blas::dot, r, r);
   const double stop = opts.tolerance * opts.tolerance * bb;
 
   cg_result out;
   while (out.iterations < opts.max_iterations && rr > stop) {
     apply(p, s);
+    if (jacc::fuse_expr()) {
+      // x += alpha p; r -= alpha s; rr = r . r — three eager sweeps (24 +
+      // 24 + 16 B/index) collapse into one 48 B/index launch whose dot
+      // term reads the post-update r, exactly as the unfused sequence
+      // does.  Statement order and expression shapes match the eager
+      // kernels, so iterates are bit-identical.
+      const double ps = jacc::dot("cg.dot", n, jacc::ex(p), jacc::ex(s));
+      const double alpha = rr / ps;
+      const double rr_new = jacc::eval_dot(
+          "cg.fused_update", n, jacc::ex(r), jacc::ex(r),
+          jacc::assign(x, jacc::ex(x) + alpha * jacc::ex(p)),
+          jacc::assign(r, jacc::ex(r) + (-alpha) * jacc::ex(s)));
+      const double beta = rr_new / rr;
+      jacc::eval("cg.xpay", n,
+                 jacc::assign(p, jacc::ex(r) + beta * jacc::ex(p)));
+      rr = rr_new;
+      ++out.iterations;
+      continue;
+    }
     const double ps = jacc::parallel_reduce(
         jacc::hints{.name = "cg.dot", .flops_per_index = 2.0,
                     .bytes_per_index = 16.0},
@@ -197,8 +230,11 @@ cg_result cg_loop_graphed(index_t n, const Apply& apply, const darray& b,
 
   const jacc::hints dot_h{.name = "cg.dot", .flops_per_index = 2.0,
                           .bytes_per_index = 16.0};
+  // elementwise: the captured axpy/xpay launches are graph-fuser
+  // candidates — under JACC_FUSE=graph|all the adjacent x/r updates
+  // replay as one fused node.
   const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0,
-                           .bytes_per_index = 24.0};
+                           .bytes_per_index = 24.0, .elementwise = true};
   const double bb = jacc::parallel_reduce(dot_h, n, blas::dot, b, b);
   if (bb == 0.0) {
     jacc::parallel_for(
@@ -243,7 +279,8 @@ cg_result cg_loop_graphed(index_t n, const Apply& apply, const darray& b,
   {
     const jacc::queue_scope in(q);
     jacc::parallel_for(jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0,
-                                   .bytes_per_index = 24.0},
+                                   .bytes_per_index = 24.0,
+                                   .elementwise = true},
                        n, xpay_kernel, beta, r, p);
   }
   jacc::graph g = q.end_capture();
@@ -329,6 +366,41 @@ void paper_iteration(paper_state& st) {
                           .bytes_per_index = 16.0};
   const jacc::hints axpy_h{.name = "cg.axpy", .flops_per_index = 2.0,
                            .bytes_per_index = 24.0};
+
+  if (jacc::fuse_expr()) {
+    // The same 12 operations regrouped into 5 launches.  Each group keeps
+    // the eager per-index statement order, every expression mirrors its
+    // eager kernel's arithmetic shape, and r . r never straddles a matvec
+    // it depends on — so the iterates are bit-identical to the unfused
+    // listing.  BLAS-chain hint bytes drop from 200 to 120 per index.
+    // r_old = copy(r), fused with the alpha numerator r . r (legal before
+    // the matvec: neither reads s).
+    const double alpha0 = jacc::eval_dot("cg.fused_copy_dot", n,
+                                         jacc::ex(st.r), jacc::ex(st.r),
+                                         jacc::assign(st.r_old, jacc::ex(st.r)));
+    // s = A p
+    st.A.apply(st.p, st.s);
+    const double alpha1 = jacc::dot("cg.dot", n, jacc::ex(st.p), jacc::ex(st.s));
+    const double alpha = alpha0 / alpha1;
+    // r -= alpha s ; x += alpha p ; beta numerator reads the fresh r.
+    const double beta0 = jacc::eval_dot(
+        "cg.fused_update_dot", n, jacc::ex(st.r), jacc::ex(st.r),
+        jacc::assign(st.r, jacc::ex(st.r) + (-alpha) * jacc::ex(st.s)),
+        jacc::assign(st.x, jacc::ex(st.x) + alpha * jacc::ex(st.p)));
+    // beta denominator: r_old holds bitwise the r the alpha numerator
+    // reduced, and the flat reduction order is identical, so the group-1
+    // result IS dot(r_old, r_old) — no extra sweep.
+    const double beta1 = alpha0;
+    const double beta = beta0 / beta1;
+    // r_aux = r + beta p ; p = r_aux ; cond = r . r — the first statement
+    // reads the old p at each index before the second overwrites it.
+    const double cond = jacc::eval_dot(
+        "cg.fused_pupdate_dot", n, jacc::ex(st.r), jacc::ex(st.r),
+        jacc::assign(st.r_aux, jacc::ex(st.r) + beta * jacc::ex(st.p)),
+        jacc::assign(st.p, jacc::ex(st.r_aux)));
+    static_cast<void>(cond);
+    return;
+  }
 
   // r_old = copy(r)
   jacc::parallel_for(jacc::hints{.name = "cg.copy", .bytes_per_index = 16.0},

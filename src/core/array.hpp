@@ -178,6 +178,12 @@ public:
   const T* host_data() const { return data_; }
   T* host_data() { return data_; }
 
+  /// Tracked access by linear (column-major) index, valid for every rank —
+  /// the expression layer's element hook (core/expr.hpp): a leaf over any
+  /// array shape reads/writes through this so fused evaluation charges the
+  /// cache model exactly like the per-element kernels it replaces.
+  element_ref<T> flat(index_t i) const { return this->ref(i); }
+
 protected:
   element_ref<T> ref(index_t linear) const {
     JACCX_ASSERT(linear >= 0 && linear < count_);

@@ -1,11 +1,14 @@
 #include "core/backend.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <string>
 
+#include "core/fuse.hpp"
 #include "core/queue.hpp"
 #include "mem/pool.hpp"
 #include "prof/prof.hpp"
@@ -63,6 +66,56 @@ jaccx::mem::pool_mode resolve_mem_pool() {
   return jaccx::mem::pool_mode::bucket;
 }
 
+jacc::fuse_mode resolve_fuse() {
+  if (const auto env = jaccx::get_env("JACC_FUSE")) {
+    if (const auto m = jacc::parse_fuse(*env)) {
+      return *m;
+    }
+    jaccx::throw_config_error("unknown JACC_FUSE '" + *env +
+                              "' (known: none, expr, graph, all)");
+  }
+  std::string path = "LocalPreferences.toml";
+  if (const auto p = jaccx::get_env("JACC_PREFERENCES_FILE")) {
+    path = *p;
+  }
+  if (std::filesystem::exists(path)) {
+    const auto prefs = jaccx::toml::parse_file(path);
+    if (const auto name = jaccx::toml::find_string(prefs, "JACC.fuse")) {
+      if (const auto m = jacc::parse_fuse(*name)) {
+        return *m;
+      }
+      jaccx::throw_config_error("unknown JACC.fuse '" + *name +
+                                "' (known: none, expr, graph, all)");
+    }
+  }
+  return jacc::fuse_mode::none;
+}
+
+// Cache cap in bytes: JACC_MEM_CAP_MB env > TOML `JACC.mem_cap_mb` > 0
+// (uncapped).  0/negative disables the cap.
+std::int64_t resolve_mem_cap() {
+  if (const auto env = jaccx::get_env("JACC_MEM_CAP_MB")) {
+    char* end = nullptr;
+    const long long mb = std::strtoll(env->c_str(), &end, 10);
+    if (end == env->c_str() || *end != '\0') {
+      jaccx::throw_config_error("bad JACC_MEM_CAP_MB '" + *env +
+                                "' (want an integer MiB count; 0 = uncapped)");
+    }
+    return mb > 0 ? static_cast<std::int64_t>(mb) * (1ll << 20) : 0;
+  }
+  std::string path = "LocalPreferences.toml";
+  if (const auto p = jaccx::get_env("JACC_PREFERENCES_FILE")) {
+    path = *p;
+  }
+  if (std::filesystem::exists(path)) {
+    const auto prefs = jaccx::toml::parse_file(path);
+    if (const auto mb = jaccx::toml::find_int(prefs, "JACC.mem_cap_mb")) {
+      return *mb > 0 ? static_cast<std::int64_t>(*mb) * (1ll << 20) : 0;
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 backend backend_from_string(std::string_view name) {
@@ -112,6 +165,8 @@ void initialize() {
   g_backend.store(static_cast<int>(resolve_from_preferences()),
                   std::memory_order_release);
   jaccx::mem::set_mode(resolve_mem_pool());
+  jaccx::mem::set_cache_cap(resolve_mem_cap());
+  jacc::set_fuse(resolve_fuse());
   // External profiling tools (JACC_TOOLS_LIBS) attach here, before any
   // kernel can launch; the loader is idempotent across re-initialization.
   jaccx::prof::load_tools_from_env();
@@ -131,6 +186,8 @@ backend current_backend() {
       g_backend.store(static_cast<int>(resolve_from_preferences()),
                       std::memory_order_release);
       jaccx::mem::set_default_mode(resolve_mem_pool());
+      jaccx::mem::set_default_cache_cap(resolve_mem_cap());
+      jacc::set_default_fuse(resolve_fuse());
       jaccx::prof::load_tools_from_env();
     });
     b = g_backend.load(std::memory_order_acquire);

@@ -18,7 +18,10 @@
 #include "core/array.hpp"          // IWYU pragma: export
 #include "core/backend.hpp"        // IWYU pragma: export
 #include "core/event.hpp"          // IWYU pragma: export
+#include "core/expr.hpp"           // IWYU pragma: export
+#include "core/fuse.hpp"           // IWYU pragma: export
 #include "core/graph.hpp"          // IWYU pragma: export
 #include "core/parallel_for.hpp"   // IWYU pragma: export
 #include "core/parallel_reduce.hpp"// IWYU pragma: export
 #include "core/queue.hpp"          // IWYU pragma: export
+#include "core/scratch.hpp"        // IWYU pragma: export

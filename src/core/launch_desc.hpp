@@ -24,6 +24,11 @@ struct hints {
   std::string_view name = "jacc.parallel_for";
   double flops_per_index = 0.0;
   double bytes_per_index = 0.0;
+  /// Promise that the kernel touches its array arguments only at the
+  /// launch index, and only through those arguments (no captured aliases,
+  /// no neighbor access).  Opt-in: it marks a 1D launch as a candidate for
+  /// the graph-level chain fuser (core/fuse.hpp); never changes results.
+  bool elementwise = false;
 };
 
 struct dims2 {

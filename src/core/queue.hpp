@@ -124,8 +124,17 @@ void quiesce_lanes();
 
 /// What a captured node replays as.  Kernels and copies run under the
 /// queue's stream on simulated back ends; host nodes run bare (no charge);
-/// wait nodes replay a recorded cross-queue edge.
-enum class capture_kind : std::uint8_t { kernel, copy, host, wait };
+/// wait nodes replay a recorded cross-queue edge; mem_acquire/mem_release
+/// replay a pool acquire/release (core/scratch.hpp), so scratch-allocating
+/// DAGs replay allocation-free out of the stream-ordered cache.
+enum class capture_kind : std::uint8_t {
+  kernel,
+  copy,
+  host,
+  wait,
+  mem_acquire,
+  mem_release,
+};
 
 /// A pre-baked replay body: one raw function-pointer call into
 /// shared-ownership state.  Compared to std::function this drops the
@@ -155,11 +164,20 @@ replay_body make_replay_body(F&& f) {
 /// enqueue paths gate on this exactly like prof::enabled().
 bool queue_capturing(const queue& q);
 
+struct fusable_kernel; // core/fuse.hpp
+
 /// Records one node on capturing queue `q` and returns its placeholder
 /// event (born complete, carrying the capture marker).  Defined in
 /// graph.cpp.
 event capture_append(queue& q, capture_kind kind, std::string name,
                      replay_body body);
+
+/// As above, additionally attaching the fused-execution payload a 1D
+/// elementwise kernel capture builds (core/fuse.hpp), so the post-capture
+/// peephole fuser can merge this node with its neighbors.
+event capture_append(queue& q, capture_kind kind, std::string name,
+                     replay_body body,
+                     std::shared_ptr<fusable_kernel> fusable);
 
 /// queue::wait(e) while capturing: a marker event from the same capture
 /// becomes a recorded edge (no-op within one queue, a wait node across

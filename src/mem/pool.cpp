@@ -39,6 +39,10 @@ struct cached_block {
   void* ptr = nullptr;
   std::uint64_t queue = 0;
   double released_us = 0.0;
+  /// Monotonic release order across ALL pools — the LRU eviction key for
+  /// the bytes_cached cap.  Never consulted by acquire's pick logic, so
+  /// an uncapped pool behaves exactly as before stamps existed.
+  std::uint64_t stamp = 0;
 };
 
 /// Counters + free lists for one backing store.  All fields are guarded by
@@ -77,6 +81,7 @@ struct state_t {
   backing_pool host;
   std::map<sim::device*, backing_pool> device_pools;
   std::map<std::pair<sim::device*, std::size_t>, workspace_entry> workspaces;
+  std::uint64_t next_stamp = 0; ///< LRU clock for cached_block::stamp
 
   /// Persistent host reduction scratch; `scratch_mu` is the lease — held
   /// for a whole threads reduction, ordered strictly before `mu`.
@@ -116,6 +121,82 @@ pool_mode resolve_env_mode() {
     // jacc::initialize() rejects unknown values loudly.
   }
   return pool_mode::bucket;
+}
+
+// -1: unresolved (first cache_cap() query reads JACC_MEM_CAP_MB);
+// 0: uncapped; > 0: cap in bytes.
+std::atomic<long long> g_cache_cap{-1};
+std::atomic<bool> g_cache_cap_pinned{false};
+
+long long resolve_env_cap() {
+  if (const auto env = get_env("JACC_MEM_CAP_MB")) {
+    char* end = nullptr;
+    const long long mb = std::strtoll(env->c_str(), &end, 10);
+    if (end != env->c_str() && *end == '\0' && mb > 0) {
+      return mb * (1ll << 20);
+    }
+    // Lazy path stays non-throwing; jacc::initialize() rejects garbage.
+  }
+  return 0;
+}
+
+std::uint64_t total_cached_locked(state_t& s) {
+  std::uint64_t n = s.host.bytes_cached;
+  for (const auto& [dev, p] : s.device_pools) {
+    n += p.bytes_cached;
+  }
+  return n;
+}
+
+/// Frees the single oldest-released cached block across every pool back to
+/// its backing store.  Returns the bytes it occupied (0 when nothing is
+/// cached anywhere).
+std::uint64_t evict_oldest_locked(state_t& s) {
+  backing_pool* best_pool = nullptr;
+  std::size_t best_size = 0;
+  std::size_t best_idx = 0;
+  std::uint64_t best_stamp = 0;
+  const auto scan = [&](backing_pool& p) {
+    for (auto& [size, list] : p.free_lists) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (best_pool == nullptr || list[i].stamp < best_stamp) {
+          best_pool = &p;
+          best_size = size;
+          best_idx = i;
+          best_stamp = list[i].stamp;
+        }
+      }
+    }
+  };
+  scan(s.host);
+  for (auto& [dev, p] : s.device_pools) {
+    scan(p);
+  }
+  if (best_pool == nullptr) {
+    return 0;
+  }
+  auto& list = best_pool->free_lists[best_size];
+  const cached_block cb = list[best_idx];
+  list.erase(list.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  if (list.empty()) {
+    best_pool->free_lists.erase(best_size);
+  }
+  if (best_pool->dev != nullptr) {
+    best_pool->dev->charge_free(best_size);
+    best_pool->dev->arena_release();
+  } else {
+    std::free(cb.ptr);
+  }
+  best_pool->bytes_cached -= best_size;
+  return best_size;
+}
+
+void trim_locked(state_t& s, std::uint64_t target) {
+  while (total_cached_locked(s) > target) {
+    if (evict_oldest_locked(s) == 0) {
+      break;
+    }
+  }
 }
 
 void drain_locked(state_t& s) {
@@ -292,8 +373,14 @@ void release(block& b, queue_ctx qc) noexcept {
   const std::lock_guard lock(s.mu);
   backing_pool& p = pool_for_locked(s, b.dev);
   if (b.pooled && mode() == pool_mode::bucket) {
-    p.free_lists[b.bytes].push_back({b.ptr, qc.queue, qc.now_us});
+    p.free_lists[b.bytes].push_back({b.ptr, qc.queue, qc.now_us,
+                                     ++s.next_stamp});
     p.bytes_cached += b.bytes;
+    // LRU cap: evict the oldest parked blocks (possibly the one just
+    // parked, if it alone exceeds the cap) until the total fits.
+    if (const std::uint64_t cap = cache_cap(); cap != 0) {
+      trim_locked(s, cap);
+    }
   } else if (b.dev != nullptr) {
     // Unpooled (none mode / zero-byte) or pooled-but-mode-switched blocks
     // go straight back; either way the charge matches what acquire took.
@@ -306,6 +393,38 @@ void release(block& b, queue_ctx qc) noexcept {
   p.bytes_live -= b.bytes;
   --p.live_blocks;
   b = block{};
+}
+
+std::uint64_t cache_cap() {
+  long long c = g_cache_cap.load(std::memory_order_acquire);
+  if (c < 0) {
+    long long expected = -1;
+    g_cache_cap.compare_exchange_strong(expected, resolve_env_cap(),
+                                        std::memory_order_acq_rel);
+    c = g_cache_cap.load(std::memory_order_acquire);
+  }
+  return static_cast<std::uint64_t>(c);
+}
+
+void set_cache_cap(std::uint64_t bytes) {
+  g_cache_cap_pinned.store(true, std::memory_order_release);
+  g_cache_cap.store(static_cast<long long>(bytes), std::memory_order_release);
+  if (bytes != 0) {
+    trim(bytes);
+  }
+}
+
+void set_default_cache_cap(std::uint64_t bytes) {
+  if (!g_cache_cap_pinned.load(std::memory_order_acquire)) {
+    g_cache_cap.store(static_cast<long long>(bytes),
+                      std::memory_order_release);
+  }
+}
+
+void trim(std::size_t target_bytes) {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  trim_locked(s, target_bytes);
 }
 
 void drain() {
