@@ -1,0 +1,288 @@
+// Acceptance bench for the auto-sharding layer (docs/SHARDING.md): strong
+// scaling of an auto-sharded CG iteration chain and an LBM-like heavy
+// stencil on 1/2/4 simulated A100s, plus the measured-rebalance recovery
+// scenario with one device slowed 2x.  Everything goes through the public
+// device_set_scope front end — the kernels are the ordinary global-index
+// single-device ones.
+//
+// Exits nonzero unless the bars hold:
+//   - CG chain and LBM step each reach >= 1.7x on 2 devices, >= 3.0x on 4
+//   - measured rebalance recovers >= 80% of the ideal plan's win over the
+//     naive equal split when device 0 runs at half speed
+// The bench_session writes BENCH_auto_shard.json (CI artifact).
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "fig_common.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jacc::device_set;
+using jacc::device_set_scope;
+using jacc::dims2;
+
+constexpr index_t cg_n = index_t{1} << 23;
+constexpr index_t lbm_rows = 4096;
+constexpr index_t lbm_cols = 4096;
+
+std::vector<double> filled(index_t n, double v) {
+  return std::vector<double>(static_cast<std::size_t>(n), v);
+}
+
+// --- CG iteration chain: matvec (radius-1) + 2 dots + 2 axpys + xpay ---------
+
+struct cg_state {
+  device_set ds;
+  jacc::array<double> x, r, p, s;
+  index_t n;
+
+  cg_state(int ndev, index_t n_)
+      : ds(backend::cuda_a100, ndev),
+        x(jacc::sharded(ds), filled(n_, 0.0)),
+        r(jacc::sharded(ds), filled(n_, 1.0)),
+        p(jacc::sharded(ds), filled(n_, 0.5)),
+        s(jacc::sharded(ds), filled(n_, 0.0)), n(n_) {}
+};
+
+void cg_iteration(cg_state& st) {
+  const index_t n = st.n;
+  const device_set_scope scope(st.ds);
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.matvec", .flops_per_index = 3.0,
+                  .bytes_per_index = 16.0, .stencil_radius = 1},
+      n,
+      [n](index_t i, const jacc::array<double>& p, jacc::array<double>& s) {
+        const double left = i > 0 ? static_cast<double>(p[i - 1]) : 0.0;
+        const double right =
+            i + 1 < n ? static_cast<double>(p[i + 1]) : 0.0;
+        s[i] = 4.0 * static_cast<double>(p[i]) - left - right;
+      },
+      st.p, st.s);
+  const double ps = jacc::parallel_reduce(
+      jacc::hints{.name = "cg.dot_ps", .flops_per_index = 2.0,
+                  .bytes_per_index = 16.0},
+      n,
+      [](index_t i, const jacc::array<double>& p,
+         const jacc::array<double>& s) {
+        return static_cast<double>(p[i]) * static_cast<double>(s[i]);
+      },
+      st.p, st.s);
+  // Fixed small steps keep the values bounded across benched iterations;
+  // the charge structure is what the bench measures.
+  const double alpha = 0.05;
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.axpy_x", .flops_per_index = 2.0,
+                  .bytes_per_index = 24.0},
+      n,
+      [alpha](index_t i, jacc::array<double>& x,
+              const jacc::array<double>& p) {
+        x[i] += alpha * static_cast<double>(p[i]);
+      },
+      st.x, st.p);
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.axpy_r", .flops_per_index = 2.0,
+                  .bytes_per_index = 24.0},
+      n,
+      [alpha](index_t i, jacc::array<double>& r,
+              const jacc::array<double>& s) {
+        r[i] -= alpha * static_cast<double>(s[i]);
+      },
+      st.r, st.s);
+  const double rr = jacc::parallel_reduce(
+      jacc::hints{.name = "cg.dot_rr", .flops_per_index = 2.0,
+                  .bytes_per_index = 16.0},
+      n,
+      [](index_t i, const jacc::array<double>& r) {
+        return static_cast<double>(r[i]) * static_cast<double>(r[i]);
+      },
+      st.r);
+  const double beta = 0.5;
+  jacc::parallel_for(
+      jacc::hints{.name = "cg.xpay", .flops_per_index = 2.0,
+                  .bytes_per_index = 24.0},
+      n,
+      [beta](index_t i, jacc::array<double>& p,
+             const jacc::array<double>& r) {
+        p[i] = static_cast<double>(r[i]) + beta * static_cast<double>(p[i]);
+      },
+      st.p, st.r);
+  benchmark::DoNotOptimize(ps + rr);
+}
+
+/// Steady-state simulated time of one CG iteration on `st`'s device set.
+double cg_iter_us(cg_state& st, int warmups = 1) {
+  for (int w = 0; w < warmups; ++w) {
+    cg_iteration(st);
+  }
+  const double t0 = st.ds.sync();
+  cg_iteration(st);
+  return st.ds.sync() - t0;
+}
+
+double cg_chain_us(int ndev) {
+  cg_state st(ndev, cg_n);
+  st.ds.reset_clocks(); // exclude the scatter
+  return cg_iter_us(st);
+}
+
+// --- LBM-like heavy stencil: D2Q9-weight traffic, radius-1 pull --------------
+
+struct lbm_state {
+  device_set ds;
+  jacc::array2d<double> u, next;
+
+  explicit lbm_state(int ndev)
+      : ds(backend::cuda_a100, ndev),
+        u(jacc::sharded(ds), filled(lbm_rows * lbm_cols, 1.0), lbm_rows,
+          lbm_cols),
+        next(jacc::sharded(ds), filled(lbm_rows * lbm_cols, 0.0), lbm_rows,
+             lbm_cols) {}
+};
+
+void lbm_step(lbm_state& st) {
+  const index_t rows = lbm_rows;
+  const index_t cols = lbm_cols;
+  const device_set_scope scope(st.ds);
+  // Per-cell traffic of a D2Q9 pull step (9 reads + 9 writes of f64).
+  jacc::parallel_for(
+      jacc::hints{.name = "lbm.step", .flops_per_index = 50.0,
+                  .bytes_per_index = 144.0, .stencil_radius = 1},
+      dims2{rows, cols},
+      [cols](index_t i, index_t j, const jacc::array2d<double>& u,
+             jacc::array2d<double>& next) {
+        const double c = static_cast<double>(u(i, j));
+        const double w = j > 0 ? static_cast<double>(u(i, j - 1)) : c;
+        const double e = j + 1 < cols ? static_cast<double>(u(i, j + 1)) : c;
+        next(i, j) = 0.5 * c + 0.25 * (w + e);
+      },
+      st.u, st.next);
+  std::swap(st.u, st.next);
+}
+
+double lbm_step_us(int ndev) {
+  lbm_state st(ndev);
+  st.ds.reset_clocks();
+  lbm_step(st); // warm-up
+  const double t0 = st.ds.sync();
+  lbm_step(st);
+  return st.ds.sync() - t0;
+}
+
+// --- rebalance recovery with one device slowed 2x ----------------------------
+
+struct recovery_result {
+  double naive_us = 0.0; ///< equal split, no rebalance
+  double ideal_us = 0.0; ///< hand-set rate-proportional split
+  double auto_us = 0.0;  ///< measured rebalance, after it settles
+  double recovered() const {
+    return (naive_us - auto_us) / (naive_us - ideal_us);
+  }
+};
+
+recovery_result rebalance_recovery() {
+  recovery_result out;
+  const index_t n = index_t{1} << 22;
+  { // Naive: pin the equal plan (set_weights disables rebalancing).
+    cg_state st(2, n);
+    st.ds.set_slowdown(0, 2.0);
+    st.ds.set_weights({0.5, 0.5});
+    st.ds.reset_clocks();
+    out.naive_us = cg_iter_us(st);
+  }
+  { // Ideal: the rate-proportional plan for a half-speed device 0.
+    cg_state st(2, n);
+    st.ds.set_slowdown(0, 2.0);
+    st.ds.set_weights({1.0, 2.0});
+    st.ds.reset_clocks();
+    out.ideal_us = cg_iter_us(st);
+  }
+  { // Auto: let the measured rebalancer find the plan, then measure.
+    cg_state st(2, n);
+    st.ds.set_slowdown(0, 2.0);
+    st.ds.reset_clocks();
+    out.auto_us = cg_iter_us(st, /*warmups=*/3);
+  }
+  return out;
+}
+
+// --- registration / acceptance -----------------------------------------------
+
+void register_all() {
+  for (int ndev : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        ("abl_auto_shard/cg_chain/devices_" + std::to_string(ndev)).c_str(),
+        [ndev](benchmark::State& s) {
+          double us = 0.0;
+          for (auto _ : s) {
+            us = cg_chain_us(ndev);
+            s.SetIterationTime(us * 1e-6);
+          }
+          s.counters["sim_us"] = us;
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("abl_auto_shard/lbm_step/devices_" + std::to_string(ndev)).c_str(),
+        [ndev](benchmark::State& s) {
+          double us = 0.0;
+          for (auto _ : s) {
+            us = lbm_step_us(ndev);
+            s.SetIterationTime(us * 1e-6);
+          }
+          s.counters["sim_us"] = us;
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+bool check(const char* what, double value, double bar) {
+  const bool ok = value >= bar;
+  std::printf("acceptance: %-28s %6.2f (bar: >= %.2f) %s\n", what, value,
+              bar, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+int acceptance() {
+  std::puts("\n=== auto-shard acceptance (docs/SHARDING.md) ===");
+  const double cg1 = cg_chain_us(1);
+  const double cg2 = cg_chain_us(2);
+  const double cg4 = cg_chain_us(4);
+  std::printf("cg_chain  n=%lld: 1 dev %9.1f us, 2 dev %9.1f us, "
+              "4 dev %9.1f us\n",
+              static_cast<long long>(cg_n), cg1, cg2, cg4);
+  const double lbm1 = lbm_step_us(1);
+  const double lbm2 = lbm_step_us(2);
+  const double lbm4 = lbm_step_us(4);
+  std::printf("lbm_step  %lldx%lld: 1 dev %9.1f us, 2 dev %9.1f us, "
+              "4 dev %9.1f us\n",
+              static_cast<long long>(lbm_rows),
+              static_cast<long long>(lbm_cols), lbm1, lbm2, lbm4);
+  const auto rec = rebalance_recovery();
+  std::printf("rebalance n=%d: naive %9.1f us, ideal %9.1f us, "
+              "auto %9.1f us\n",
+              1 << 22, rec.naive_us, rec.ideal_us, rec.auto_us);
+
+  bool ok = true;
+  ok &= check("cg speedup on 2 devices", cg1 / cg2, 1.7);
+  ok &= check("cg speedup on 4 devices", cg1 / cg4, 3.0);
+  ok &= check("lbm speedup on 2 devices", lbm1 / lbm2, 1.7);
+  ok &= check("lbm speedup on 4 devices", lbm1 / lbm4, 3.0);
+  ok &= check("rebalance recovery", rec.recovered(), 0.8);
+  return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bench_session session("auto_shard");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return acceptance();
+}

@@ -3,6 +3,11 @@
 // (n per device fixed) for AXPY, DOT, and a halo-exchanged 3-point
 // smoother.  Shows where sharding pays (bandwidth-bound large arrays) and
 // where it cannot (launch/transfer-latency-bound reductions).
+//
+// Benches the deprecated hand-sharded front end on purpose (the auto-shard
+// counterpart is bench/abl_auto_shard); silence its deprecation warnings.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include <cstdio>
 
 #include "fig_common.hpp"

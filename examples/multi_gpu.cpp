@@ -1,6 +1,11 @@
 // Multi-device demo (paper Sec. VII future work): the same AXPY/DOT and a
-// halo-exchanged 3-point smoother sharded across 1..8 simulated GPUs,
-// reporting strong-scaling wall times from the overlapping device clocks.
+// halo-exchanged 3-point smoother run across 1..8 simulated GPUs — through
+// the auto-sharding layer (docs/SHARDING.md).  Unlike the deprecated
+// jaccx::multi front end this used to showcase, the kernels here are the
+// ordinary single-device ones: global indices, plain jacc::array
+// arguments.  Opening a device_set_scope is the only multi-device code;
+// the runtime decomposes each launch, exchanges the smoother's halos
+// (inferred from hints::stencil), and overlaps the device clocks.
 //
 //   ./multi_gpu [n=4194304] [backend: cuda|amdgpu|oneapi]
 #include <cstdio>
@@ -8,18 +13,16 @@
 #include <string>
 #include <vector>
 
-#include "multi/multi.hpp"
+#include "core/jacc.hpp"
 
 int main(int argc, char** argv) {
-  using jaccx::multi::context;
-  using jaccx::multi::marray;
   using jacc::index_t;
 
   const index_t n = argc > 1 ? std::atoll(argv[1]) : 4'194'304;
   const jacc::backend be =
       argc > 2 ? jacc::backend_from_string(argv[2]) : jacc::backend::cuda_a100;
 
-  std::printf("multi-device strong scaling, n=%lld, target %s\n",
+  std::printf("auto-sharded strong scaling, n=%lld, target %s\n",
               static_cast<long long>(n),
               std::string(jacc::to_string(be)).c_str());
   std::printf("%8s %14s %14s %14s %10s\n", "devices", "axpy us", "dot us",
@@ -27,55 +30,62 @@ int main(int argc, char** argv) {
 
   double base_total = 0.0;
   for (int ndev : {1, 2, 4, 8}) {
-    context ctx(be, ndev);
-    ctx.reset_clocks();
-    marray<double> x(ctx, std::vector<double>(static_cast<std::size_t>(n),
+    jacc::device_set ds(be, ndev);
+    ds.reset_clocks();
+    jacc::array<double> x(jacc::sharded(ds),
+                          std::vector<double>(static_cast<std::size_t>(n),
                                               1.0));
-    marray<double> y(ctx, std::vector<double>(static_cast<std::size_t>(n),
+    jacc::array<double> y(jacc::sharded(ds),
+                          std::vector<double>(static_cast<std::size_t>(n),
                                               2.0));
-    marray<double> u(ctx, std::vector<double>(static_cast<std::size_t>(n),
-                                              0.5),
-                     /*ghost=*/1);
-    marray<double> next(ctx, std::vector<double>(static_cast<std::size_t>(n),
-                                                 0.5),
-                        /*ghost=*/1);
-    ctx.reset_clocks(); // exclude the scatter
+    jacc::array<double> u(jacc::sharded(ds),
+                          std::vector<double>(static_cast<std::size_t>(n),
+                                              0.5));
+    jacc::array<double> next(jacc::sharded(ds),
+                             std::vector<double>(static_cast<std::size_t>(n),
+                                                 0.5));
+    ds.reset_clocks(); // exclude the scatter
 
-    jaccx::multi::parallel_for(
-        ctx, n,
-        [](index_t i, jaccx::sim::device_span<double> xs,
-           jaccx::sim::device_span<double> ys) {
+    const jacc::device_set_scope scope(ds);
+
+    jacc::parallel_for(
+        jacc::hints{.name = "axpy", .flops_per_index = 2.0,
+                    .bytes_per_index = 24.0},
+        n,
+        [](index_t i, jacc::array<double>& xs, const jacc::array<double>& ys) {
           xs[i] += 2.5 * static_cast<double>(ys[i]);
         },
         x, y);
-    const double t_axpy = ctx.sync();
+    const double t_axpy = ds.sync();
 
-    const double dot = jaccx::multi::parallel_reduce(
-        ctx, n,
-        [](index_t i, jaccx::sim::device_span<double> xs,
-           jaccx::sim::device_span<double> ys) {
+    const double dot = jacc::parallel_reduce(
+        jacc::hints{.name = "dot", .flops_per_index = 2.0,
+                    .bytes_per_index = 16.0},
+        n,
+        [](index_t i, const jacc::array<double>& xs,
+           const jacc::array<double>& ys) {
           return static_cast<double>(xs[i]) * static_cast<double>(ys[i]);
         },
         x, y);
-    const double t_dot = ctx.sync() - t_axpy;
+    const double t_dot = ds.sync() - t_axpy;
 
-    u.exchange_halos();
-    jaccx::multi::parallel_for(
-        ctx, n,
-        [n](index_t i, jaccx::sim::device_span<double> us,
-            jaccx::sim::device_span<double> ns, index_t base) {
-          const index_t g = base + i;
-          if (g == 0 || g == n - 1) {
-            ns[i + 1] = static_cast<double>(us[i + 1]);
+    // The stencil hint is the whole halo story: radius-1 ghosts are sized,
+    // exchanged on the shard streams and awaited by each device's kernel.
+    jacc::parallel_for(
+        jacc::hints::stencil(1), n,
+        [n](index_t i, const jacc::array<double>& us,
+            jacc::array<double>& ns) {
+          if (i == 0 || i == n - 1) {
+            ns[i] = static_cast<double>(us[i]);
           } else {
-            ns[i + 1] = (static_cast<double>(us[i]) +
-                         static_cast<double>(us[i + 1]) +
-                         static_cast<double>(us[i + 2])) /
-                        3.0;
+            ns[i] = (static_cast<double>(us[i - 1]) +
+                     static_cast<double>(us[i]) +
+                     static_cast<double>(us[i + 1])) /
+                    3.0;
           }
         },
-        u, next, jaccx::multi::with_base);
-    const double t_total = ctx.sync();
+        u, next);
+    const double t_total = ds.sync();
     const double t_smooth = t_total - t_axpy - t_dot;
 
     if (ndev == 1) {

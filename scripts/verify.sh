@@ -41,6 +41,21 @@ if [[ $RUN_FULL -eq 1 ]]; then
   # legs prove nothing else quietly depends on the mode).
   JACC_FUSE=all ctest --test-dir build --output-on-failure -j"$JOBS"
   JACC_FUSE=none ctest --test-dir build --output-on-failure -j"$JOBS"
+  # Auto-sharding (docs/SHARDING.md): the whole suite must pass with
+  # sharding explicitly forced on — the default resolution, so this proves
+  # no test quietly depends on JACC_SHARD being unset.  The shard suite
+  # itself pins bit-exactness against the deprecated hand-sharded front
+  # end and covers the off mode via the test hook.
+  JACC_SHARD=auto ctest --test-dir build --output-on-failure -j"$JOBS"
+
+  # Auto-shard acceptance: auto-sharded CG chain and LBM-like stencil must
+  # hit the strong-scaling bars (>=1.7x on 2 devices, >=3x on 4) and the
+  # measured rebalancer must recover >=80% of the ideal plan's win with
+  # one device slowed 2x; the binary exits nonzero on a miss.
+  rm -f BENCH_auto_shard.json
+  ./build/bench/abl_auto_shard --benchmark_filter=NONE > /dev/null 2>&1
+  test -s BENCH_auto_shard.json
+  rm -f BENCH_auto_shard.json
 
   # Fusion ablation acceptance: the fused CG BLAS chain must charge >=1.5x
   # less simulated DRAM traffic than the eager chain (the binary exits
@@ -86,7 +101,8 @@ fi
 cmake -B build-tsan -S . -DJACCX_SANITIZE=thread \
   -DJACC_BUILD_BENCH=OFF -DJACC_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j"$JOBS" --target tests_substrate tests_core
+cmake --build build-tsan -j"$JOBS" --target tests_substrate tests_core \
+  tests_apps
 
 # Exercise the barrier with more workers than this machine may have cores,
 # and under both schedules, so spin/park and cursor paths all run.
@@ -147,5 +163,13 @@ JACC_NUM_THREADS=4 JACC_QUEUES=2 JACC_MEM_POOL=none \
 FUSION_TSAN_FILTER='Fusion.*:-Fusion.ExprSimChargesLessDram:Fusion.NoneModeMatchesSeedChargesExactly:Fusion.CgSolveExprBitExactSerialAndSim'
 JACC_NUM_THREADS=4 JACC_QUEUES=2 JACC_FUSE=all ./build-tsan/tests/tests_core \
   --gtest_filter="$FUSION_TSAN_FILTER"
+
+# Auto-shard engine (docs/SHARDING.md): plan staging, packed halo exchange,
+# re-sharding, and the per-device sim::launch paths are all instrumented.
+# The fiber-based sim reductions are not TSan-instrumentable (same SIMT
+# limitation as above), so the reduce-driven shard tests stay out.
+SHARD_TSAN_FILTER='ShardPlan.*:ShardExec.*:ShardHalo.*:ShardRebalance.*:ShardPool.*:ShardErrors.*:*ShardVsMulti.AxpyBitExact*:-ShardPlan.OffModePinsEverythingToDeviceZero:ShardHalo.StencilReductionReadsGhosts'
+JACC_NUM_THREADS=4 ./build-tsan/tests/tests_apps \
+  --gtest_filter="$SHARD_TSAN_FILTER"
 
 echo "verify: OK"

@@ -1,7 +1,11 @@
 #include "core/auto_backend.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <map>
+#include <mutex>
 
+#include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "sim/work_tally.hpp"
 
@@ -96,6 +100,126 @@ backend use_auto_backend(const workload& w) {
   const backend b = auto_select(w);
   set_backend(b);
   return b;
+}
+
+// --- measured achieved-rate feedback ----------------------------------------
+
+namespace {
+
+std::mutex& rates_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, achieved_rate, std::less<>>& rates_map() {
+  static std::map<std::string, achieved_rate, std::less<>> r;
+  return r;
+}
+
+/// EWMA weight for new observations: heavy enough that a device slowing
+/// down mid-run shifts its rate within a couple of launches, light enough
+/// that one noisy sample does not whipsaw the shard boundaries.
+constexpr double rate_alpha = 0.5;
+
+} // namespace
+
+void note_achieved_rate(std::string_view target, double gbps, double gflops) {
+  if (gbps <= 0.0 && gflops <= 0.0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(rates_mutex());
+  auto& map = rates_map();
+  auto it = map.find(target);
+  if (it == map.end()) {
+    it = map.emplace(std::string(target), achieved_rate{}).first;
+  }
+  achieved_rate& e = it->second;
+  // Blend per component: an unhinted launch reports one rate as zero, which
+  // must not decay the other component's history.
+  if (gbps > 0.0) {
+    e.gbps = e.gbps > 0.0 ? rate_alpha * gbps + (1.0 - rate_alpha) * e.gbps
+                          : gbps;
+  }
+  if (gflops > 0.0) {
+    e.gflops = e.gflops > 0.0
+                   ? rate_alpha * gflops + (1.0 - rate_alpha) * e.gflops
+                   : gflops;
+  }
+  ++e.samples;
+}
+
+achieved_rate achieved(std::string_view target) {
+  const std::lock_guard<std::mutex> lock(rates_mutex());
+  const auto& map = rates_map();
+  const auto it = map.find(target);
+  return it != map.end() ? it->second : achieved_rate{};
+}
+
+void clear_achieved_rates() {
+  const std::lock_guard<std::mutex> lock(rates_mutex());
+  rates_map().clear();
+}
+
+std::string target_for(backend b) {
+  switch (b) {
+  case backend::serial: return "serial";
+  case backend::threads: return "threads";
+  default: return model_for(b).name;
+  }
+}
+
+double predict_us_measured(backend b, const workload& w) {
+  const achieved_rate r = achieved(target_for(b));
+  if (r.samples == 0) {
+    return predict_us(b, w);
+  }
+  const auto& m = model_for(b);
+  const double total_bytes =
+      w.bytes_per_index * static_cast<double>(w.indices);
+  const double total_flops =
+      w.flops_per_index * static_cast<double>(w.indices);
+  // GB/s == bytes/us * 1e-3, so us == bytes / (GB/s * 1e3); the slower of
+  // the two measured rates bounds the kernel (roofline max rule).
+  double body_us = 0.0;
+  bool placed = false;
+  if (total_bytes > 0.0 && r.gbps > 0.0) {
+    body_us = std::max(body_us, total_bytes / (r.gbps * 1e3));
+    placed = true;
+  }
+  if (total_flops > 0.0 && r.gflops > 0.0) {
+    body_us = std::max(body_us, total_flops / (r.gflops * 1e3));
+    placed = true;
+  }
+  if (!placed) {
+    return predict_us(b, w); // measured rates say nothing about this kernel
+  }
+  // Fixed costs stay modeled: measurement covers the streaming body only.
+  double fixed_us = b == backend::serial ? 0.1 : m.launch_overhead_us;
+  if (w.is_reduce && m.kind == jaccx::sim::device_kind::gpu) {
+    fixed_us += 3.0 * m.launch_overhead_us; // fills + partials kernels
+    fixed_us += 2.0 * m.alloc_overhead_us;
+    fixed_us += jaccx::sim::transfer_cost_us(m, sizeof(double));
+  }
+  return w.launches * (body_us + fixed_us);
+}
+
+backend auto_select_measured(const workload& w) {
+  backend best = backend::cpu_rome;
+  double best_us = std::numeric_limits<double>::infinity();
+  for (backend b : auto_candidates()) {
+    const double us = predict_us_measured(b, w);
+    if (us < best_us) {
+      best_us = us;
+      best = b;
+    }
+  }
+  return best;
+}
+
+void install_rate_feedback() {
+  jaccx::prof::register_rate_sink(
+      [](std::string_view target, std::string_view, double gbps,
+         double gflops) { note_achieved_rate(target, gbps, gflops); });
 }
 
 } // namespace jacc

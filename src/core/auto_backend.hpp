@@ -13,6 +13,8 @@
 // heuristic (documented as such).
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -46,5 +48,48 @@ backend auto_select_node(backend gpu, const workload& w);
 
 /// Convenience: auto_select + set_backend; returns the choice.
 backend use_auto_backend(const workload& w);
+
+// --- measured achieved-rate feedback ----------------------------------------
+//
+// The model-based predictor above answers "what should this device do"; the
+// feedback registry answers "what did it actually do".  jaccx::prof pushes
+// achieved GB/s / GF/s here (install_rate_feedback registers the sink; the
+// roofline rows and the sharding layer's per-launch observations are the
+// sources), and the measured variants below prefer those numbers over the
+// model peaks — the sKokkos loop closed with real observations.
+
+/// Exponentially-smoothed achieved rates for one execution target
+/// ("a100", "a100#2", "threads", ...).  samples == 0 means never observed.
+struct achieved_rate {
+  double gbps = 0.0;
+  double gflops = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Folds one observation into the target's smoothed rate (thread-safe).
+void note_achieved_rate(std::string_view target, double gbps, double gflops);
+
+/// The current smoothed rate for `target` (zero-sample default when the
+/// target was never observed).
+achieved_rate achieved(std::string_view target);
+
+/// Drops every recorded rate (tests, bench phase boundaries).
+void clear_achieved_rates();
+
+/// The feedback-registry name for a backend's rates: the roofline target
+/// ("serial", "threads", or the sim model name).
+std::string target_for(backend b);
+
+/// predict_us, but with the bandwidth/flop terms replaced by `target`'s
+/// measured rates when samples exist; falls back to the model otherwise.
+double predict_us_measured(backend b, const workload& w);
+
+/// auto_select over predict_us_measured.
+backend auto_select_measured(const workload& w);
+
+/// Registers this module as the process-wide jaccx::prof rate sink, so
+/// roofline rows and per-shard launch observations land in the registry.
+/// Idempotent; jacc::initialize() calls it.
+void install_rate_feedback();
 
 } // namespace jacc

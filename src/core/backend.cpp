@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/auto_backend.hpp"
 #include "core/fuse.hpp"
 #include "core/queue.hpp"
 #include "mem/pool.hpp"
@@ -170,6 +171,9 @@ void initialize() {
   // External profiling tools (JACC_TOOLS_LIBS) attach here, before any
   // kernel can launch; the loader is idempotent across re-initialization.
   jaccx::prof::load_tools_from_env();
+  // Close the measured-placement loop: prof's achieved-rate observations
+  // (roofline rows, per-shard launches) land in auto_backend's registry.
+  install_rate_feedback();
   // Tear down any lanes from a previous initialize/finalize cycle so the
   // lane policy (JACC_QUEUES vs. pool width) is re-read under the current
   // environment.  Surviving queue handles re-resolve on next submission.
@@ -189,6 +193,7 @@ backend current_backend() {
       jaccx::mem::set_default_cache_cap(resolve_mem_cap());
       jacc::set_default_fuse(resolve_fuse());
       jaccx::prof::load_tools_from_env();
+      install_rate_feedback();
     });
     b = g_backend.load(std::memory_order_acquire);
   }

@@ -17,6 +17,7 @@
 
 #include "core/array.hpp"          // IWYU pragma: export
 #include "core/backend.hpp"        // IWYU pragma: export
+#include "core/device_set.hpp"     // IWYU pragma: export
 #include "core/event.hpp"          // IWYU pragma: export
 #include "core/expr.hpp"           // IWYU pragma: export
 #include "core/fuse.hpp"           // IWYU pragma: export

@@ -29,6 +29,25 @@ struct hints {
   /// no neighbor access).  Opt-in: it marks a 1D launch as a candidate for
   /// the graph-level chain fuser (core/fuse.hpp); never changes results.
   bool elementwise = false;
+  /// Stencil reach along the slowest (partitioned) dimension: the kernel at
+  /// index i may read array elements up to `stencil_radius` slow-dimension
+  /// units away.  Under a device_set scope the auto-sharding layer infers
+  /// the halo width from this and exchanges ghost cells before the launch;
+  /// single-device execution ignores it entirely.
+  index_t stencil_radius = 0;
+
+  /// `hints::stencil(r)` — the shorthand the sharding layer documents for
+  /// marking a radius-r stencil launch.
+  static hints stencil(index_t r) {
+    return hints{.name = "jacc.stencil", .stencil_radius = r};
+  }
+  /// Copy of these hints with a stencil radius attached (for call sites
+  /// that already carry a name and accounting estimates).
+  hints with_stencil(index_t r) const {
+    hints h = *this;
+    h.stencil_radius = r;
+    return h;
+  }
 };
 
 struct dims2 {

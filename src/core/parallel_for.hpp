@@ -386,6 +386,16 @@ void execute_for_3d(backend b, jaccx::pool::thread_pool* pl,
   }
 }
 
+} // namespace detail
+} // namespace jacc
+
+// The sharding engine reuses the launch-config helpers above, so it must
+// land after them (core/shard.hpp documents it is not standalone).
+#include "core/shard.hpp"
+
+namespace jacc {
+namespace detail {
+
 /// Graph capture of a parallel_for: the whole front end — capture policy,
 /// hint resolution, descriptor building, name ownership — runs once, here,
 /// and the recorded node body is the residue.  The serial and threads 1D
@@ -623,6 +633,13 @@ void parallel_for(const hints& h, index_t n, F&& f, Args&&... args) {
   if (n == 0) {
     return;
   }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr)
+      [[unlikely]] {
+    detail::shard_execute_for<1>(*ds, detail::launch_desc::d1(h, n),
+                                 std::forward<F>(f),
+                                 std::forward<Args>(args)...);
+    return;
+  }
   detail::execute_for_1d(current_backend(), nullptr,
                          detail::launch_desc::d1(h, n), std::forward<F>(f),
                          std::forward<Args>(args)...);
@@ -646,6 +663,13 @@ void parallel_for(const hints& h, dims2 d, F&& f, Args&&... args) {
   if (d.rows == 0 || d.cols == 0) {
     return;
   }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr)
+      [[unlikely]] {
+    detail::shard_execute_for<2>(*ds, detail::launch_desc::d2(h, d),
+                                 std::forward<F>(f),
+                                 std::forward<Args>(args)...);
+    return;
+  }
   detail::execute_for_2d(current_backend(), nullptr,
                          detail::launch_desc::d2(h, d), std::forward<F>(f),
                          std::forward<Args>(args)...);
@@ -667,6 +691,13 @@ void parallel_for(const hints& h, dims3 d, F&& f, Args&&... args) {
   }
   JACCX_ASSERT(d.rows >= 0 && d.cols >= 0 && d.depth >= 0);
   if (d.rows == 0 || d.cols == 0 || d.depth == 0) {
+    return;
+  }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr)
+      [[unlikely]] {
+    detail::shard_execute_for<3>(*ds, detail::launch_desc::d3(h, d),
+                                 std::forward<F>(f),
+                                 std::forward<Args>(args)...);
     return;
   }
   detail::execute_for_3d(current_backend(), nullptr,

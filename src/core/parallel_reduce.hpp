@@ -257,6 +257,23 @@ R reduce_threads_2d(dims2 d, Op op, const Eval2& eval,
       pl);
 }
 
+/// 3D threads reduction: chunks of the flattened (i fastest) space walked
+/// with walk_flat_3d, mirroring reduce_threads_2d.
+template <class R, class Op, class Eval3>
+R reduce_threads_3d(dims3 d, Op op, const Eval3& eval,
+                    jaccx::pool::thread_pool* pl = nullptr) {
+  return reduce_threads_impl<R>(
+      d.rows * d.cols * d.depth, op,
+      [&](R acc, jaccx::pool::range chunk) {
+        jaccx::pool::walk_flat_3d(chunk, d.rows, d.cols,
+                                  [&](index_t i, index_t j, index_t k) {
+          acc = op(acc, eval(i, j, k));
+        });
+        return acc;
+      },
+      pl);
+}
+
 /// Core dispatch shared by the 1D/2D front ends.  `pl` overrides the
 /// worker pool on the threads backend (queue lanes); null = default pool.
 template <class Op, class Eval>
@@ -351,6 +368,171 @@ auto reduce_2d_dispatch(const hints& h, dims2 d, backend b, Op op,
         return eval(i, j);
       },
       pl);
+}
+
+/// Row-stepped 3D reduction for the real CPU back ends: serial runs the
+/// column-major triple loop (i fastest), threads walks each flattened
+/// chunk with walk_flat_3d.  Visit order matches the linearized simulated
+/// path, so results agree bit for bit.
+template <class Op, class Eval3>
+auto reduce_cpu_3d(const hints& h, dims3 d, backend b, Op op,
+                   const Eval3& eval, jaccx::pool::thread_pool* pl = nullptr) {
+  using R =
+      std::remove_cvref_t<decltype(eval(index_t{0}, index_t{0}, index_t{0}))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  const index_t total = d.rows * d.cols * d.depth;
+  if (total == 0) {
+    return Op::template identity<R>();
+  }
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_reduce, h.name,
+      static_cast<std::uint64_t>(total), h.flops_per_index, h.bytes_per_index,
+      to_string(b));
+  if (b == backend::serial) {
+    R acc = Op::template identity<R>();
+    for (index_t k = 0; k < d.depth; ++k) {
+      for (index_t j = 0; j < d.cols; ++j) {
+        for (index_t i = 0; i < d.rows; ++i) {
+          acc = op(acc, eval(i, j, k));
+        }
+      }
+    }
+    return acc;
+  }
+  return reduce_threads_3d<R>(d, op, eval, pl);
+}
+
+/// 3D dispatch: real CPU back ends take the row-stepped path, simulated
+/// lanes the linearized one (i fastest, then j, then k — the same mapping
+/// parallel_for's 3D launch uses).
+template <class Op, class Eval3>
+auto reduce_3d_dispatch(const hints& h, dims3 d, backend b, Op op,
+                        const Eval3& eval,
+                        jaccx::pool::thread_pool* pl = nullptr) {
+  if (b == backend::serial || b == backend::threads) {
+    return reduce_cpu_3d(h, d, b, op, eval, pl);
+  }
+  const index_t total = d.rows * d.cols * d.depth;
+  return reduce_dispatch(
+      h, total, op,
+      [&](index_t idx) {
+        const index_t i = idx % d.rows;
+        const index_t j = (idx / d.rows) % d.cols;
+        const index_t k = idx / (d.rows * d.cols);
+        return eval(i, j, k);
+      },
+      pl);
+}
+
+// --- sharded reductions (device_set_scope) ----------------------------------
+
+/// Per-device loop shared by the sharded 1/2/3-D reductions: stage the
+/// array arguments against the set's plan, then let each device tree-reduce
+/// its owned chunk of the slowest dimension and combine the partials on the
+/// host in device order.  For equal weights the chunks, the per-device
+/// engine (reduce_sim_gpu) and the combination order are all identical to
+/// the deprecated jaccx::multi::parallel_reduce, so results match bit for
+/// bit.  `partial(dev, owned)` runs the device-local reduction.
+template <class R, class Op, class Partial, class... Args>
+R shard_reduce_loop(device_set& ds, const hints& h, std::uint64_t count,
+                    index_t slow, index_t fast, Op op, const Partial& partial,
+                    Args&... args) {
+  const index_t radius = shard_stage_args(ds, h, args...);
+  const jaccx::prof::kernel_scope prof_scope(
+      jaccx::prof::construct::parallel_reduce, h.name, count,
+      h.flops_per_index, h.bytes_per_index, to_string(ds.target()));
+  R total = Op::template identity<R>();
+  for (int dv = 0; dv < ds.devices(); ++dv) {
+    const auto owned = ds.chunk(slow, dv);
+    if (owned.empty()) {
+      continue;
+    }
+    auto& dev = ds.dev(dv);
+    if (radius > 0) {
+      jaccx::sim::join(dev, {&ds.shard_stream(dv)});
+    }
+    (shard_bind_arg(dv, args), ...);
+    const double t0 = dev.tl().now_us();
+    const R p = partial(dev, owned);
+    (shard_unbind_arg(args), ...);
+    ds.note_launch(dv, dev.tl().now_us() - t0, owned.size() * fast, h);
+    total = op(total, p);
+  }
+  ds.maybe_rebalance();
+  return total;
+}
+
+/// Sharded 1D reduction with global indices.
+template <class Op, class F, class... Args>
+auto shard_reduce_1d(device_set& ds, const hints& h, index_t n, Op op, F&& f,
+                     Args&&... args) {
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, args...))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  if (n == 0) {
+    return Op::template identity<R>();
+  }
+  return shard_reduce_loop<R>(
+      ds, h, static_cast<std::uint64_t>(n), n, index_t{1}, op,
+      [&](jaccx::sim::device& dev, auto owned) {
+        return reduce_sim_gpu<R>(dev, h, owned.size(), op, [&](index_t li) {
+          return f(owned.begin + li, args...);
+        });
+      },
+      args...);
+}
+
+/// Sharded 2D reduction: columns are chunked, each device reduces its
+/// linearized rows × local-cols block (i fastest), j is global.
+template <class Op, class F, class... Args>
+auto shard_reduce_2d(device_set& ds, const hints& h, dims2 d, Op op, F&& f,
+                     Args&&... args) {
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, index_t{0}, args...))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  const index_t total = d.rows * d.cols;
+  if (total == 0) {
+    return Op::template identity<R>();
+  }
+  return shard_reduce_loop<R>(
+      ds, h, static_cast<std::uint64_t>(total), d.cols, d.rows, op,
+      [&](jaccx::sim::device& dev, auto owned) {
+        return reduce_sim_gpu<R>(
+            dev, h, d.rows * owned.size(), op, [&](index_t idx) {
+              const index_t i = idx % d.rows;
+              const index_t lj = idx / d.rows;
+              return f(i, owned.begin + lj, args...);
+            });
+      },
+      args...);
+}
+
+/// Sharded 3D reduction: depth planes are chunked, i/j are global.
+template <class Op, class F, class... Args>
+auto shard_reduce_3d(device_set& ds, const hints& h, dims3 d, Op op, F&& f,
+                     Args&&... args) {
+  using R = std::remove_cvref_t<decltype(f(index_t{0}, index_t{0}, index_t{0},
+                                           args...))>;
+  static_assert(std::is_arithmetic_v<R>,
+                "parallel_reduce kernels must return an arithmetic value");
+  const index_t total = d.rows * d.cols * d.depth;
+  if (total == 0) {
+    return Op::template identity<R>();
+  }
+  const index_t plane = d.rows * d.cols;
+  return shard_reduce_loop<R>(
+      ds, h, static_cast<std::uint64_t>(total), d.depth, plane, op,
+      [&](jaccx::sim::device& dev, auto owned) {
+        return reduce_sim_gpu<R>(
+            dev, h, plane * owned.size(), op, [&](index_t idx) {
+              const index_t i = idx % d.rows;
+              const index_t j = (idx / d.rows) % d.cols;
+              const index_t lk = idx / plane;
+              return f(i, j, owned.begin + lk, args...);
+            });
+      },
+      args...);
 }
 
 } // namespace detail
@@ -592,6 +774,11 @@ auto parallel_reduce(const hints& h, index_t n, F&& f, Args&&... args) {
     return parallel_reduce(*q, h, n, std::forward<F>(f),
                            std::forward<Args>(args)...);
   }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr) [[unlikely]] {
+    return detail::shard_reduce_1d(*ds, h, n, plus_reducer{},
+                                   std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  }
   return detail::reduce_dispatch(h, n, plus_reducer{},
                                  [&](index_t i) { return f(i, args...); });
 }
@@ -607,15 +794,25 @@ auto parallel_reduce(index_t n, F&& f, Args&&... args) {
 /// 1D min/max reductions (JACC.jl extension).
 template <class F, class... Args>
 auto parallel_reduce_min(index_t n, F&& f, Args&&... args) {
-  return detail::reduce_dispatch(hints{.name = "jacc.parallel_reduce_min"}, n,
-                                 min_reducer{},
+  const hints h{.name = "jacc.parallel_reduce_min"};
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr) [[unlikely]] {
+    return detail::shard_reduce_1d(*ds, h, n, min_reducer{},
+                                   std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  }
+  return detail::reduce_dispatch(h, n, min_reducer{},
                                  [&](index_t i) { return f(i, args...); });
 }
 
 template <class F, class... Args>
 auto parallel_reduce_max(index_t n, F&& f, Args&&... args) {
-  return detail::reduce_dispatch(hints{.name = "jacc.parallel_reduce_max"}, n,
-                                 max_reducer{},
+  const hints h{.name = "jacc.parallel_reduce_max"};
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr) [[unlikely]] {
+    return detail::shard_reduce_1d(*ds, h, n, max_reducer{},
+                                   std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  }
+  return detail::reduce_dispatch(h, n, max_reducer{},
                                  [&](index_t i) { return f(i, args...); });
 }
 
@@ -629,6 +826,11 @@ auto parallel_reduce(const hints& h, dims2 d, F&& f, Args&&... args) {
     return parallel_reduce(*q, h, d, std::forward<F>(f),
                            std::forward<Args>(args)...);
   }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr) [[unlikely]] {
+    return detail::shard_reduce_2d(*ds, h, d, plus_reducer{},
+                                   std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  }
   JACCX_ASSERT(d.rows >= 0 && d.cols >= 0);
   return detail::reduce_2d_dispatch(
       h, d, current_backend(), plus_reducer{},
@@ -640,6 +842,36 @@ template <class F, class... Args>
   requires std::invocable<F&, index_t, index_t, Args&...>
 auto parallel_reduce(dims2 d, F&& f, Args&&... args) {
   return parallel_reduce(hints{.name = "jacc.parallel_reduce2d"}, d,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// 3D sum-reduction with hints: sum over (i, j, k) of f(i, j, k, args...),
+/// linearized i fastest — the same mapping parallel_for's 3D launch uses.
+/// There is no queued form yet: inside a queue_scope this throws rather
+/// than silently running out of order with the enqueued work.
+template <class F, class... Args>
+auto parallel_reduce(const hints& h, dims3 d, F&& f, Args&&... args) {
+  if (detail::active_queue() != nullptr) [[unlikely]] {
+    jaccx::throw_usage_error(
+        "3D parallel_reduce has no queued form; run it outside the "
+        "queue_scope or linearize onto dims2");
+  }
+  if (device_set* ds = detail::active_shard_set(); ds != nullptr) [[unlikely]] {
+    return detail::shard_reduce_3d(*ds, h, d, plus_reducer{},
+                                   std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  }
+  JACCX_ASSERT(d.rows >= 0 && d.cols >= 0 && d.depth >= 0);
+  return detail::reduce_3d_dispatch(
+      h, d, current_backend(), plus_reducer{},
+      [&](index_t i, index_t j, index_t k) { return f(i, j, k, args...); });
+}
+
+/// 3D sum-reduction: `res = jacc::parallel_reduce({M, N, K}, f, args...)`.
+template <class F, class... Args>
+  requires std::invocable<F&, index_t, index_t, index_t, Args&...>
+auto parallel_reduce(dims3 d, F&& f, Args&&... args) {
+  return parallel_reduce(hints{.name = "jacc.parallel_reduce3d"}, d,
                          std::forward<F>(f), std::forward<Args>(args)...);
 }
 

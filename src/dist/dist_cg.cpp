@@ -1,7 +1,9 @@
 #include "dist/dist_cg.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "core/auto_backend.hpp"    // achieved rates for placement::measured
 #include "core/parallel_reduce.hpp" // reduce_sim_gpu for the local dots
 #include "mem/pool.hpp"
 #include "sim/launch.hpp"
@@ -34,9 +36,23 @@ void rank_launch(sim::device& dev, index_t local_n, std::string_view name,
 
 } // namespace
 
-tridiag_cg::tridiag_cg(communicator& comm, index_t n)
+tridiag_cg::tridiag_cg(communicator& comm, index_t n, placement_policy place)
     : comm_(&comm), n_(n) {
   JACCX_ASSERT(n >= 2);
+  // Row boundaries are fixed here for the solver's lifetime.  Equal weights
+  // make weighted_bounds delegate to static_chunk, so the default plan is
+  // bit-identical to the historical one.
+  std::vector<double> w(static_cast<std::size_t>(comm.ranks()), 1.0);
+  if (place.k == placement_policy::kind::measured) {
+    for (int r = 0; r < comm.ranks(); ++r) {
+      const std::string target =
+          comm.dev(r).model().name + "#" + std::to_string(r);
+      const auto rate = jacc::achieved(target);
+      w[static_cast<std::size_t>(r)] =
+          rate.gbps > 0.0 ? rate.gbps : place.fallback_gbps;
+    }
+  }
+  bounds_ = pool::weighted_bounds(n, w);
   ranks_.reserve(static_cast<std::size_t>(comm.ranks()));
   for (int r = 0; r < comm.ranks(); ++r) {
     const index_t local = rows_of(r).size();

@@ -26,16 +26,39 @@ struct cg_result {
   bool converged = false;
 };
 
+/// How tridiag_cg splits its block rows across ranks.  round_robin is the
+/// historical equal-block plan, bit-identical to pool::static_chunk.
+/// measured sizes each rank's block proportionally to the achieved GB/s
+/// the rate-feedback registry holds for that rank's device instance
+/// ("<model>#<rank>" — fed by jaccx::prof roofline feedback, device_set
+/// launches, or jacc::note_achieved_rate directly); instances with no
+/// samples yet weigh in at `fallback_gbps`, so a cold registry reproduces
+/// the equal-block plan.
+struct placement_policy {
+  enum class kind { round_robin, measured };
+  kind k = kind::round_robin;
+  double fallback_gbps = 1.0;
+};
+
+namespace placement {
+inline placement_policy round_robin() { return {}; }
+inline placement_policy measured(double fallback_gbps = 1.0) {
+  return {placement_policy::kind::measured, fallback_gbps};
+}
+} // namespace placement
+
 /// Block-row-distributed tridiagonal CG solver.
 class tridiag_cg {
 public:
-  tridiag_cg(communicator& comm, index_t n);
+  tridiag_cg(communicator& comm, index_t n,
+             placement_policy place = placement::round_robin());
 
   index_t size() const { return n_; }
 
-  /// Rows owned by rank r.
+  /// Rows owned by rank r, under the placement chosen at construction.
   pool::range rows_of(int rank) const {
-    return pool::static_chunk(n_, comm_->ranks(), rank);
+    return pool::range{bounds_[static_cast<std::size_t>(rank)],
+                       bounds_[static_cast<std::size_t>(rank) + 1]};
   }
 
   /// Solves A x = b.  `b` is the global right-hand side on the host
@@ -88,6 +111,7 @@ private:
 
   communicator* comm_;
   index_t n_ = 0;
+  std::vector<index_t> bounds_; ///< ranks()+1 row boundaries (fixed at ctor)
   std::vector<rank_state> ranks_;
 };
 

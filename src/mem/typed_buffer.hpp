@@ -1,0 +1,107 @@
+// Typed, pool-backed device buffer: sim::device_buffer's interface on top
+// of mem::acquire/release.
+//
+// sim::device_buffer talks to the device arena directly, which made the
+// multi-GPU shard buffers the last allocation path that bypassed the pool
+// (ROADMAP).  pooled_buffer<T> closes that: same charging semantics as
+// device_buffer when the pool is off (mode `none` IS the seed arena path),
+// free-list reuse when it is on, so a steady-state shard workload allocates
+// device memory once and then runs at pool-miss zero.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "mem/pool.hpp"
+#include "sim/memspace.hpp"
+
+namespace jaccx::mem {
+
+/// Owning, move-only device allocation acquired from the mem pool.  All
+/// transfer charging mirrors sim::device_buffer exactly; only the storage
+/// provenance differs.
+template <class T>
+class pooled_buffer {
+public:
+  pooled_buffer() = default;
+
+  pooled_buffer(sim::device& dev, index_t count,
+                std::string_view name = "buffer", queue_ctx qc = {})
+      : dev_(&dev), count_(count) {
+    JACCX_ASSERT(count >= 0);
+    blk_ = acquire(&dev, static_cast<std::size_t>(count) * sizeof(T), name,
+                   qc);
+  }
+
+  pooled_buffer(const pooled_buffer&) = delete;
+  pooled_buffer& operator=(const pooled_buffer&) = delete;
+  pooled_buffer(pooled_buffer&& other) noexcept
+      : dev_(std::exchange(other.dev_, nullptr)),
+        blk_(std::exchange(other.blk_, block{})),
+        count_(std::exchange(other.count_, 0)) {}
+  pooled_buffer& operator=(pooled_buffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      dev_ = std::exchange(other.dev_, nullptr);
+      blk_ = std::exchange(other.blk_, block{});
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~pooled_buffer() { reset(); }
+
+  /// Returns the storage to the pool (or the arena under mode `none`).
+  void reset(queue_ctx qc = {}) noexcept {
+    release(blk_, qc);
+    dev_ = nullptr;
+    count_ = 0;
+  }
+
+  /// Copies count() elements from host memory, charging an H2D transfer.
+  void copy_from_host(const T* src, std::string_view name = "h2d") {
+    JACCX_ASSERT(dev_ != nullptr);
+    std::memcpy(data(), src, payload_bytes());
+    dev_->charge_h2d(payload_bytes(), name);
+  }
+
+  /// Copies count() elements to host memory, charging a D2H transfer.
+  void copy_to_host(T* dst, std::string_view name = "d2h") const {
+    JACCX_ASSERT(dev_ != nullptr);
+    std::memcpy(dst, data(), payload_bytes());
+    dev_->charge_d2h(payload_bytes(), name);
+  }
+
+  /// Sets every element to `value` host-side without charging time.  A
+  /// pool-recycled block carries the previous tenant's bits, so holders
+  /// that relied on device_buffer's zeroed arena pages must call this.
+  void fill_untracked(T value) {
+    T* p = data();
+    for (index_t i = 0; i < count_; ++i) {
+      p[i] = value;
+    }
+  }
+
+  sim::device_span<T> span() { return {data(), count_, dev_}; }
+
+  T* data() { return static_cast<T*>(blk_.ptr); }
+  const T* data() const { return static_cast<const T*>(blk_.ptr); }
+  index_t size() const { return count_; }
+  /// Bytes of live payload (the pool may have rounded the backing block up).
+  std::uint64_t payload_bytes() const {
+    return static_cast<std::uint64_t>(count_) * sizeof(T);
+  }
+  bool empty() const { return count_ == 0; }
+  sim::device* owner() const { return dev_; }
+  /// Whether this acquire was served from the pool's free list without
+  /// touching the backing store (the shard steady-state pin reads this).
+  bool from_cache() const { return blk_.from_cache; }
+
+private:
+  sim::device* dev_ = nullptr;
+  block blk_{};
+  index_t count_ = 0;
+};
+
+} // namespace jaccx::mem

@@ -1,78 +1,10 @@
 #include "multi/multi.hpp"
 
-#include <algorithm>
-
 namespace jaccx::multi {
-namespace {
 
-std::string model_of(jacc::backend be) {
-  switch (be) {
-  case jacc::backend::cuda_a100: return "a100";
-  case jacc::backend::hip_mi100: return "mi100";
-  case jacc::backend::oneapi_max1550: return "max1550";
-  default:
-    throw_usage_error("jacc::multi targets the simulated GPU back ends "
-                      "(cuda_a100, hip_mi100, oneapi_max1550)");
-  }
-}
-
-} // namespace
-
-context::context(jacc::backend be, int devices) : be_(be) {
-  if (devices < 1) {
-    throw_usage_error("multi::context needs at least one device");
-  }
-  const std::string model = model_of(be);
-  devs_.reserve(static_cast<std::size_t>(devices));
-  for (int d = 0; d < devices; ++d) {
-    devs_.push_back(&sim::get_device_instance(model, d));
-  }
-}
-
-double context::now_us() const {
-  double t = 0.0;
-  for (const auto* d : devs_) {
-    t = std::max(t, d->tl().now_us());
-  }
-  return t;
-}
-
-double context::sync() {
-  for (std::size_t d = 0; d < streams_.size(); ++d) {
-    if (streams_[d] != nullptr) {
-      sim::join(*devs_[d], {streams_[d].get()});
-    }
-  }
-  const double t = now_us();
-  for (auto* d : devs_) {
-    const double behind = t - d->tl().now_us();
-    if (behind > 0.0) {
-      d->tl().record("multi.sync", sim::event_kind::kernel, behind);
-    }
-  }
-  return t;
-}
-
-void context::reset_clocks() {
-  streams_.clear(); // recreated lazily at the new time origin
-  for (auto* d : devs_) {
-    d->reset_clock();
-    d->cache().reset();
-  }
-}
-
-sim::stream& context::shard_stream(int d) {
-  JACCX_ASSERT(d >= 0 && d < devices());
-  if (streams_.size() != devs_.size()) {
-    streams_.resize(devs_.size());
-  }
-  auto& s = streams_[static_cast<std::size_t>(d)];
-  if (s == nullptr) {
-    auto& dev = *devs_[static_cast<std::size_t>(d)];
-    s = std::make_unique<sim::stream>(
-        dev, dev.model().name + ".shard" + std::to_string(d));
-  }
-  return *s;
-}
+// The shim's entire runtime surface lives in jacc::device_set now; only the
+// deprecated constructor needs a body (defining it out of line keeps the
+// [[deprecated]] diagnostics on callers, not on this TU).
+context::context(jacc::backend be, int devices) : set_(be, devices) {}
 
 } // namespace jaccx::multi

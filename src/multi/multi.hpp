@@ -1,21 +1,21 @@
-// jacc::multi-style multi-device extension.
+// DEPRECATED jacc::multi-style multi-device extension.
 //
 // The paper's Sec. VII names "heterogeneous multi-device nodes" as JACC's
 // next step, and JACC.jl later shipped a JACC.multi module along those
-// lines.  This module implements the idea on the simulator: a context owns
-// N instances of one GPU model, arrays are sharded contiguously across
-// them (optionally with ghost cells), parallel_for runs each shard on its
-// own device, and parallel_reduce combines per-device partials on the host.
+// lines.  This module implemented the idea on the simulator with explicit
+// sharding: a context owns N instances of one GPU model, marrays are
+// sharded contiguously across them, and kernels receive SHARD-LOCAL
+// indices plus raw device_spans over each shard (ghosts included).
 //
-// Timing semantics: each device has its own clock; an operation advances
-// every participating clock independently, so devices overlap exactly as a
-// multi-GPU node's would.  sync() is the barrier that aligns all clocks to
-// the maximum — the wall time of the preceding region.
-//
-// Kernel convention: f(i, args...) with i the shard-local OWNED index in
-// [0, shard_len); marray arguments arrive as device_span over the full
-// shard INCLUDING ghost cells, so a stencil kernel indexes span[i + ghost]
-// and may reach ghost cells at [i + ghost +- g] after exchange_halos().
+// That front end is superseded by the auto-sharding layer (docs/
+// SHARDING.md): `jacc::device_set` + `jacc::array(jacc::sharded(ds), ...)`
+// runs plain global-index jacc::parallel_for / parallel_reduce across the
+// set, with halo exchange inferred from hints::stencil.  Everything here is
+// now a thin [[deprecated]] compatibility shim kept for one release:
+// context forwards to device_set (identical timing semantics, identical
+// stream labels), marray keeps the old equal-block decomposition and
+// shard-local kernel convention bit for bit, but its shard storage now
+// routes through mem::acquire/release like every other allocation path.
 #pragma once
 
 #include <algorithm>
@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/device_set.hpp"
 #include "core/parallel_reduce.hpp"
+#include "mem/typed_buffer.hpp"
 #include "sim/launch.hpp"
 #include "sim/memspace.hpp"
 #include "sim/stream.hpp"
@@ -34,61 +36,78 @@ namespace jaccx::multi {
 
 using jacc::index_t;
 
-/// N same-model simulated GPUs acting as one resource set.
+/// N same-model simulated GPUs acting as one resource set.  Deprecated
+/// shim: the devices, clocks and shard streams are a jacc::device_set's —
+/// migrate by constructing that directly (set() eases the transition).
 class context {
 public:
   /// `be` must be one of the simulated GPU back ends; `devices` >= 1.
+  [[deprecated("use jacc::device_set (auto-sharding; docs/SHARDING.md)")]]
   context(jacc::backend be, int devices);
 
-  int devices() const { return static_cast<int>(devs_.size()); }
-  jacc::backend target() const { return be_; }
-  sim::device& dev(int d) const {
-    JACCX_ASSERT(d >= 0 && d < devices());
-    return *devs_[static_cast<std::size_t>(d)];
-  }
+  int devices() const { return set_.devices(); }
+  jacc::backend target() const { return set_.target(); }
+  sim::device& dev(int d) const { return set_.dev(d); }
 
   /// Wall clock of the set: the furthest-ahead device.
-  double now_us() const;
+  double now_us() const { return set_.now_us(); }
 
   /// Barrier: folds every shard stream into its device clock, then aligns
   /// every device clock to now_us() and returns it.
-  double sync();
+  double sync() { return set_.sync(); }
 
   /// Rewinds all device clocks/logs (benchmarks).  Shard streams are
   /// discarded and recreated lazily at the new time origin.
-  void reset_clocks();
+  void reset_clocks() { set_.reset_clocks(); }
 
   /// Shard d's queue: an independent sim stream ("<model>.shard<d>" in the
   /// Chrome trace) created on first use.  Charges issued through it — e.g.
   /// exchange_halos_async() — overlap across shards and rejoin the device
   /// clocks at sync().
-  sim::stream& shard_stream(int d);
+  sim::stream& shard_stream(int d) { return set_.shard_stream(d); }
+
+  /// The underlying device_set (migration aid: hand this to
+  /// jacc::device_set_scope and drop the context).
+  jacc::device_set& set() { return set_; }
 
 private:
-  jacc::backend be_;
-  std::vector<sim::device*> devs_;
-  std::vector<std::unique_ptr<sim::stream>> streams_; // lazily per shard
+  jacc::device_set set_;
 };
 
 /// 1D array sharded contiguously across the context's devices, each shard
-/// padded with `ghost` cells on both sides.
+/// padded with `ghost` cells on both sides.  Deprecated shim: the modern
+/// spelling is `jacc::array<T>(jacc::sharded(ds), ...)`, whose kernels use
+/// global indices and whose halos follow hints::stencil automatically.
 template <class T>
 class marray {
-public:
-  marray(context& ctx, index_t n, index_t ghost = 0)
+  /// Tag for the real (non-deprecated) initialization path, so the public
+  /// deprecated ctors can delegate without warning about each other.
+  struct internal_t {};
+
+  marray(internal_t, context& ctx, index_t n, index_t ghost)
       : ctx_(&ctx), n_(n), ghost_(ghost) {
     JACCX_ASSERT(n >= 0 && ghost >= 0);
     shards_.reserve(static_cast<std::size_t>(ctx.devices()));
     for (int d = 0; d < ctx.devices(); ++d) {
       const auto r = shard_range(d);
       shards_.emplace_back(ctx.dev(d), r.size() + 2 * ghost, "multi.shard");
+      // Pool-recycled blocks carry the previous tenant's bits; ghosts and
+      // unwritten cells must read as T{} like the arena path guaranteed.
       shards_.back().fill_untracked(T{});
     }
   }
 
+public:
+  [[deprecated("use jacc::array with jacc::sharded placement "
+               "(docs/SHARDING.md)")]]
+  marray(context& ctx, index_t n, index_t ghost = 0)
+      : marray(internal_t{}, ctx, n, ghost) {}
+
   /// Scatter construction: each device is charged the H2D of its shard.
+  [[deprecated("use jacc::array with jacc::sharded placement "
+               "(docs/SHARDING.md)")]]
   marray(context& ctx, const std::vector<T>& host, index_t ghost = 0)
-      : marray(ctx, static_cast<index_t>(host.size()), ghost) {
+      : marray(internal_t{}, ctx, static_cast<index_t>(host.size()), ghost) {
     for (int d = 0; d < ctx.devices(); ++d) {
       const auto r = shard_range(d);
       if (r.empty()) {
@@ -217,7 +236,7 @@ private:
   context* ctx_;
   index_t n_ = 0;
   index_t ghost_ = 0;
-  std::vector<sim::device_buffer<T>> shards_;
+  std::vector<mem::pooled_buffer<T>> shards_; ///< via mem::acquire/release
 };
 
 /// Placeholder argument: expands, per shard, to the global index of that
@@ -252,6 +271,8 @@ A&& shard_arg(index_t, int, A&& a) {
 /// the local indices [0, shard_len(d)).  Devices advance concurrently; call
 /// ctx.sync() for the region's wall time.
 template <class F, class... Args>
+[[deprecated("use jacc::parallel_for inside a jacc::device_set_scope — "
+             "global indices, sharding and halos applied by the runtime")]]
 void parallel_for(context& ctx, index_t n, F&& f, Args&&... args) {
   JACCX_ASSERT(n >= 0);
   for (int d = 0; d < ctx.devices(); ++d) {
@@ -280,6 +301,8 @@ void parallel_for(context& ctx, index_t n, F&& f, Args&&... args) {
 /// Sum-reduction across all shards: per-device two-kernel tree reductions
 /// (each charging its scalar D2H) combined on the host.
 template <class F, class... Args>
+[[deprecated("use jacc::parallel_reduce inside a jacc::device_set_scope — "
+             "global indices, identical partial combination order")]]
 double parallel_reduce(context& ctx, index_t n, F&& f, Args&&... args) {
   JACCX_ASSERT(n >= 0);
   double total = 0.0;

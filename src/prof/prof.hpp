@@ -389,6 +389,31 @@ std::vector<roofline_stats> aggregate_roofline();
 /// The JACC_PROFILE=roofline report.
 std::string roofline_text();
 
+// --- achieved-rate feedback -------------------------------------------------
+
+/// Consumer of achieved-rate observations: (target, kernel, GB/s, GF/s).
+/// Targets are execution-target names as roofline rows use them ("serial",
+/// "threads", a sim model "a100") plus per-instance forms ("a100#2") from
+/// the sharding layer.  auto_backend registers the process-wide consumer
+/// (install_rate_feedback); an empty function clears it.  prof stays
+/// independent of the selection layer the same way register_mem_pool_source
+/// keeps it independent of the allocator.
+using rate_sink = std::function<void(
+    std::string_view target, std::string_view kernel, double gbps,
+    double gflops)>;
+void register_rate_sink(rate_sink sink);
+
+/// Forwards one observation to the registered sink (no-op without one).
+/// jacc::device_set calls this after every per-shard launch; nothing is
+/// recorded in the profiler itself.
+void note_rate(std::string_view target, std::string_view kernel, double gbps,
+               double gflops);
+
+/// Pushes every current roofline row's achieved rates into the sink
+/// (target = the row's target).  finalize() calls this, so any profiled run
+/// feeds the measured placement policies without bench cooperation.
+void publish_roofline_feedback();
+
 // --- async-substrate aggregation --------------------------------------------
 
 struct lane_util {

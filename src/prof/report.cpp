@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #ifdef _WIN32
@@ -326,6 +327,53 @@ std::vector<roofline_stats> aggregate_roofline() {
   return out;
 }
 
+namespace {
+
+std::mutex& rate_sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+rate_sink& rate_sink_slot() {
+  static rate_sink sink;
+  return sink;
+}
+
+} // namespace
+
+void register_rate_sink(rate_sink sink) {
+  const std::lock_guard<std::mutex> lock(rate_sink_mutex());
+  rate_sink_slot() = std::move(sink);
+}
+
+void note_rate(std::string_view target, std::string_view kernel, double gbps,
+               double gflops) {
+  rate_sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(rate_sink_mutex());
+    sink = rate_sink_slot();
+  }
+  if (sink) {
+    sink(target, kernel, gbps, gflops);
+  }
+}
+
+void publish_roofline_feedback() {
+  rate_sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(rate_sink_mutex());
+    sink = rate_sink_slot();
+  }
+  if (!sink) {
+    return;
+  }
+  for (const roofline_stats& r : aggregate_roofline()) {
+    if (r.achieved_gbps > 0.0 || r.achieved_gflops > 0.0) {
+      sink(r.target, r.name, r.achieved_gbps, r.achieved_gflops);
+    }
+  }
+}
+
 std::string roofline_text() {
   std::ostringstream os;
   os << "== jaccx::prof roofline ==\n";
@@ -643,6 +691,9 @@ std::string expand_trace_path(std::string_view path) {
 }
 
 void finalize() {
+  // Feed measured placement (auto_backend) before any report is printed;
+  // a no-op without a registered sink or collected data.
+  publish_roofline_feedback();
   const unsigned m = mode();
   if ((m & (mode_summary | mode_trace | mode_roofline)) == 0) {
     return;

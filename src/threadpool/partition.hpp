@@ -6,6 +6,8 @@
 // column-major.  These helpers compute those chunks.
 #pragma once
 
+#include <vector>
+
 #include "support/error.hpp"
 #include "support/span2d.hpp"
 
@@ -33,6 +35,72 @@ inline range static_chunk(index_t n, index_t parts, index_t which) {
       which * base + (which < rem ? which : rem);
   const index_t size = base + (which < rem ? 1 : 0);
   return {begin, begin + size};
+}
+
+/// Splits [0, n) into `weights.size()` contiguous chunks proportional to the
+/// (non-negative, not-all-zero) weights, returning the `size() + 1` chunk
+/// boundaries.  Apportionment is largest-remainder with ties broken toward
+/// the lowest index, which makes equal weights reproduce static_chunk
+/// exactly — the property the auto-sharding layer's bit-exactness pins rely
+/// on (an equal-weight shard plan IS the hand-sharded multi plan).
+inline std::vector<index_t> weighted_bounds(index_t n,
+                                            const std::vector<double>& w) {
+  JACCX_ASSERT(n >= 0 && !w.empty());
+  const auto parts = static_cast<index_t>(w.size());
+  std::vector<index_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  bool equal = true;
+  double total = 0.0;
+  for (double x : w) {
+    JACCX_ASSERT(x >= 0.0);
+    total += x;
+    equal = equal && x == w.front();
+  }
+  JACCX_ASSERT(total > 0.0);
+  if (equal) {
+    // The guaranteed path: identical to static_chunk by construction.
+    for (index_t p = 0; p < parts; ++p) {
+      bounds[static_cast<std::size_t>(p) + 1] =
+          static_chunk(n, parts, p).end;
+    }
+    return bounds;
+  }
+  std::vector<index_t> sizes(static_cast<std::size_t>(parts), 0);
+  std::vector<double> frac(static_cast<std::size_t>(parts), 0.0);
+  index_t assigned = 0;
+  for (index_t p = 0; p < parts; ++p) {
+    const double ideal =
+        static_cast<double>(n) * (w[static_cast<std::size_t>(p)] / total);
+    const auto base = static_cast<index_t>(ideal);
+    sizes[static_cast<std::size_t>(p)] = base;
+    frac[static_cast<std::size_t>(p)] = ideal - static_cast<double>(base);
+    assigned += base;
+  }
+  for (index_t leftover = n - assigned; leftover > 0; --leftover) {
+    index_t best = 0;
+    for (index_t p = 1; p < parts; ++p) {
+      if (frac[static_cast<std::size_t>(p)] >
+          frac[static_cast<std::size_t>(best)]) {
+        best = p;
+      }
+    }
+    ++sizes[static_cast<std::size_t>(best)];
+    frac[static_cast<std::size_t>(best)] = -1.0; // one extra element at most
+  }
+  for (index_t p = 0; p < parts; ++p) {
+    bounds[static_cast<std::size_t>(p) + 1] =
+        bounds[static_cast<std::size_t>(p)] +
+        sizes[static_cast<std::size_t>(p)];
+  }
+  return bounds;
+}
+
+/// Chunk `which` of a weighted_bounds partition.
+inline range weighted_chunk(index_t n, const std::vector<double>& w,
+                            index_t which) {
+  JACCX_ASSERT(which >= 0 && which < static_cast<index_t>(w.size()));
+  const auto bounds = weighted_bounds(n, w);
+  return {bounds[static_cast<std::size_t>(which)],
+          bounds[static_cast<std::size_t>(which) + 1]};
 }
 
 /// Number of chunks of size `grain` needed to cover n indices.
