@@ -1,0 +1,354 @@
+// Acceptance bench for the multi-tenant serving scheduler
+// (docs/SERVING.md): throughput and queue-wait percentiles versus tenant
+// count on the a100 model and the threads back end, plus the
+// memory-pressure admission scenario.
+//
+// Three scenarios:
+//   1. sim scaling   — T tenants on 4 slots, per-tenant sim streams: the
+//      simulated makespan must shrink with tenant count until the slots
+//      saturate (deterministic: simulated time, not wall clock).
+//   2. threads burst — 8 equal-weight tenants submit identical bursts; the
+//      p99 queue-wait ratio between the luckiest and unluckiest tenant
+//      bounds the scheduler's fairness error.
+//   3. pressure      — a capped sim arena plus an admission budget: jobs
+//      must be deferred and later admitted (never rejected or failed), and
+//      the pool's trim-once-and-retry path must actually fire.
+//
+// Exits nonzero unless the bars hold:
+//   - sim throughput at 4 tenants >= 2.0x the 1-tenant throughput, and
+//     8 tenants sustain >= 0.9x the 4-tenant throughput (slot saturation)
+//   - threads p99 queue-wait ratio across 8 equal-weight tenants <= 1.5x
+//   - pressure run: deferred-then-admitted > 0, alloc retries > 0, no
+//     failed or rejected jobs
+// The bench_session writes BENCH_serving.json with a "serving" section
+// (throughput + p50/p99 wait vs tenant count on both back ends).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "mem/pool.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace jaccx::bench;
+using jaccx::serve::options;
+using jaccx::serve::scheduler;
+using jaccx::serve::tenant;
+
+constexpr int serve_slots = 4;
+constexpr index_t sim_n = index_t{1} << 15;
+constexpr double sim_fpi = 2'000.0; // enough flops to dominate dispatch
+
+void bump(index_t i, jacc::array<double>& a) { a[i] = a[i] + 1.0; }
+
+// --- scenario 1: simulated throughput scaling --------------------------------
+
+struct sim_point {
+  int tenants = 0;
+  int jobs = 0; ///< total jobs across tenants
+  double makespan_us = 0.0;
+  double wait_p50_us = 0.0; ///< max over tenants
+  double wait_p99_us = 0.0; ///< max over tenants
+  double throughput() const { return jobs / makespan_us; } // jobs per sim-us
+};
+
+sim_point sim_scaling(int tenants, int jobs_per_tenant) {
+  const jacc::scoped_backend sb(jacc::backend::cuda_a100);
+  auto& dev = *jacc::backend_device(jacc::backend::cuda_a100);
+  dev.tl().set_logging(false);
+
+  sim_point out;
+  out.tenants = tenants;
+  out.jobs = tenants * jobs_per_tenant;
+  {
+    // One array per tenant, allocated before the clock reset so the run
+    // times only the served kernels.
+    std::vector<jacc::array<double>> data;
+    data.reserve(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      data.emplace_back(
+          std::vector<double>(static_cast<std::size_t>(sim_n), 0.0));
+    }
+    scheduler sched(options{.slots = serve_slots});
+    std::vector<tenant> ts;
+    for (int t = 0; t < tenants; ++t) {
+      ts.push_back(sched.open_tenant("t" + std::to_string(t)));
+    }
+    dev.reset_clock();
+    dev.cache().reset();
+    const jacc::hints h{.name = "serve.work", .flops_per_index = sim_fpi};
+    for (int j = 0; j < jobs_per_tenant; ++j) {
+      for (int t = 0; t < tenants; ++t) {
+        sched.submit(ts[static_cast<std::size_t>(t)], [&, t](jacc::queue& q) {
+          jacc::parallel_for(q, h, sim_n, bump,
+                             data[static_cast<std::size_t>(t)]);
+        });
+      }
+    }
+    sched.drain();
+    // Per-tenant sim streams: now_us() is the max over the slot streams,
+    // i.e. the simulated makespan of the whole batch.
+    out.makespan_us = dev.tl().now_us();
+    for (const auto& row : sched.stats().tenants) {
+      out.wait_p50_us = std::max(out.wait_p50_us, row.wait_p50_us);
+      out.wait_p99_us = std::max(out.wait_p99_us, row.wait_p99_us);
+    }
+  }
+  dev.tl().set_logging(true);
+  dev.reset_clock();
+  return out;
+}
+
+// --- scenario 2: threads fairness burst --------------------------------------
+
+struct fair_point {
+  int tenants = 0;
+  int jobs = 0;
+  double wall_us = 0.0;
+  double p99_min_us = 0.0; ///< best-off tenant
+  double p99_max_us = 0.0; ///< worst-off tenant
+  double wait_p50_us = 0.0;
+  double ratio() const {
+    return p99_min_us > 0.0 ? p99_max_us / p99_min_us : 1.0;
+  }
+  double throughput_per_s() const { return jobs / (wall_us * 1e-6); }
+};
+
+fair_point threads_burst(int tenants, int jobs_per_tenant) {
+  const jacc::scoped_backend sb(jacc::backend::threads);
+  fair_point out;
+  out.tenants = tenants;
+  out.jobs = tenants * jobs_per_tenant;
+  scheduler sched; // slots/workers resolve from the lane pool
+  std::vector<tenant> ts;
+  for (int t = 0; t < tenants; ++t) {
+    ts.push_back(sched.open_tenant("t" + std::to_string(t)));
+  }
+  std::vector<jacc::array<double>> data;
+  data.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    data.emplace_back(std::vector<double>(4096, 0.0));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int j = 0; j < jobs_per_tenant; ++j) {
+    for (int t = 0; t < tenants; ++t) {
+      sched.submit(ts[static_cast<std::size_t>(t)], [&, t](jacc::queue& q) {
+        jacc::parallel_for(q, 4096, bump, data[static_cast<std::size_t>(t)]);
+        q.synchronize();
+      });
+    }
+  }
+  sched.drain();
+  out.wall_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  bool first = true;
+  for (const auto& row : sched.stats().tenants) {
+    out.p99_min_us = first ? row.wait_p99_us
+                           : std::min(out.p99_min_us, row.wait_p99_us);
+    out.p99_max_us = std::max(out.p99_max_us, row.wait_p99_us);
+    out.wait_p50_us = std::max(out.wait_p50_us, row.wait_p50_us);
+    first = false;
+  }
+  return out;
+}
+
+// --- scenario 3: admission under memory pressure -----------------------------
+
+struct pressure_result {
+  std::uint64_t deferred = 0;
+  std::uint64_t deferred_admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t alloc_retries_delta = 0;
+};
+
+pressure_result pressure_run() {
+  const jacc::scoped_backend sb(jacc::backend::cuda_a100);
+  const jaccx::mem::scoped_mode pooled(jaccx::mem::pool_mode::bucket);
+  jaccx::mem::drain();
+  auto& dev = jaccx::sim::get_device("a100");
+  dev.set_arena_limit(std::size_t{2} << 20); // 2 MiB device arena
+  const std::uint64_t retries_before = jaccx::mem::alloc_retries();
+  const std::uint64_t baseline =
+      jaccx::mem::live_bytes() + jaccx::mem::cached_bytes();
+
+  pressure_result out;
+  {
+    scheduler sched(options{
+        .slots = 2,
+        .mem_budget_bytes = baseline + (std::uint64_t{5} << 19)}); // +2.5 MiB
+    auto a = sched.open_tenant("alice");
+    auto b = sched.open_tenant("bob");
+    // Jobs cycle through 512 KiB / 1 MiB / 2 MiB device footprints: the
+    // cached buckets pile up past the 2 MiB arena, so a later allocation
+    // throws bad_alloc and the pool must trim-and-retry; the 1.5 MiB hints
+    // against the 2.5 MiB budget force admission deferrals on top.
+    constexpr std::uint64_t hint = std::uint64_t{3} << 19;
+    for (int j = 0; j < 6; ++j) {
+      const index_t elems =
+          static_cast<index_t>(((j % 3) + 1) * (std::size_t{1} << 16));
+      const auto body = [elems](jacc::queue& q) {
+        jacc::array<double> v(
+            std::vector<double>(static_cast<std::size_t>(elems), 0.0));
+        jacc::parallel_for(q, elems, bump, v);
+        q.synchronize();
+      };
+      sched.submit(a, body, hint);
+      sched.submit(b, body, hint);
+    }
+    sched.drain();
+    for (const auto& row : sched.stats().tenants) {
+      out.deferred += row.deferred;
+      out.deferred_admitted += row.deferred_admitted;
+      out.completed += row.completed;
+      out.failed += row.failed;
+      out.rejected += row.rejected;
+    }
+  }
+  out.alloc_retries_delta = jaccx::mem::alloc_retries() - retries_before;
+  dev.set_arena_limit(0);
+  jaccx::mem::drain();
+  return out;
+}
+
+// --- registration / acceptance -----------------------------------------------
+
+void register_all() {
+  for (int tenants : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("abl_serving/sim_scaling/tenants_" + std::to_string(tenants))
+            .c_str(),
+        [tenants](benchmark::State& s) {
+          double us = 0.0;
+          for (auto _ : s) {
+            us = sim_scaling(tenants, 8).makespan_us;
+            s.SetIterationTime(us * 1e-6);
+          }
+          s.counters["sim_us"] = us;
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+bool check_ge(const char* what, double value, double bar) {
+  const bool ok = value >= bar;
+  std::printf("acceptance: %-36s %8.2f (bar: >= %.2f) %s\n", what, value,
+              bar, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+bool check_le(const char* what, double value, double bar) {
+  const bool ok = value <= bar;
+  std::printf("acceptance: %-36s %8.2f (bar: <= %.2f) %s\n", what, value,
+              bar, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+int acceptance(jaccx::bench::bench_session& session) {
+  std::puts("\n=== serving acceptance (docs/SERVING.md) ===");
+
+  std::vector<sim_point> sim;
+  for (const int t : {1, 2, 4, 8}) {
+    sim.push_back(sim_scaling(t, 8));
+    const sim_point& p = sim.back();
+    std::printf("sim     T=%d: %3d jobs, makespan %9.1f us, "
+                "wait p50 %8.1f p99 %8.1f us\n",
+                p.tenants, p.jobs, p.makespan_us, p.wait_p50_us,
+                p.wait_p99_us);
+  }
+
+  std::vector<fair_point> fair;
+  for (const int t : {2, 4, 8}) {
+    fair.push_back(threads_burst(t, 24));
+    const fair_point& p = fair.back();
+    std::printf("threads T=%d: %3d jobs, wall %9.1f us, p99 min %8.1f "
+                "max %8.1f us (ratio %.2f)\n",
+                p.tenants, p.jobs, p.wall_us, p.p99_min_us, p.p99_max_us,
+                p.ratio());
+  }
+
+  const pressure_result pr = pressure_run();
+  std::printf("pressure: deferred %llu (admitted %llu), completed %llu, "
+              "failed %llu, rejected %llu, alloc retries %llu\n",
+              static_cast<unsigned long long>(pr.deferred),
+              static_cast<unsigned long long>(pr.deferred_admitted),
+              static_cast<unsigned long long>(pr.completed),
+              static_cast<unsigned long long>(pr.failed),
+              static_cast<unsigned long long>(pr.rejected),
+              static_cast<unsigned long long>(pr.alloc_retries_delta));
+
+  char buf[256];
+  std::string json = "{\n    \"sim_scaling\": [";
+  bool first = true;
+  for (const sim_point& p : sim) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n      {\"tenants\": %d, \"jobs\": %d, "
+                  "\"makespan_us\": %.1f, \"jobs_per_ms\": %.3f, "
+                  "\"wait_p50_us\": %.1f, \"wait_p99_us\": %.1f}",
+                  first ? "" : ",", p.tenants, p.jobs, p.makespan_us,
+                  p.throughput() * 1e3, p.wait_p50_us, p.wait_p99_us);
+    json += buf;
+    first = false;
+  }
+  json += "\n    ],\n    \"threads_burst\": [";
+  first = true;
+  for (const fair_point& p : fair) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n      {\"tenants\": %d, \"jobs\": %d, "
+                  "\"wall_us\": %.1f, \"jobs_per_s\": %.1f, "
+                  "\"wait_p50_us\": %.1f, \"p99_min_us\": %.1f, "
+                  "\"p99_max_us\": %.1f, \"p99_ratio\": %.3f}",
+                  first ? "" : ",", p.tenants, p.jobs, p.wall_us,
+                  p.throughput_per_s(), p.wait_p50_us, p.p99_min_us,
+                  p.p99_max_us, p.ratio());
+    json += buf;
+    first = false;
+  }
+  std::snprintf(buf, sizeof buf,
+                "\n    ],\n    \"pressure\": {\"deferred\": %llu, "
+                "\"deferred_admitted\": %llu, \"completed\": %llu, "
+                "\"failed\": %llu, \"rejected\": %llu, "
+                "\"alloc_retries\": %llu}\n  }",
+                static_cast<unsigned long long>(pr.deferred),
+                static_cast<unsigned long long>(pr.deferred_admitted),
+                static_cast<unsigned long long>(pr.completed),
+                static_cast<unsigned long long>(pr.failed),
+                static_cast<unsigned long long>(pr.rejected),
+                static_cast<unsigned long long>(pr.alloc_retries_delta));
+  json += buf;
+  session.add_section("serving", json);
+
+  bool ok = true;
+  ok &= check_ge("sim throughput scaling to 4 tenants",
+                 sim[2].throughput() / sim[0].throughput(), 2.0);
+  ok &= check_ge("sim throughput held at 8 tenants",
+                 sim[3].throughput() / sim[2].throughput(), 0.9);
+  ok &= check_le("threads p99 ratio at 8 tenants", fair.back().ratio(), 1.5);
+  ok &= check_ge("pressure deferred-then-admitted",
+                 static_cast<double>(pr.deferred_admitted), 1.0);
+  ok &= check_ge("pressure alloc retries",
+                 static_cast<double>(pr.alloc_retries_delta), 1.0);
+  ok &= check_le("pressure failed+rejected",
+                 static_cast<double>(pr.failed + pr.rejected), 0.0);
+  return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  jaccx::bench::bench_session session("serving");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return acceptance(session);
+}

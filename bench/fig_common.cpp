@@ -271,6 +271,10 @@ bench_session::bench_session(std::string name) : name_(std::move(name)) {
   prof::enable_collection();
 }
 
+void bench_session::add_section(std::string key, std::string json_value) {
+  extra_.emplace_back(std::move(key), std::move(json_value));
+}
+
 bench_session::~bench_session() {
   const std::string path = "BENCH_" + name_ + ".json";
   std::ofstream out(path, std::ios::trunc);
@@ -292,6 +296,10 @@ bench_session::~bench_session() {
         << ", \"JACC_PROFILE\": " << env("JACC_PROFILE")
         << ", \"mem_pool_mode\": "
         << json_str(std::string(mem::to_string(mem::mode()))) << "},\n";
+
+    for (const auto& [key, value] : extra_) {
+      out << "  " << json_str(key) << ": " << value << ",\n";
+    }
 
     out << "  \"kernels\": [";
     bool first = true;

@@ -96,8 +96,14 @@ public:
   bench_session(const bench_session&) = delete;
   bench_session& operator=(const bench_session&) = delete;
 
+  /// Adds one custom top-level section to the JSON, emitted as
+  /// `"key": value` right after "config".  `value` must already be a
+  /// valid JSON value (object/array/number); it is written verbatim.
+  void add_section(std::string key, std::string json_value);
+
 private:
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> extra_;
 };
 
 } // namespace jaccx::bench

@@ -611,7 +611,15 @@ void synchronize() {
 
 int resolve_queue_lanes(unsigned pool_width) {
   if (const auto n = jaccx::get_env_long("JACC_QUEUES"); n && *n >= 1) {
-    return static_cast<int>(std::min<long>(*n, 64));
+    // Clamp to the worker-pool width as well as the absolute ceiling: every
+    // lane owns a private dispatcher thread plus a slice of the pool, so
+    // more lanes than workers would oversubscribe the machine with
+    // width-one pools.  The width cap has a floor of two so JACC_QUEUES=2
+    // can still force genuine async lanes on a narrow machine — the
+    // contract the CI/TSan legs rely on (docs/ASYNC.md, "Lane
+    // resolution").
+    const long width_cap = std::max(2L, static_cast<long>(pool_width));
+    return static_cast<int>(std::min({*n, 64L, width_cap}));
   }
   // Auto: split a reasonably wide pool into two lanes; narrow machines keep
   // the synchronous degradation (one lane).

@@ -33,6 +33,38 @@ void* host_alloc(std::size_t bytes) {
   return p;
 }
 
+std::atomic<std::uint64_t> g_alloc_retries{0};
+
+/// Memory-pressure subscribers (admission control).  Guarded by their own
+/// mutex, never invoked with any pool lock held.
+struct pressure_registry {
+  std::mutex mu;
+  std::uint64_t next_token = 1;
+  std::map<std::uint64_t, std::function<void()>> callbacks;
+};
+
+pressure_registry& pressure_reg() {
+  static pressure_registry* r = new pressure_registry();
+  return *r;
+}
+
+/// Fires every registered pressure callback.  Must be called with NO pool
+/// lock held: subscribers are allowed to call back into the pool.
+void notify_pressure() {
+  std::vector<std::function<void()>> fns;
+  {
+    pressure_registry& r = pressure_reg();
+    const std::lock_guard lock(r.mu);
+    fns.reserve(r.callbacks.size());
+    for (const auto& [token, fn] : r.callbacks) {
+      fns.push_back(fn);
+    }
+  }
+  for (const auto& fn : fns) {
+    fn();
+  }
+}
+
 /// One parked free-list block, tagged with the queue that released it and
 /// that queue's simulated clock at release time (stream-ordered reuse).
 struct cached_block {
@@ -76,6 +108,12 @@ struct workspace_entry {
   std::size_t result_bytes = 0;
 };
 
+/// One parked host reduction scratch slab (workspace.hpp lease pool).
+struct scratch_slab {
+  void* ptr = nullptr;
+  std::size_t capacity = 0;
+};
+
 struct state_t {
   std::mutex mu;
   backing_pool host;
@@ -83,11 +121,12 @@ struct state_t {
   std::map<std::pair<sim::device*, std::size_t>, workspace_entry> workspaces;
   std::uint64_t next_stamp = 0; ///< LRU clock for cached_block::stamp
 
-  /// Persistent host reduction scratch; `scratch_mu` is the lease — held
-  /// for a whole threads reduction, ordered strictly before `mu`.
-  std::mutex scratch_mu;
-  void* host_scratch = nullptr;
-  std::size_t host_scratch_capacity = 0;
+  /// Parked host reduction scratch slabs (guarded by mu, held only for the
+  /// park/unpark instants — leased slabs are owned by their lease, so
+  /// concurrent reductions never serialize on a shared buffer).
+  std::vector<scratch_slab> scratch_free;
+  /// Capacity across parked AND leased slabs (mirrors host.workspace_bytes).
+  std::size_t scratch_total = 0;
 
   state_t() {
     prof::register_mem_pool_source([] { return stats(); });
@@ -199,6 +238,23 @@ void trim_locked(state_t& s, std::uint64_t target) {
   }
 }
 
+/// Runs `attempt` once; on std::bad_alloc, empties every free list back to
+/// the backing stores (cached device blocks drop their arena live-refs, so
+/// a fully-parked arena rewinds) and retries exactly once.  The second
+/// failure propagates.  Caller holds s.mu and must set `pressured` so the
+/// pressure callbacks fire after the lock is dropped.
+template <typename F>
+auto alloc_with_retry_locked(state_t& s, bool& pressured, F&& attempt) {
+  try {
+    return attempt();
+  } catch (const std::bad_alloc&) {
+    trim_locked(s, 0);
+    g_alloc_retries.fetch_add(1, std::memory_order_relaxed);
+    pressured = true;
+    return attempt();
+  }
+}
+
 void drain_locked(state_t& s) {
   const auto drain_pool = [](backing_pool& p) {
     for (auto& [size, list] : p.free_lists) {
@@ -234,10 +290,16 @@ void drain_locked(state_t& s) {
     }
   }
   s.workspaces.clear();
-  std::free(s.host_scratch);
-  s.host_scratch = nullptr;
-  s.host_scratch_capacity = 0;
-  s.host.workspace_bytes = 0;
+  // Parked scratch slabs are freed; leased slabs stay with their lease (a
+  // lease returning after drain re-parks its slab, caught by the next
+  // drain), so their capacity stays counted.
+  for (const scratch_slab& slab : s.scratch_free) {
+    std::free(slab.ptr);
+    JACCX_ASSERT(s.scratch_total >= slab.capacity);
+    s.scratch_total -= slab.capacity;
+  }
+  s.scratch_free.clear();
+  s.host.workspace_bytes = s.scratch_total;
 }
 
 } // namespace
@@ -297,13 +359,26 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
   if (mode() == pool_mode::none || bytes == 0) {
     // Seed-exact passthrough (also the zero-byte degenerate case in
     // bucket mode: the arena still hands out a distinct address, matching
-    // the seed, and a null host pointer stays null).
+    // the seed, and a null host pointer stays null).  Exhaustion still
+    // gets the trim-once-and-retry treatment: the success path is
+    // bit-identical to the seed, only the failure path changes.
     b.bytes = bytes;
+    const auto with_retry = [](auto&& attempt) {
+      try {
+        return attempt();
+      } catch (const std::bad_alloc&) {
+        trim(0);
+        g_alloc_retries.fetch_add(1, std::memory_order_relaxed);
+        auto* p = attempt();
+        notify_pressure();
+        return p;
+      }
+    };
     if (dev != nullptr) {
-      b.ptr = dev->arena_allocate(bytes);
+      b.ptr = with_retry([&] { return dev->arena_allocate(bytes); });
       dev->charge_alloc(bytes, name);
     } else if (bytes != 0) {
-      b.ptr = host_alloc(bytes);
+      b.ptr = with_retry([&] { return host_alloc(bytes); });
     }
     if (b.ptr != nullptr || dev != nullptr) {
       state_t& s = st();
@@ -319,8 +394,9 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
   const std::size_t rounded = bucket_bytes(bytes);
   b.bytes = rounded;
   b.pooled = true;
+  bool pressured = false;
   state_t& s = st();
-  const std::lock_guard lock(s.mu);
+  std::unique_lock lock(s.mu);
   backing_pool& p = pool_for_locked(s, dev);
   if (const auto it = p.free_lists.find(rounded);
       it != p.free_lists.end() && !it->second.empty()) {
@@ -351,8 +427,13 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
     p.bytes_cached -= rounded;
   } else {
     // Miss: the backing store is charged for the full size class, exactly
-    // as a caching allocator requests rounded blocks from the driver.
-    b.ptr = dev != nullptr ? dev->arena_allocate(rounded) : host_alloc(rounded);
+    // as a caching allocator requests rounded blocks from the driver.  On
+    // exhaustion the free lists are trimmed to zero and the allocation
+    // retried once before std::bad_alloc reaches the caller.
+    b.ptr = alloc_with_retry_locked(s, pressured, [&] {
+      return dev != nullptr ? dev->arena_allocate(rounded)
+                            : host_alloc(rounded);
+    });
     if (dev != nullptr) {
       dev->charge_alloc(rounded, name);
     }
@@ -361,6 +442,10 @@ block acquire(sim::device* dev, std::size_t bytes, std::string_view name,
   p.bytes_live += rounded;
   ++p.live_blocks;
   p.bump_high_water();
+  if (pressured) {
+    lock.unlock();
+    notify_pressure();
+  }
   return b;
 }
 
@@ -429,10 +514,29 @@ void trim(std::size_t target_bytes) {
 
 void drain() {
   state_t& s = st();
-  // Both locks: the host scratch is freed too, and a concurrent
-  // host_scratch_lease must not see its storage vanish mid-reduction.
-  const std::scoped_lock lock(s.scratch_mu, s.mu);
+  // One lock suffices for the scratch slabs too: a concurrent lease owns
+  // its slab outright (it is off the free list), so drain can only free
+  // parked storage.
+  const std::lock_guard lock(s.mu);
   drain_locked(s);
+}
+
+std::uint64_t alloc_retries() {
+  return g_alloc_retries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t add_pressure_callback(std::function<void()> fn) {
+  pressure_registry& r = pressure_reg();
+  const std::lock_guard lock(r.mu);
+  const std::uint64_t token = r.next_token++;
+  r.callbacks.emplace(token, std::move(fn));
+  return token;
+}
+
+void remove_pressure_callback(std::uint64_t token) {
+  pressure_registry& r = pressure_reg();
+  const std::lock_guard lock(r.mu);
+  r.callbacks.erase(token);
 }
 
 std::uint64_t live_blocks() {
@@ -455,10 +559,20 @@ std::uint64_t cached_bytes() {
   return n;
 }
 
+std::uint64_t live_bytes() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  std::uint64_t n = s.host.bytes_live;
+  for (const auto& [dev, p] : s.device_pools) {
+    n += p.bytes_live;
+  }
+  return n;
+}
+
 std::uint64_t host_scratch_bytes() {
   state_t& s = st();
   const std::lock_guard lock(s.mu);
-  return s.host_scratch_capacity;
+  return s.scratch_total;
 }
 
 std::vector<prof::mem_pool_stats> stats() {
@@ -496,7 +610,8 @@ reduce_workspace device_reduce_workspace(sim::device& dev,
                                          std::int64_t min_elems) {
   JACCX_ASSERT(elem_size > 0 && min_elems >= 0);
   state_t& s = st();
-  const std::lock_guard lock(s.mu);
+  bool pressured = false;
+  std::unique_lock lock(s.mu);
   backing_pool& p = pool_for_locked(s, &dev);
   workspace_entry& ws = s.workspaces[{&dev, elem_size}];
   const std::size_t need = static_cast<std::size_t>(min_elems) * elem_size;
@@ -508,8 +623,13 @@ reduce_workspace device_reduce_workspace(sim::device& dev,
       dev.charge_free(ws.partial_bytes);
       dev.arena_release();
       p.workspace_bytes -= ws.partial_bytes;
+      // The entry must not dangle if the growth allocation below throws
+      // even after the trim-and-retry.
+      ws.partials = nullptr;
+      ws.partial_bytes = 0;
     }
-    ws.partials = dev.arena_allocate(grown);
+    ws.partials = alloc_with_retry_locked(
+        s, pressured, [&] { return dev.arena_allocate(grown); });
     dev.charge_alloc(grown, "jacc.reduce.workspace");
     // Zero the whole buffer once at growth: the reduce kernel overwrites
     // [0, blocks) each call, so everything past any call's write extent
@@ -519,39 +639,65 @@ reduce_workspace device_reduce_workspace(sim::device& dev,
     p.workspace_bytes += grown;
   }
   if (ws.result == nullptr) {
-    ws.result = dev.arena_allocate(elem_size);
+    ws.result = alloc_with_retry_locked(
+        s, pressured, [&] { return dev.arena_allocate(elem_size); });
     dev.charge_alloc(elem_size, "jacc.reduce.result");
     std::memset(ws.result, 0, elem_size);
     ws.result_bytes = elem_size;
     p.workspace_bytes += elem_size;
   }
   p.bump_high_water();
-  return {ws.partials, ws.result,
-          static_cast<std::int64_t>(ws.partial_bytes / elem_size)};
+  const reduce_workspace out{ws.partials, ws.result,
+                             static_cast<std::int64_t>(ws.partial_bytes /
+                                                       elem_size)};
+  if (pressured) {
+    lock.unlock();
+    notify_pressure();
+  }
+  return out;
 }
 
 host_scratch_lease::host_scratch_lease(std::size_t bytes) {
   state_t& s = st();
-  s.scratch_mu.lock();
-  if (s.host_scratch_capacity < bytes) {
-    const std::lock_guard lock(s.mu);
-    std::free(s.host_scratch);
-    const std::size_t grown =
-        round_up(std::max(bytes, s.host_scratch_capacity * 2), host_align);
-    s.host_scratch = std::aligned_alloc(host_align, grown);
-    if (s.host_scratch == nullptr) {
-      s.host_scratch_capacity = 0;
-      s.host.workspace_bytes = 0;
-      s.scratch_mu.unlock();
-      throw std::bad_alloc();
+  bool pressured = false;
+  {
+    std::unique_lock lock(s.mu);
+    // Best fit: the smallest parked slab that covers the request, so one
+    // big early reduction does not pin every later small one to an
+    // oversized slab while fresh ones get allocated anyway.
+    std::size_t best = s.scratch_free.size();
+    for (std::size_t i = 0; i < s.scratch_free.size(); ++i) {
+      if (s.scratch_free[i].capacity >= bytes &&
+          (best == s.scratch_free.size() ||
+           s.scratch_free[i].capacity < s.scratch_free[best].capacity)) {
+        best = i;
+      }
     }
-    s.host_scratch_capacity = grown;
-    s.host.workspace_bytes = grown;
-    s.host.bump_high_water();
+    if (best != s.scratch_free.size()) {
+      data_ = s.scratch_free[best].ptr;
+      capacity_ = s.scratch_free[best].capacity;
+      s.scratch_free.erase(s.scratch_free.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+    } else {
+      const std::size_t grown = round_up(std::max<std::size_t>(bytes, 1),
+                                         host_align);
+      data_ = alloc_with_retry_locked(s, pressured,
+                                      [&] { return host_alloc(grown); });
+      capacity_ = grown;
+      s.scratch_total += grown;
+      s.host.workspace_bytes = s.scratch_total;
+      s.host.bump_high_water();
+    }
   }
-  data_ = s.host_scratch;
+  if (pressured) {
+    notify_pressure();
+  }
 }
 
-host_scratch_lease::~host_scratch_lease() { st().scratch_mu.unlock(); }
+host_scratch_lease::~host_scratch_lease() {
+  state_t& s = st();
+  const std::lock_guard lock(s.mu);
+  s.scratch_free.push_back({data_, capacity_});
+}
 
 } // namespace jaccx::mem

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -140,6 +141,21 @@ void set_default_cache_cap(std::uint64_t bytes);
 /// servers call this from admission control under memory pressure.
 void trim(std::size_t target_bytes);
 
+/// Times a backing-store allocation failed, was answered by trimming every
+/// free list to zero, and was retried.  Every allocation site (bucket
+/// misses, workspace growth, scratch slabs, seed-path none-mode allocs)
+/// retries exactly once after a trim; only the second failure propagates
+/// std::bad_alloc to the caller.
+std::uint64_t alloc_retries();
+
+/// Registers a callback fired (outside every pool lock) whenever an
+/// allocation hit backing-store exhaustion and forced a trim-to-zero —
+/// the memory-pressure signal admission control subscribes to.  Returns a
+/// token for remove_pressure_callback; callbacks may call back into the
+/// pool but must not block on work that itself allocates.
+std::uint64_t add_pressure_callback(std::function<void()> fn);
+void remove_pressure_callback(std::uint64_t token);
+
 /// RAII cap pin for tests/benches.
 class scoped_cache_cap {
 public:
@@ -167,7 +183,12 @@ std::uint64_t live_blocks();
 /// Bytes currently parked on free lists across all pools.
 std::uint64_t cached_bytes();
 
-/// Bytes held by the persistent host reduction scratch (workspace.hpp).
+/// Bytes in acquired-but-unreleased blocks across all pools.  Admission
+/// control budgets against live_bytes() + cached_bytes().
+std::uint64_t live_bytes();
+
+/// Bytes held by the persistent host reduction scratch slabs, parked and
+/// leased (workspace.hpp).
 std::uint64_t host_scratch_bytes();
 
 /// Per-pool counters in prof's reporting shape: one row per touched

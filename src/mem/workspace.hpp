@@ -12,10 +12,12 @@
 //
 // The threads back end analogue: reduce_threads used to build a
 // std::vector of cache-line-padded partial slots per call; host_scratch_lease
-// hands out one persistent padded slot array instead.  The lease holds a
-// dedicated mutex for its lifetime, so two host threads racing reductions
-// serialize instead of sharing slots (the seed's per-call vectors were
-// private; the persistent array must be too).
+// hands out a persistent padded slot array instead, drawn from a free list
+// of scratch slabs.  Each lease owns its slab exclusively for its lifetime
+// (the seed's per-call vectors were private; a leased slab is too), but
+// concurrent leases take DIFFERENT slabs — the pool mutex is held only for
+// the park/unpark instants, so reductions racing on separate dispatcher
+// lanes proceed in parallel instead of convoying on one buffer.
 #pragma once
 
 #include <cstddef>
@@ -44,9 +46,12 @@ reduce_workspace device_reduce_workspace(sim::device& dev,
                                          std::size_t elem_size,
                                          std::int64_t min_elems);
 
-/// Exclusive lease on the persistent host reduction scratch, grown to at
-/// least `bytes` (64-B aligned, geometric growth).  The storage — and the
-/// serialization mutex — are released to the pool when the lease dies.
+/// Exclusive lease on one persistent host reduction scratch slab of at
+/// least `bytes` (64-B aligned).  The ctor pops the smallest parked slab
+/// that fits — or allocates a fresh one (with the pool's trim-and-retry on
+/// exhaustion) — holding the pool mutex only for that instant; the dtor
+/// parks the slab back on the free list.  Concurrent leases therefore hold
+/// distinct slabs and never serialize on each other.
 class host_scratch_lease {
 public:
   explicit host_scratch_lease(std::size_t bytes);
@@ -55,9 +60,11 @@ public:
   host_scratch_lease& operator=(const host_scratch_lease&) = delete;
 
   void* data() const { return data_; }
+  std::size_t capacity() const { return capacity_; }
 
 private:
   void* data_ = nullptr;
+  std::size_t capacity_ = 0;
 };
 
 } // namespace jaccx::mem

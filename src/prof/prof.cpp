@@ -98,6 +98,7 @@ struct state_t {
 
   std::function<std::vector<mem_pool_stats>()> mem_pool_source;
   std::function<std::vector<queue_stats>()> queue_source;
+  std::function<serve_stats()> serve_source;
   std::function<std::optional<roof_rates>(std::string_view)> roof_source;
 
   /// Host roofline ceilings; resolved lazily from JACC_HOST_ROOF (or the
@@ -661,6 +662,23 @@ std::vector<queue_stats> aggregate_queues() {
   }
   // Outside the lock: the fetcher takes the queue registry's own mutexes.
   return fetch ? fetch() : std::vector<queue_stats>{};
+}
+
+void register_serve_source(std::function<serve_stats()> fetch) {
+  state_t& s = st();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.serve_source = std::move(fetch);
+}
+
+serve_stats aggregate_serve() {
+  state_t& s = st();
+  std::function<serve_stats()> fetch;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    fetch = s.serve_source;
+  }
+  // Outside the lock: the fetcher takes the scheduler's own mutex.
+  return fetch ? fetch() : serve_stats{};
 }
 
 void reset() {

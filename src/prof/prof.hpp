@@ -333,6 +333,50 @@ void register_queue_source(std::function<std::vector<queue_stats>()> fetch);
 /// when no source is registered or no queue has done work.
 std::vector<queue_stats> aggregate_queues();
 
+// --- serving statistics -----------------------------------------------------
+
+/// Per-tenant counters from a jaccx::serve scheduler (docs/SERVING.md):
+/// admission outcomes plus queue-wait latency quantiles measured from
+/// submission to the instant a slot picks the job up.
+struct serve_tenant_stats {
+  std::string name;
+  double weight = 1.0;
+  int priority = 1; ///< serve::priority as an int (0 low .. 2 high)
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;          ///< parked by admission control
+  std::uint64_t deferred_admitted = 0; ///< deferred, later admitted
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0; ///< job body threw
+  double wait_p50_us = 0.0;
+  double wait_p99_us = 0.0;
+  double busy_us = 0.0; ///< Σ job execution wall time
+};
+
+/// Utilization of one scheduler slot (its queue / lane share).
+struct serve_slot_stats {
+  int slot = 0;
+  std::uint64_t jobs = 0;
+  double busy_us = 0.0;
+};
+
+/// One scheduler's aggregate view; uptime_us normalizes slot busy time
+/// into utilization.
+struct serve_stats {
+  std::vector<serve_tenant_stats> tenants;
+  std::vector<serve_slot_stats> slots;
+  double uptime_us = 0.0;
+};
+
+/// The serve subsystem registers one process-wide fetcher, mirroring
+/// register_mem_pool_source (an empty function clears it).
+void register_serve_source(std::function<serve_stats()> fetch);
+
+/// Current serving rows (fetched now, outside the profiler lock); empty
+/// when no scheduler is live.
+serve_stats aggregate_serve();
+
 // --- roofline ---------------------------------------------------------------
 
 /// Roofline ceilings for one execution target: peak DRAM bandwidth and peak

@@ -481,6 +481,32 @@ std::string summary_text() {
     }
   }
 
+  const serve_stats serving = aggregate_serve();
+  if (!serving.tenants.empty()) {
+    os << "-- serve --\n";
+    char line[256];
+    for (const serve_tenant_stats& t : serving.tenants) {
+      std::snprintf(line, sizeof line,
+                    "%-12s w %4.1f prio %d  sub %6" PRIu64 "  adm %6" PRIu64
+                    "  def %5" PRIu64 " (adm %5" PRIu64 ")  rej %4" PRIu64
+                    "  done %6" PRIu64 "  wait p50 %9.1f us  p99 %9.1f us\n",
+                    t.name.c_str(), t.weight, t.priority, t.submitted,
+                    t.admitted, t.deferred, t.deferred_admitted, t.rejected,
+                    t.completed, t.wait_p50_us, t.wait_p99_us);
+      os << line;
+    }
+    for (const serve_slot_stats& sl : serving.slots) {
+      const double util = serving.uptime_us > 0.0
+                              ? 100.0 * sl.busy_us / serving.uptime_us
+                              : 0.0;
+      std::snprintf(line, sizeof line,
+                    "  slot %-3d jobs %6" PRIu64 "  busy %10.1f us  (%5.1f%% "
+                    "of uptime)\n",
+                    sl.slot, sl.jobs, sl.busy_us, util);
+      os << line;
+    }
+  }
+
   for (const pool_stats& p : aggregate_pools()) {
     os << "-- pool " << p.label << " (width " << p.width << ", schedule "
        << p.schedule << ", " << p.regions << " regions) --\n";

@@ -112,6 +112,13 @@ std::size_t round_up(std::size_t n, std::size_t a) {
 
 void* device::arena_allocate(std::size_t bytes) {
   const std::size_t need = round_up(bytes > 0 ? bytes : 1, arena_align);
+  if (arena_.limit != 0 && arena_.used + need > arena_.limit) {
+    // Bump arenas reclaim only on full rewind, so `used` is monotone while
+    // anything is live — exactly the exhaustion shape a caching pool must
+    // handle by releasing its parked blocks and retrying.
+    throw std::bad_alloc();
+  }
+  arena_.used += need;
   while (true) {
     if (arena_.current < arena_.chunks.size()) {
       auto& chunk = arena_.chunks[arena_.current];
@@ -137,6 +144,7 @@ void device::arena_release() noexcept {
   if (--arena_.live == 0) {
     arena_.current = 0;
     arena_.offset = 0;
+    arena_.used = 0;
   }
 }
 

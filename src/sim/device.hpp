@@ -90,6 +90,16 @@ public:
 
   std::size_t arena_chunks() const { return arena_.chunks.size(); }
 
+  /// Caps the arena's outstanding bytes at `bytes` (0 = unlimited, the
+  /// default).  Past the cap arena_allocate throws std::bad_alloc — the
+  /// exhaustion signal real device allocators emit — which lets tests and
+  /// admission control exercise the pool's trim-and-retry path on a device
+  /// whose simulated memory is otherwise a growable host vector.
+  void set_arena_limit(std::size_t bytes) { arena_.limit = bytes; }
+  std::size_t arena_limit() const { return arena_.limit; }
+  /// Outstanding (live + rounding) arena bytes counted against the limit.
+  std::size_t arena_used() const { return arena_.used; }
+
   // --- access tracking ------------------------------------------------------
   bool launch_active() const { return tally_active_; }
 
@@ -157,6 +167,8 @@ private:
     std::size_t current = 0; ///< chunk being bumped
     std::size_t offset = 0;  ///< within the current chunk
     std::size_t live = 0;    ///< outstanding allocations
+    std::size_t limit = 0;   ///< exhaustion cap in bytes (0 = unlimited)
+    std::size_t used = 0;    ///< rounded bytes outstanding against `limit`
   };
   arena_state arena_;
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <numeric>
@@ -352,6 +353,86 @@ TEST(Mem, ConcurrentAcquireReleaseIsRaceFree) {
   }
   EXPECT_EQ(jaccx::mem::live_blocks(), 0u);
   jaccx::mem::drain();
+}
+
+TEST(Mem, ArenaExhaustionTrimsAndRetriesOnce) {
+  const scoped_mode pooled(pool_mode::bucket);
+  jaccx::mem::drain();
+  auto& dev = jaccx::sim::get_device("a100");
+  dev.set_arena_limit(std::size_t{1} << 20); // cap the sim arena at 1 MiB
+
+  // Park a 512 KiB block in the cache.  Cached blocks keep their arena
+  // chunk live, so the arena cannot rewind and stays half charged.
+  auto parked = jaccx::mem::acquire(&dev, 512u << 10, "tenant");
+  jaccx::mem::release(parked);
+  ASSERT_GE(dev.arena_used(), std::size_t{512} << 10);
+
+  std::atomic<int> pressure_fired{0};
+  const auto token =
+      jaccx::mem::add_pressure_callback([&] { ++pressure_fired; });
+  const std::uint64_t retries_before = jaccx::mem::alloc_retries();
+
+  // 768 KiB rounds to the 1 MiB bucket; with 512 KiB already charged the
+  // raw arena allocation throws bad_alloc.  The pool must trim(0) — the
+  // cached block drops, the arena rewinds — and retry ONCE, succeeding,
+  // instead of surfacing the exception to the tenant.
+  auto big = jaccx::mem::acquire(&dev, 768u << 10, "tenant");
+  EXPECT_NE(big.ptr, nullptr);
+  EXPECT_GT(jaccx::mem::alloc_retries(), retries_before);
+  EXPECT_GE(pressure_fired.load(), 1)
+      << "trim-and-retry must report memory pressure to subscribers";
+  jaccx::mem::release(big);
+
+  jaccx::mem::remove_pressure_callback(token);
+  dev.set_arena_limit(0);
+  jaccx::mem::drain();
+}
+
+TEST(Mem, ScratchLeasesDoNotSerializeConcurrentHolders) {
+  const scoped_mode pooled(pool_mode::bucket);
+  jaccx::mem::drain();
+  {
+    // Two live leases at once: the old single-buffer design held the
+    // scratch mutex for the whole lease lifetime, so this pair deadlocked.
+    const jaccx::mem::host_scratch_lease a(4096);
+    const jaccx::mem::host_scratch_lease b(4096);
+    ASSERT_NE(a.data(), nullptr);
+    ASSERT_NE(b.data(), nullptr);
+    EXPECT_NE(a.data(), b.data());
+    EXPECT_GE(a.capacity(), 4096u);
+  }
+  // Both slabs parked; a same-size re-lease reuses one without growth.
+  const std::uint64_t parked = jaccx::mem::host_scratch_bytes();
+  EXPECT_GE(parked, 2u * 4096u);
+  {
+    const jaccx::mem::host_scratch_lease c(4096);
+    EXPECT_EQ(jaccx::mem::host_scratch_bytes(), parked);
+  }
+  // Concurrent lease/fill/verify traffic (the ServeTest-adjacent TSan
+  // surface): leases on different threads hold distinct slabs, so each
+  // thread's writes are private to its slab.
+  constexpr int threads = 4;
+  constexpr int iters = 64;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < iters; ++i) {
+        const std::size_t bytes = 1024u * static_cast<unsigned>(t + 1);
+        const jaccx::mem::host_scratch_lease lease(bytes);
+        auto* p = static_cast<unsigned char*>(lease.data());
+        std::memset(p, t + 1, bytes);
+        for (std::size_t k = 0; k < bytes; k += 257) {
+          ASSERT_EQ(p[k], static_cast<unsigned char>(t + 1));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  jaccx::mem::drain();
+  EXPECT_EQ(jaccx::mem::host_scratch_bytes(), 0u);
 }
 
 TEST(Mem, ProfSummaryShowsPoolHitRate) {

@@ -379,7 +379,17 @@ TEST_F(QueueTest, LanePolicyResolvesFromEnv) {
   ::setenv("JACC_QUEUES", "1", 1);
   EXPECT_EQ(resolve_queue_lanes(16), 1);
   ::setenv("JACC_QUEUES", "500", 1);
-  EXPECT_EQ(resolve_queue_lanes(16), 64); // clamped
+  EXPECT_EQ(resolve_queue_lanes(128), 64); // absolute ceiling
+  // Pool-width clamp: a lane needs a worker to be a lane, so JACC_QUEUES
+  // beyond the pool width must not build width-one oversubscribed lanes.
+  EXPECT_EQ(resolve_queue_lanes(16), 16);
+  ::setenv("JACC_QUEUES", "64", 1);
+  EXPECT_EQ(resolve_queue_lanes(8), 8);
+  // ...except the floor of two: forcing minimal asynchrony must keep
+  // working on a single-core machine (the CI/TSan JACC_QUEUES=2 legs).
+  EXPECT_EQ(resolve_queue_lanes(1), 2);
+  ::setenv("JACC_QUEUES", "2", 1);
+  EXPECT_EQ(resolve_queue_lanes(1), 2);
   ::unsetenv("JACC_QUEUES");
   EXPECT_EQ(resolve_queue_lanes(16), 2); // width heuristic
   EXPECT_EQ(resolve_queue_lanes(2), 1);  // narrow: sync degradation
